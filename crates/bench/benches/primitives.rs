@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the functional machine: primitive round trips
+//! through EMCall → mailbox → EMS, as a real SoC driver would issue them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypertee::machine::Machine;
+use hypertee::manifest::EnclaveManifest;
+use hypertee::sdk::ShmPerm;
+use std::hint::black_box;
+
+fn manifest() -> EnclaveManifest {
+    EnclaveManifest::parse("heap = 64M\nstack = 64K\nhost_shared = 64K").unwrap()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+
+    group.bench_function("ealloc_64k_round_trip", |b| {
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), b"bench enclave").unwrap();
+        m.enter(0, e).unwrap();
+        b.iter(|| black_box(m.ealloc(0, 64 * 1024).unwrap()));
+    });
+
+    group.bench_function("context_switch_pair", |b| {
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), b"bench enclave").unwrap();
+        m.enter(0, e).unwrap();
+        m.exit(0).unwrap();
+        b.iter(|| {
+            m.resume(0, e).unwrap();
+            m.exit(0).unwrap();
+        });
+    });
+
+    group.bench_function("create_destroy_enclave", |b| {
+        let mut m = Machine::boot_default();
+        b.iter(|| {
+            let e = m.create_enclave(0, &manifest(), b"short-lived enclave").unwrap();
+            m.destroy(0, e).unwrap();
+        });
+    });
+
+    group.bench_function("shm_store_load_4k", |b| {
+        let mut m = Machine::boot_default();
+        let s = m.create_enclave(0, &manifest(), b"sender").unwrap();
+        let r = m.create_enclave(1, &manifest(), b"receiver").unwrap();
+        m.enter(0, s).unwrap();
+        let shmid = m.shmget(0, 4096, ShmPerm::ReadWrite, false).unwrap();
+        m.shmshr(0, shmid, r, ShmPerm::ReadWrite).unwrap();
+        let s_va = m.shmat(0, shmid, s).unwrap();
+        m.enter(1, r).unwrap();
+        let r_va = m.shmat(1, shmid, s).unwrap();
+        let payload = vec![0x5au8; 4096];
+        let mut sink = vec![0u8; 4096];
+        b.iter(|| {
+            m.enclave_store(0, s_va, &payload).unwrap();
+            m.enclave_load(1, r_va, &mut sink).unwrap();
+            black_box(sink[0])
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_attestation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attestation");
+    group.sample_size(10);
+    group.bench_function("eattest_quote", |b| {
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), b"attested").unwrap();
+        m.enter(0, e).unwrap();
+        b.iter(|| black_box(m.attest(0, e, b"challenge").unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_attestation);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Ablation studies: each HyperTEE design choice on vs off.
+
+use hypertee_bench::ablation;
+
+fn main() {
+    println!("Ablation studies — each mechanism ON vs OFF\n");
+    for row in ablation::run_all() {
+        println!("{}", row.mechanism);
+        println!("  metric : {}", row.metric);
+        println!("  ON     : {:.3}", row.with_mechanism);
+        println!("  OFF    : {:.3}", row.without_mechanism);
+        println!();
+    }
+}

@@ -1,0 +1,20 @@
+//! Fig. 12: enclave-communication performance — DNN inference via the
+//! Gemmini driver enclave, and NIC streaming.
+
+use hypertee_bench::{fig12, pct};
+
+fn main() {
+    println!("Fig. 12 — enclave communication: conventional (software enc/dec)");
+    println!("vs HyperTEE (protected shared enclave memory)\n");
+    println!("{:<22}{:>22}{:>12}", "workload", "conv. crypto share", "speedup");
+    for r in fig12() {
+        println!(
+            "{:<22}{:>22}{:>12}",
+            r.name,
+            pct(r.conventional_crypto_share),
+            format!("{:.1}x", r.speedup)
+        );
+    }
+    println!("\npaper: ResNet50 >4.0x (crypto >74.7%), MobileNet >3.3x,");
+    println!("       MLPs >27.7x, NIC ~50x (crypto >98.0%)");
+}

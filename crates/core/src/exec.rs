@@ -1,0 +1,360 @@
+//! Executing enclave programs on the functional RV64IM core.
+//!
+//! [`Machine::run_enclave_program`] drives `hypertee-cpu` through the hart's
+//! MMU, so every instruction fetch and data access of the enclave program
+//! goes through the enclave page table, the TLB, the bitmap check, and the
+//! MKTME engine. Exceptions follow §III-B: EMCall records them and routes
+//! memory-management faults to EMS — which is exactly how demand paging
+//! works (§IV-A: "While encountering a page fault exception caused by a
+//! page miss, EMCall handles the exception and sends a request to EMS for
+//! memory allocation"), after which the faulting instruction retries.
+//!
+//! Syscall convention (`ecall` from the enclave):
+//!
+//! | `a7` | call | effect |
+//! |---|---|---|
+//! | 93 | exit | program done; `a0` is the exit code |
+//! | 1  | ealloc | EALLOC `a0` bytes; returns the VA in `a0` |
+//! | 2  | efree | EFREE `a0` = va, `a1` = bytes |
+
+use crate::machine::{Machine, MachineError, MachineResult};
+use hypertee_cpu::hart::{Cpu, StepEvent, Trap};
+use hypertee_emcall::{Exception, ExceptionRoute};
+use hypertee_ems::control::layout;
+use hypertee_mem::addr::{VirtAddr, PAGE_SIZE};
+use hypertee_mem::MemFault;
+
+/// Why a program run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed `exit` (`ecall` with `a7` = 93).
+    Exited {
+        /// Exit code from `a0`.
+        code: u64,
+        /// Instructions retired.
+        retired: u64,
+    },
+    /// The program hit `ebreak`.
+    Breakpoint,
+    /// An unrecoverable trap (routed to the CS OS, which kills the task).
+    Fault {
+        /// The trap.
+        trap: Trap,
+    },
+    /// The step budget ran out.
+    StepLimit,
+}
+
+impl Machine {
+    /// Runs the enclave program on `hart_id` (which must be entered into an
+    /// enclave) for at most `max_steps` instructions.
+    ///
+    /// Demand paging is live: heap accesses beyond the mapped cursor fault,
+    /// EMCall routes the fault to EMS, EMS EALLOCs the covering pages, the
+    /// TLB is flushed, and the instruction retries.
+    ///
+    /// # Errors
+    ///
+    /// `WrongMode` when the hart is not inside an enclave; primitive errors
+    /// if a demand allocation fails.
+    pub fn run_enclave_program(
+        &mut self,
+        hart_id: usize,
+        max_steps: u64,
+    ) -> MachineResult<RunOutcome> {
+        self.harts[hart_id].current_enclave.ok_or(MachineError::WrongMode)?;
+        // Restore the architectural state EMCall saved at the last context
+        // switch (fresh entries were initialised by `enter`).
+        let mut cpu = Cpu::new(VirtAddr(self.harts[hart_id].pc));
+        cpu.regs = self.harts[hart_id].regs;
+
+        let out = self.exec_loop(hart_id, &mut cpu, max_steps);
+        // Persist the architectural state for the next slice/resume.
+        self.harts[hart_id].regs = cpu.regs;
+        self.harts[hart_id].pc = cpu.pc.0;
+        out
+    }
+
+    fn exec_loop(
+        &mut self,
+        hart_id: usize,
+        cpu: &mut Cpu,
+        max_steps: u64,
+    ) -> MachineResult<RunOutcome> {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
+            let step = {
+                let hart = &mut self.harts[hart_id];
+                cpu.step(&mut hart.mmu, &mut self.sys)
+            };
+            match step {
+                Ok(StepEvent::Continue) => {}
+                Ok(StepEvent::Ebreak) => return Ok(RunOutcome::Breakpoint),
+                Ok(StepEvent::Ecall) => match cpu.regs[17] {
+                    93 => {
+                        return Ok(RunOutcome::Exited {
+                            code: cpu.regs[10],
+                            retired: cpu.stats.retired,
+                        })
+                    }
+                    1 => {
+                        let va = self.ealloc(hart_id, cpu.regs[10].max(1))?;
+                        cpu.regs[10] = va.0;
+                    }
+                    2 => {
+                        self.efree(hart_id, VirtAddr(cpu.regs[10]), cpu.regs[11].max(1))?;
+                    }
+                    other => {
+                        // Unknown syscalls are reflected back as -1, like a
+                        // kernel returning ENOSYS.
+                        let _ = other;
+                        cpu.regs[10] = u64::MAX;
+                    }
+                },
+                Err(Trap::Mem(MemFault::PageFault { va })) => {
+                    // §III-B: EMCall records the exception and decides the
+                    // route; page faults go to EMS.
+                    let record = self
+                        .emcall
+                        .route_exception(&self.harts[hart_id], Exception::PageFault { va });
+                    debug_assert_eq!(record.route, ExceptionRoute::Ems);
+                    if !self.demand_page(hart_id, va)? {
+                        return Ok(RunOutcome::Fault {
+                            trap: Trap::Mem(MemFault::PageFault { va }),
+                        });
+                    }
+                    // Retry the faulting instruction (PC unchanged).
+                }
+                Err(Trap::Mem(fault @ MemFault::BusError { pa })) => {
+                    let record = self
+                        .emcall
+                        .route_exception(&self.harts[hart_id], Exception::Misaligned { va: pa });
+                    debug_assert_eq!(record.route, ExceptionRoute::Ems);
+                    // Misaligned accesses are fatal to the task in this ABI.
+                    return Ok(RunOutcome::Fault { trap: Trap::Mem(fault) });
+                }
+                Err(Trap::Illegal(word)) => {
+                    // Illegal instructions route to the CS OS (§III-B),
+                    // which terminates the task.
+                    let record = self
+                        .emcall
+                        .route_exception(&self.harts[hart_id], Exception::IllegalInstruction);
+                    debug_assert_eq!(record.route, ExceptionRoute::CsOs);
+                    return Ok(RunOutcome::Fault { trap: Trap::Illegal(word) });
+                }
+                Err(trap) => return Ok(RunOutcome::Fault { trap }),
+            }
+        }
+        Ok(RunOutcome::StepLimit)
+    }
+
+    /// Like [`Machine::run_enclave_program`] but with timer preemption every
+    /// `quantum` instructions: the enclave is EEXITed and ERESUMEd through
+    /// EMCall, flushing the TLB each way — the context-switch regime whose
+    /// cost Fig. 11 quantifies. Returns the outcome plus the number of
+    /// preemptions taken.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run_enclave_program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero quantum.
+    pub fn run_enclave_program_preemptive(
+        &mut self,
+        hart_id: usize,
+        max_steps: u64,
+        quantum: u64,
+    ) -> MachineResult<(RunOutcome, u64)> {
+        assert!(quantum > 0, "quantum must be positive");
+        let handle = crate::machine::EnclaveHandle(
+            self.harts[hart_id].current_enclave.ok_or(MachineError::WrongMode)?.0,
+        );
+        let mut preemptions = 0u64;
+        let mut remaining = max_steps;
+        loop {
+            let slice = quantum.min(remaining);
+            let outcome = self.run_enclave_program(hart_id, slice)?;
+            remaining = remaining.saturating_sub(slice);
+            match outcome {
+                RunOutcome::StepLimit if remaining > 0 => {
+                    // Timer interrupt: EMCall routes it to the CS OS, which
+                    // schedules, then the enclave resumes — TLB flushed on
+                    // both transitions (§IV-B).
+                    let record = self.emcall.route_exception(
+                        &self.harts[hart_id],
+                        hypertee_emcall::Exception::Timer,
+                    );
+                    debug_assert_eq!(record.route, ExceptionRoute::CsOs);
+                    self.exit(hart_id)?;
+                    self.resume(hart_id, handle)?;
+                    preemptions += 1;
+                }
+                other => return Ok((other, preemptions)),
+            }
+        }
+    }
+
+    /// Services a demand-paging fault: if `va` lies in the enclave's heap
+    /// window, EALLOC enough pages to cover it and return `true`.
+    fn demand_page(&mut self, hart_id: usize, va: u64) -> MachineResult<bool> {
+        let eid = self.harts[hart_id]
+            .current_enclave
+            .ok_or(MachineError::WrongMode)?
+            .0;
+        let (cursor, max) = self.ems.enclave_heap_info(eid).map_err(|e| {
+            crate::machine::MachineError::Primitive(e.into())
+        })?;
+        let heap_end = layout::HEAP_BASE.0 + max;
+        if va < layout::HEAP_BASE.0 || va >= heap_end || va < cursor {
+            return Ok(false); // Not a demand-pageable address.
+        }
+        let need = (va / PAGE_SIZE + 1) * PAGE_SIZE - cursor;
+        match self.ealloc(hart_id, need) {
+            Ok(_) => Ok(true),
+            Err(MachineError::Primitive(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::manifest::EnclaveManifest;
+    use hypertee_cpu::asm::Asm;
+
+    fn manifest() -> EnclaveManifest {
+        EnclaveManifest::parse("heap = 4M\nstack = 64K\nhost_shared = 16K").unwrap()
+    }
+
+    #[test]
+    fn program_runs_inside_enclave() {
+        // a0 = 6 * 7, exit.
+        let mut a = Asm::new();
+        a.addi(10, 0, 6);
+        a.addi(11, 0, 7);
+        a.mul(10, 10, 11);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.enter(0, e).unwrap();
+        let outcome = m.run_enclave_program(0, 1000).unwrap();
+        assert_eq!(outcome, RunOutcome::Exited { code: 42, retired: 5 });
+    }
+
+    #[test]
+    fn program_uses_its_stack_through_mktme() {
+        // Push two values, pop and add them.
+        let mut a = Asm::new();
+        a.addi(5, 0, 1000);
+        a.addi(6, 0, 234);
+        a.sd(5, -8, 2);
+        a.sd(6, -16, 2);
+        a.ld(10, -8, 2);
+        a.ld(11, -16, 2);
+        a.add(10, 10, 11);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.enter(0, e).unwrap();
+        let outcome = m.run_enclave_program(0, 1000).unwrap();
+        assert!(matches!(outcome, RunOutcome::Exited { code: 1234, .. }));
+        // Encryption actually happened on the data path.
+        assert!(m.sys.engine.stats.bytes_encrypted > 0);
+    }
+
+    #[test]
+    fn ealloc_syscall_and_demand_paging() {
+        // sbrk-style: syscall ealloc(8KiB) returns a VA; store/load at the
+        // start, then touch one page *beyond* the allocation — a real page
+        // fault that EMCall routes to EMS for demand allocation.
+        let mut a = Asm::new();
+        a.addi(17, 0, 1); // ealloc
+        a.li(10, 8192);
+        a.ecall(); // a0 = heap va
+        a.addi(5, 10, 0); // save base
+        a.li(6, 0xabcd);
+        a.sd(6, 0, 5); // store at base
+        // Touch 4 pages past the end (demand paged).
+        a.li(7, 8192 + 4 * 4096);
+        a.add(7, 5, 7);
+        a.sd(6, 0, 7);
+        a.ld(28, 0, 7);
+        a.ld(29, 0, 5);
+        a.add(10, 28, 29); // 2*0xabcd
+        a.addi(17, 0, 93);
+        a.ecall();
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.enter(0, e).unwrap();
+        let before = m.emcall.stats.to_ems;
+        let outcome = m.run_enclave_program(0, 10_000).unwrap();
+        assert!(
+            matches!(outcome, RunOutcome::Exited { code, .. } if code == 2 * 0xabcd),
+            "{outcome:?}"
+        );
+        assert!(m.emcall.stats.to_ems > before, "a page fault was routed to EMS");
+    }
+
+    #[test]
+    fn heap_overrun_faults_cleanly() {
+        // Touch far beyond heap_max: demand paging must refuse and the run
+        // ends in a fault, not an allocation.
+        let mut a = Asm::new();
+        a.li(5, 0x2000_0000 + 64 * 1024 * 1024); // beyond the 4 MiB heap
+        a.sd(5, 0, 5);
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.enter(0, e).unwrap();
+        let outcome = m.run_enclave_program(0, 1000).unwrap();
+        assert!(matches!(outcome, RunOutcome::Fault { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn program_reads_host_window() {
+        // Host writes a value into the shared window; the program reads it
+        // through HOST_SHARED_BASE and returns it.
+        let mut a = Asm::new();
+        a.li(5, layout::HOST_SHARED_BASE.0);
+        a.ld(10, 0, 5);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.host_window_write(e, 0, &777u64.to_le_bytes()).unwrap();
+        m.enter(0, e).unwrap();
+        let outcome = m.run_enclave_program(0, 1000).unwrap();
+        assert!(matches!(outcome, RunOutcome::Exited { code: 777, .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn illegal_instruction_routes_to_cs_os() {
+        let image = 0u32.to_le_bytes();
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &image).unwrap();
+        m.enter(0, e).unwrap();
+        let before = m.emcall.stats.to_cs;
+        let outcome = m.run_enclave_program(0, 10).unwrap();
+        assert!(matches!(outcome, RunOutcome::Fault { trap: Trap::Illegal(0) }));
+        assert_eq!(m.emcall.stats.to_cs, before + 1);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        // Infinite loop.
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.jal(0, top);
+        let mut m = Machine::boot_default();
+        let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
+        m.enter(0, e).unwrap();
+        assert_eq!(m.run_enclave_program(0, 100).unwrap(), RunOutcome::StepLimit);
+    }
+}

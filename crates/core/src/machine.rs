@@ -1,0 +1,433 @@
+//! The whole simulated SoC: CS harts, EMCall, iHub, EMS, and memory.
+
+use hypertee_emcall::{EmCall, EmCallError, HartState};
+use hypertee_ems::boot::{provision_flash, secure_boot, BootError, BootReport};
+use hypertee_ems::keys::EFuse;
+use hypertee_ems::runtime::{Ems, EmsContext};
+use hypertee_fabric::ihub::IHub;
+use hypertee_fabric::message::{Primitive, Response, Status};
+use hypertee_mem::addr::{PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_mem::pagetable::{PageTable, Perms};
+use hypertee_mem::phys::FrameAllocator;
+use hypertee_mem::system::MemorySystem;
+use hypertee_mem::MemFault;
+use hypertee_sim::clock::Cycles;
+use hypertee_sim::config::SocConfig;
+use hypertee_sim::latency::LatencyBook;
+use std::collections::BTreeMap;
+
+/// SDK-side record of a created enclave.
+#[derive(Debug, Clone, Copy)]
+pub struct EnclaveInfo {
+    /// EMS-assigned enclave id.
+    pub eid: u64,
+    /// Physical base of the HostApp shared window.
+    pub host_window_pa: PhysAddr,
+    /// Window size in bytes.
+    pub host_window_bytes: u64,
+    /// Loaded image size in bytes.
+    pub image_bytes: u64,
+    /// Statically allocated stack size in bytes (ABI setup for programs).
+    pub stack_bytes: u64,
+}
+
+/// A handle to a created enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveHandle(pub u64);
+
+/// Machine-level errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// EMCall blocked the request at the gate.
+    Gate(EmCallError),
+    /// EMS answered with a failure status.
+    Primitive(Status),
+    /// A memory fault during host-side staging or access.
+    Mem(MemFault),
+    /// Secure boot failed.
+    Boot(BootError),
+    /// The CS OS ran out of physical frames.
+    OutOfMemory,
+    /// A hart was in the wrong mode for the operation.
+    WrongMode,
+    /// Unknown enclave handle.
+    UnknownEnclave,
+}
+
+impl From<EmCallError> for MachineError {
+    fn from(e: EmCallError) -> Self {
+        MachineError::Gate(e)
+    }
+}
+
+impl From<MemFault> for MachineError {
+    fn from(e: MemFault) -> Self {
+        MachineError::Mem(e)
+    }
+}
+
+impl core::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineError::Gate(e) => write!(f, "gate: {e}"),
+            MachineError::Primitive(s) => write!(f, "primitive failed: {s:?}"),
+            MachineError::Mem(m) => write!(f, "memory fault: {m}"),
+            MachineError::Boot(b) => write!(f, "boot failed: {b}"),
+            MachineError::OutOfMemory => write!(f, "out of physical memory"),
+            MachineError::WrongMode => write!(f, "hart in wrong mode"),
+            MachineError::UnknownEnclave => write!(f, "unknown enclave handle"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Shorthand result.
+pub type MachineResult<T> = Result<T, MachineError>;
+
+/// The simulated HyperTEE SoC.
+pub struct Machine {
+    /// SoC memory (physical memory, bitmap, encryption engine).
+    pub sys: MemorySystem,
+    /// The fabric hub (mailbox + DMA whitelist).
+    pub hub: IHub,
+    /// The trusted call gate.
+    pub emcall: EmCall,
+    /// The enclave management subsystem.
+    pub ems: Ems,
+    /// CS harts.
+    pub harts: Vec<HartState>,
+    /// The CS OS frame allocator.
+    pub os: FrameAllocator,
+    /// The shared host address space.
+    pub host_table: PageTable,
+    /// The secure-boot report.
+    pub boot_report: BootReport,
+    /// SoC configuration.
+    pub config: SocConfig,
+    /// The timing calibration used for live cycle accounting.
+    pub book: LatencyBook,
+    /// Simulated-time clock: every primitive round trip charges its
+    /// modelled cost here, so functional runs also report SoC time.
+    pub clock: Cycles,
+    pub(crate) enclaves: BTreeMap<u64, EnclaveInfo>,
+    pub(crate) next_host_va: u64,
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Machine {{ harts: {}, enclaves: {}, os_allocated: {} }}",
+            self.harts.len(),
+            self.enclaves.len(),
+            self.os.allocated
+        )
+    }
+}
+
+/// The canonical firmware images of this reproduction, "verified" by the
+/// secure-boot chain at every machine start.
+pub mod firmware {
+    /// The EMS runtime image placed in private flash.
+    pub const EMS_RUNTIME: &[u8] =
+        b"HyperTEE EMS Runtime v1 (reproduction of the 3843-line Rust runtime)";
+    /// The EMCall firmware hash-anchored in the EEPROM.
+    pub const EMCALL: &[u8] = b"HyperTEE EMCall machine-mode firmware v1";
+    /// The flash-encryption key for this device family.
+    pub const FLASH_KEY: [u8; 16] = *b"hypertee-flash-k";
+}
+
+impl Machine {
+    /// Boots a machine with the default SoC configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canonical firmware fails secure boot (unreachable with
+    /// pristine images).
+    pub fn boot_default() -> Machine {
+        Machine::boot(SocConfig::default(), 0x4859_5045).expect("pristine firmware boots")
+    }
+
+    /// Runs the secure-boot chain and assembles the SoC.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Boot`] when an image fails verification.
+    pub fn boot(config: SocConfig, seed: u64) -> MachineResult<Machine> {
+        // Manufacturing: provision flash + EEPROM + eFuse.
+        let (flash, mut eeprom, _) = provision_flash(&firmware::FLASH_KEY, firmware::EMS_RUNTIME);
+        eeprom.emcall_hash = hypertee_crypto::sha256::sha256(firmware::EMCALL);
+        let report = secure_boot(&firmware::FLASH_KEY, &flash, &eeprom, firmware::EMCALL)
+            .map_err(MachineError::Boot)?;
+        let mut efuse_rng = hypertee_crypto::chacha::ChaChaRng::from_u64(seed ^ efu5e_u64());
+        let efuse = EFuse::burn(&mut efuse_rng);
+
+        let mut sys = MemorySystem::new(config.phys_mem_bytes, PhysAddr(0x10_000));
+        let total = sys.phys.total_frames();
+        let (hub, cap) = IHub::new();
+        let ems = Ems::new(cap, efuse, report.platform_measurement, seed);
+        // OS manages frames above the firmware/bitmap reservation.
+        let mut os = FrameAllocator::new(Ppn(64), Ppn(total));
+        let host_table = PageTable::new(&mut os, &mut sys.phys);
+        let tlb_entries = 32;
+        let mut harts = Vec::new();
+        for i in 0..config.cs_cores {
+            let mut h = HartState::new(i, tlb_entries);
+            h.mmu.switch_table(Some(host_table), false);
+            harts.push(h);
+        }
+        Ok(Machine {
+            sys,
+            hub,
+            emcall: EmCall::new(),
+            ems,
+            harts,
+            os,
+            host_table,
+            boot_report: report,
+            config,
+            book: LatencyBook::default(),
+            clock: Cycles::ZERO,
+            enclaves: BTreeMap::new(),
+            next_host_va: 0x7000_0000,
+        })
+    }
+
+    /// Pumps the EMS service loop once (normally called inside
+    /// [`Machine::invoke`]).
+    pub fn pump_ems(&mut self) -> usize {
+        let mut ctx = EmsContext {
+            sys: &mut self.sys,
+            hub: &mut self.hub,
+            os_frames: &mut self.os,
+        };
+        self.ems.service(&mut ctx)
+    }
+
+    /// Invokes one enclave primitive from `hart_id`: EMCall gate → mailbox →
+    /// EMS → polled response.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Gate`] for cross-privilege calls and
+    /// [`MachineError::Primitive`] for EMS-side failures.
+    pub fn invoke(
+        &mut self,
+        hart_id: usize,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> MachineResult<Response> {
+        let ticket = {
+            let hart = &self.harts[hart_id];
+            self.emcall.submit(hart, &mut self.hub, primitive, args, payload)?
+        };
+        let mut ticket = ticket;
+        loop {
+            self.pump_ems();
+            match self.emcall.poll(&mut self.hub, ticket) {
+                Ok(resp) => {
+                    self.charge_primitive(primitive, &resp);
+                    if resp.status == Status::Ok {
+                        return Ok(resp);
+                    }
+                    return Err(MachineError::Primitive(resp.status));
+                }
+                Err(t) => ticket = t,
+            }
+        }
+    }
+
+    /// Charges the modelled cycle cost of one completed primitive to the
+    /// machine clock: the fixed mailbox round trip plus the EMS service
+    /// time implied by the response (e.g. pages actually mapped by EALLOC).
+    fn charge_primitive(&mut self, primitive: Primitive, resp: &Response) {
+        let book = &self.book;
+        let mut cycles = book.mailbox_round_trip();
+        if resp.status == Status::Ok {
+            let engine = self.config.crypto_engine;
+            cycles += match primitive {
+                Primitive::Ealloc => {
+                    let pages = resp.vals.get(1).copied().unwrap_or(0) as f64;
+                    book.ems_cycles(book.ealloc_base_ems_cycles)
+                        + pages * (book.host_page_cost + book.ealloc_page_extra)
+                }
+                Primitive::Efree | Primitive::Eshmdt => {
+                    book.ems_cycles(book.ealloc_base_ems_cycles)
+                }
+                Primitive::Ewb => {
+                    let count = resp.vals.first().copied().unwrap_or(0) as f64;
+                    count * (book.host_page_cost + book.ealloc_page_extra)
+                }
+                Primitive::Ecreate | Primitive::Edestroy => book.lifecycle_fixed / 2.0,
+                Primitive::Eadd => 0.0, // charged per byte by the SDK wrapper
+                Primitive::Emeas => 0.0, // likewise (needs the image size)
+                Primitive::Eenter | Primitive::Eresume | Primitive::Eexit => book.ctx_switch,
+                Primitive::Eshmget | Primitive::Eshmat => {
+                    book.ems_cycles(book.ealloc_base_ems_cycles)
+                }
+                Primitive::Eshmshr | Primitive::Eshmdes => {
+                    book.ems_cycles(book.ems_dispatch_ems_cycles)
+                }
+                Primitive::Eattest => book.sign_cost(engine),
+            };
+        }
+        self.clock += Cycles(cycles.round() as u64);
+    }
+
+    /// The platform's endorsement public key (pinned by remote verifiers).
+    pub fn ek_public(&self) -> hypertee_crypto::sig::PublicKey {
+        self.ems.ek_public()
+    }
+
+    /// SDK bookkeeping for a handle.
+    pub fn enclave_info(&self, handle: EnclaveHandle) -> MachineResult<EnclaveInfo> {
+        self.enclaves.get(&handle.0).copied().ok_or(MachineError::UnknownEnclave)
+    }
+
+    /// Maps `n` fresh OS frames into the host address space read-write and
+    /// returns the base VA (host user memory for apps and attacks).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfMemory`] when frames run out.
+    pub fn map_host_region(&mut self, n: u64) -> MachineResult<(VirtAddr, Ppn)> {
+        let base_ppn = self.os.alloc_contiguous(n).ok_or(MachineError::OutOfMemory)?;
+        let base_va = VirtAddr(self.next_host_va);
+        self.next_host_va += n * PAGE_SIZE;
+        for i in 0..n {
+            self.host_table
+                .map(
+                    VirtAddr(base_va.0 + i * PAGE_SIZE),
+                    Ppn(base_ppn.0 + i),
+                    Perms::RW,
+                    hypertee_mem::addr::KeyId::HOST,
+                    &mut self.os,
+                    &mut self.sys.phys,
+                )
+                .map_err(MachineError::Mem)?;
+        }
+        Ok((base_va, base_ppn))
+    }
+
+    /// Host-mode virtual store from `hart_id` (splits at page boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and data-path faults.
+    pub fn vm_store(&mut self, hart_id: usize, va: VirtAddr, data: &[u8]) -> MachineResult<()> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = VirtAddr(va.0 + off as u64);
+            let room = (PAGE_SIZE - cur.offset()) as usize;
+            let take = room.min(data.len() - off);
+            self.harts[hart_id]
+                .mmu
+                .store(&mut self.sys, cur, &data[off..off + take])
+                .map_err(MachineError::Mem)?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Host-mode virtual load from `hart_id` (splits at page boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and data-path faults.
+    pub fn vm_load(&mut self, hart_id: usize, va: VirtAddr, buf: &mut [u8]) -> MachineResult<()> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = VirtAddr(va.0 + off as u64);
+            let room = (PAGE_SIZE - cur.offset()) as usize;
+            let take = room.min(buf.len() - off);
+            self.harts[hart_id]
+                .mmu
+                .load(&mut self.sys, cur, &mut buf[off..off + take])
+                .map_err(MachineError::Mem)?;
+            off += take;
+        }
+        Ok(())
+    }
+}
+
+/// Constant mixer for the eFuse seed (avoids colliding with the EMS seed).
+fn efu5e_u64() -> u64 {
+    0x0ef5_0e00_0000_0001
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_produces_working_machine() {
+        let m = Machine::boot_default();
+        assert_eq!(m.harts.len(), SocConfig::default().cs_cores as usize);
+        assert_eq!(m.boot_report.stages.len(), 4);
+    }
+
+    #[test]
+    fn boot_with_tampered_firmware_fails() {
+        // Direct chain check: a modified EMCall image is refused.
+        let (flash, mut eeprom, _) =
+            provision_flash(&firmware::FLASH_KEY, firmware::EMS_RUNTIME);
+        eeprom.emcall_hash = hypertee_crypto::sha256::sha256(firmware::EMCALL);
+        let result =
+            secure_boot(&firmware::FLASH_KEY, &flash, &eeprom, b"evil EMCall firmware");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn host_region_mapping_works() {
+        let mut m = Machine::boot_default();
+        let (va, _ppn) = m.map_host_region(4).unwrap();
+        m.vm_store(0, va, b"host data across pages!").unwrap();
+        let mut buf = [0u8; 23];
+        m.vm_load(0, va, &mut buf).unwrap();
+        assert_eq!(&buf, b"host data across pages!");
+    }
+
+    #[test]
+    fn live_clock_charges_fig8a_costs() {
+        // The machine's live cycle accounting for EALLOC must equal the
+        // Fig. 8(a) model by construction — this pins the wiring.
+        let mut m = Machine::boot_default();
+        let manifest = crate::manifest::EnclaveManifest::parse("heap = 8M").unwrap();
+        let e = m.create_enclave(0, &manifest, b"clock test").unwrap();
+        m.enter(0, e).unwrap();
+        let before = m.clock;
+        m.ealloc(0, 2 * 1024 * 1024).unwrap();
+        let measured = (m.clock - before).0 as f64;
+        let modelled = m.book.ealloc(2 * 1024 * 1024);
+        let err = (measured - modelled).abs() / modelled;
+        assert!(err < 0.01, "live {measured} vs model {modelled}");
+    }
+
+    #[test]
+    fn clock_advances_monotonically_through_a_lifecycle() {
+        let mut m = Machine::boot_default();
+        let manifest = crate::manifest::EnclaveManifest::parse("heap = 4M").unwrap();
+        let t0 = m.clock;
+        let e = m.create_enclave(0, &manifest, &vec![7u8; 100_000]).unwrap();
+        let t1 = m.clock;
+        assert!(t1 > t0, "creation must cost time");
+        m.enter(0, e).unwrap();
+        let t2 = m.clock;
+        assert!(t2 > t1, "context switch must cost time");
+        // EADD/EMEAS of a 100 KB image dominates the fixed costs.
+        assert!((t1 - t0).0 as f64 > m.book.measure_cost(100_000, true));
+    }
+
+    #[test]
+    fn vm_access_splits_pages() {
+        let mut m = Machine::boot_default();
+        let (va, _) = m.map_host_region(2).unwrap();
+        let spot = VirtAddr(va.0 + PAGE_SIZE - 3);
+        m.vm_store(0, spot, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut buf = [0u8; 6];
+        m.vm_load(0, spot, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+    }
+}

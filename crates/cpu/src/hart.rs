@@ -1,0 +1,537 @@
+//! The RV64IM interpreter: architectural state + single-step execution
+//! through a [`CoreMmu`].
+
+use crate::isa::{decode, AluKind, BranchKind, Instr, LoadKind, StoreKind};
+use hypertee_mem::addr::{VirtAddr, PAGE_SIZE};
+use hypertee_mem::system::{CoreMmu, MemorySystem};
+use hypertee_mem::MemFault;
+
+/// What one executed instruction produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Normal forward progress.
+    Continue,
+    /// `ecall` executed (syscall registers are in `a0..a7`); PC already
+    /// advanced past it.
+    Ecall,
+    /// `ebreak` executed; PC already advanced past it.
+    Ebreak,
+}
+
+/// Why execution trapped. Memory faults carry the *faulting* address and
+/// leave PC at the faulting instruction so it can be retried after the
+/// fault is serviced (the demand-paging contract, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// A memory fault during fetch or data access.
+    Mem(MemFault),
+    /// An undecodable instruction.
+    Illegal(u32),
+}
+
+/// Executed-instruction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Memory (data) accesses performed.
+    pub mem_ops: u64,
+    /// Traps taken.
+    pub traps: u64,
+}
+
+/// One hart's architectural state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Integer registers; `regs[0]` is hardwired to zero.
+    pub regs: [u64; 32],
+    /// Program counter.
+    pub pc: VirtAddr,
+    /// Counters.
+    pub stats: CpuStats,
+}
+
+impl Cpu {
+    /// A CPU starting at `entry` with all registers zero.
+    pub fn new(entry: VirtAddr) -> Cpu {
+        Cpu { regs: [0; 32], pc: entry, stats: CpuStats::default() }
+    }
+
+    fn write_reg(&mut self, rd: u8, value: u64) {
+        if rd != 0 {
+            self.regs[rd as usize] = value;
+        }
+    }
+
+    fn load(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        va: u64,
+        len: usize,
+    ) -> Result<u64, Trap> {
+        self.stats.mem_ops += 1;
+        if va % len as u64 != 0 {
+            // Misaligned accesses split at page granularity would complicate
+            // the MMU contract; treat as a bus error at the address.
+            return Err(Trap::Mem(MemFault::BusError { pa: va }));
+        }
+        let mut buf = [0u8; 8];
+        // Aligned accesses never cross a page.
+        debug_assert!(va % PAGE_SIZE + len as u64 <= PAGE_SIZE);
+        mmu.load(sys, VirtAddr(va), &mut buf[..len]).map_err(Trap::Mem)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn store(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        va: u64,
+        len: usize,
+        value: u64,
+    ) -> Result<(), Trap> {
+        self.stats.mem_ops += 1;
+        if va % len as u64 != 0 {
+            return Err(Trap::Mem(MemFault::BusError { pa: va }));
+        }
+        let bytes = value.to_le_bytes();
+        mmu.store(sys, VirtAddr(va), &bytes[..len]).map_err(Trap::Mem)
+    }
+
+    fn alu(kind: AluKind, a: u64, b: u64) -> u64 {
+        match kind {
+            AluKind::Add => a.wrapping_add(b),
+            AluKind::Sub => a.wrapping_sub(b),
+            AluKind::Sll => a.wrapping_shl((b & 0x3f) as u32),
+            AluKind::Slt => ((a as i64) < (b as i64)) as u64,
+            AluKind::Sltu => (a < b) as u64,
+            AluKind::Xor => a ^ b,
+            AluKind::Srl => a.wrapping_shr((b & 0x3f) as u32),
+            AluKind::Sra => ((a as i64).wrapping_shr((b & 0x3f) as u32)) as u64,
+            AluKind::Or => a | b,
+            AluKind::And => a & b,
+            AluKind::Mul => a.wrapping_mul(b),
+            AluKind::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    ((a as i64).wrapping_div(b as i64)) as u64
+                }
+            }
+            AluKind::Divu => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluKind::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as i64).wrapping_rem(b as i64)) as u64
+                }
+            }
+            AluKind::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    fn alu32(kind: AluKind, a: u64, b: u64) -> u64 {
+        let a32 = a as u32;
+        let b32 = b as u32;
+        let r = match kind {
+            AluKind::Add => a32.wrapping_add(b32),
+            AluKind::Sub => a32.wrapping_sub(b32),
+            AluKind::Sll => a32.wrapping_shl(b32 & 0x1f),
+            AluKind::Srl => a32.wrapping_shr(b32 & 0x1f),
+            AluKind::Sra => ((a32 as i32).wrapping_shr(b32 & 0x1f)) as u32,
+            AluKind::Mul => a32.wrapping_mul(b32),
+            _ => a32, // other kinds never reach the 32-bit path
+        };
+        r as i32 as i64 as u64
+    }
+
+    /// Fetches, decodes, and executes one instruction through `mmu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap`] with PC unchanged on memory faults (so the
+    /// instruction retries after fault handling) and PC unchanged on
+    /// illegal instructions.
+    pub fn step(&mut self, mmu: &mut CoreMmu, sys: &mut MemorySystem) -> Result<StepEvent, Trap> {
+        // Fetch.
+        let mut word_bytes = [0u8; 4];
+        if let Err(f) = mmu.load(sys, self.pc, &mut word_bytes) {
+            self.stats.traps += 1;
+            return Err(Trap::Mem(f));
+        }
+        let word = u32::from_le_bytes(word_bytes);
+        let instr = decode(word).map_err(|e| {
+            self.stats.traps += 1;
+            Trap::Illegal(e.0)
+        })?;
+        let next_pc = VirtAddr(self.pc.0 + 4);
+        let mut event = StepEvent::Continue;
+        match instr {
+            Instr::Lui { rd, imm } => {
+                self.write_reg(rd, imm as u64);
+                self.pc = next_pc;
+            }
+            Instr::Auipc { rd, imm } => {
+                self.write_reg(rd, self.pc.0.wrapping_add(imm as u64));
+                self.pc = next_pc;
+            }
+            Instr::Jal { rd, offset } => {
+                self.write_reg(rd, next_pc.0);
+                self.pc = VirtAddr(self.pc.0.wrapping_add(offset as u64));
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.regs[rs1 as usize].wrapping_add(offset as u64) & !1;
+                self.write_reg(rd, next_pc.0);
+                self.pc = VirtAddr(target);
+            }
+            Instr::Branch { kind, rs1, rs2, offset } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let taken = match kind {
+                    BranchKind::Eq => a == b,
+                    BranchKind::Ne => a != b,
+                    BranchKind::Lt => (a as i64) < (b as i64),
+                    BranchKind::Ge => (a as i64) >= (b as i64),
+                    BranchKind::Ltu => a < b,
+                    BranchKind::Geu => a >= b,
+                };
+                self.pc = if taken {
+                    VirtAddr(self.pc.0.wrapping_add(offset as u64))
+                } else {
+                    next_pc
+                };
+            }
+            Instr::Load { kind, rd, rs1, offset } => {
+                let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
+                let value = match kind {
+                    LoadKind::Lb => self.load(mmu, sys, va, 1)? as i8 as i64 as u64,
+                    LoadKind::Lbu => self.load(mmu, sys, va, 1)?,
+                    LoadKind::Lh => self.load(mmu, sys, va, 2)? as i16 as i64 as u64,
+                    LoadKind::Lhu => self.load(mmu, sys, va, 2)?,
+                    LoadKind::Lw => self.load(mmu, sys, va, 4)? as i32 as i64 as u64,
+                    LoadKind::Lwu => self.load(mmu, sys, va, 4)?,
+                    LoadKind::Ld => self.load(mmu, sys, va, 8)?,
+                };
+                self.write_reg(rd, value);
+                self.pc = next_pc;
+            }
+            Instr::Store { kind, rs2, rs1, offset } => {
+                let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
+                let value = self.regs[rs2 as usize];
+                match kind {
+                    StoreKind::Sb => self.store(mmu, sys, va, 1, value)?,
+                    StoreKind::Sh => self.store(mmu, sys, va, 2, value)?,
+                    StoreKind::Sw => self.store(mmu, sys, va, 4, value)?,
+                    StoreKind::Sd => self.store(mmu, sys, va, 8, value)?,
+                }
+                self.pc = next_pc;
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                let v = Self::alu(kind, self.regs[rs1 as usize], imm as u64);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::OpImm32 { kind, rd, rs1, imm } => {
+                let v = Self::alu32(kind, self.regs[rs1 as usize], imm as u64);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                let v = Self::alu(kind, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Op32 { kind, rd, rs1, rs2 } => {
+                let v = Self::alu32(kind, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Ecall => {
+                self.pc = next_pc;
+                event = StepEvent::Ecall;
+            }
+            Instr::Ebreak => {
+                self.pc = next_pc;
+                event = StepEvent::Ebreak;
+            }
+            Instr::Fence => {
+                self.pc = next_pc;
+            }
+        }
+        self.stats.retired += 1;
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use hypertee_mem::addr::{KeyId, PhysAddr, Ppn};
+    use hypertee_mem::pagetable::{PageTable, Perms};
+    use hypertee_mem::phys::FrameAllocator;
+
+    const CODE: u64 = 0x1_0000;
+    const DATA: u64 = 0x2_0000;
+
+    fn machine(image: &[u8]) -> (MemorySystem, CoreMmu, Cpu) {
+        let mut sys = MemorySystem::new(32 << 20, PhysAddr(0x4000));
+        let mut frames = FrameAllocator::new(Ppn(16), Ppn(4000));
+        let pt = PageTable::new(&mut frames, &mut sys.phys);
+        let code = frames.alloc().unwrap();
+        sys.phys.write(code.base(), image).unwrap();
+        pt.map(VirtAddr(CODE), code, Perms::RX, KeyId::HOST, &mut frames, &mut sys.phys)
+            .unwrap();
+        let data = frames.alloc().unwrap();
+        pt.map(VirtAddr(DATA), data, Perms::RW, KeyId::HOST, &mut frames, &mut sys.phys)
+            .unwrap();
+        let mut mmu = CoreMmu::new(16);
+        mmu.switch_table(Some(pt), false);
+        (sys, mmu, Cpu::new(VirtAddr(CODE)))
+    }
+
+    fn run(image: &[u8], max_steps: usize) -> Cpu {
+        let (mut sys, mut mmu, mut cpu) = machine(image);
+        for _ in 0..max_steps {
+            match cpu.step(&mut mmu, &mut sys).expect("no trap") {
+                StepEvent::Continue => {}
+                StepEvent::Ecall | StepEvent::Ebreak => return cpu,
+            }
+        }
+        panic!("program did not finish in {max_steps} steps");
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        let mut a = Asm::new();
+        a.addi(10, 0, 21);
+        a.slli(10, 10, 1); // 42
+        a.ecall();
+        let cpu = run(&a.assemble(), 10);
+        assert_eq!(cpu.regs[10], 42);
+        assert_eq!(cpu.stats.retired, 3);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // a0 = sum(1..=10) = 55.
+        let mut a = Asm::new();
+        a.addi(10, 0, 0); // acc
+        a.addi(11, 0, 1); // i
+        a.addi(12, 0, 11); // bound
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.beq(11, 12, done);
+        a.add(10, 10, 11);
+        a.addi(11, 11, 1);
+        a.jal(0, top);
+        a.bind(done);
+        a.ecall();
+        let cpu = run(&a.assemble(), 100);
+        assert_eq!(cpu.regs[10], 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        let mut a = Asm::new();
+        a.li(5, DATA);
+        a.li(6, 0x1122_3344_5566_7788);
+        a.sd(6, 0, 5);
+        a.ld(7, 0, 5);
+        a.lw(8, 0, 5); // sign-extended 0x55667788
+        a.lbu(9, 7, 5); // top byte 0x11
+        a.sb(6, 16, 5);
+        a.lbu(28, 16, 5); // low byte 0x88
+        a.ecall();
+        let cpu = run(&a.assemble(), 100);
+        assert_eq!(cpu.regs[7], 0x1122_3344_5566_7788);
+        assert_eq!(cpu.regs[8], 0x5566_7788);
+        assert_eq!(cpu.regs[9], 0x11);
+        assert_eq!(cpu.regs[28], 0x88);
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        let mut a = Asm::new();
+        a.addi(10, 0, 100);
+        a.addi(11, 0, 7);
+        a.divu(12, 10, 11);
+        a.remu(13, 10, 11);
+        a.divu(14, 10, 0); // div by zero → all ones
+        a.ecall();
+        let cpu = run(&a.assemble(), 10);
+        assert_eq!(cpu.regs[12], 14);
+        assert_eq!(cpu.regs[13], 2);
+        assert_eq!(cpu.regs[14], u64::MAX);
+    }
+
+    #[test]
+    fn half_and_word_widths_sign_extend_correctly() {
+        let mut a = Asm::new();
+        a.li(5, DATA);
+        a.li(6, 0xffff_8001);
+        a.sw(6, 0, 5); // store word 0xffff8001
+        a.lw(7, 0, 5); // sign-extended: 0xffffffffffff8001
+        // lhu of the low half: 0x8001; lh would sign-extend.
+        let lhu = (5u32 << 15) | (0b101 << 12) | (8 << 7) | 0x03;
+        let lh = (5u32 << 15) | (0b001 << 12) | (9 << 7) | 0x03;
+        let sh = (6u32 << 20) | (5 << 15) | (0b001 << 12) | (8 << 7) | 0x23; // sh x6, 8(x5)
+        let lwu = (5u32 << 15) | (0b110 << 12) | (28 << 7) | 0x03;
+        let mut image = a.assemble();
+        for w in [lhu, lh, sh, lwu, 0x0000_0073] {
+            image.extend_from_slice(&w.to_le_bytes());
+        }
+        let cpu = run(&image, 100);
+        assert_eq!(cpu.regs[7], 0xffff_ffff_ffff_8001);
+        assert_eq!(cpu.regs[8], 0x8001, "lhu zero-extends");
+        assert_eq!(cpu.regs[9], 0xffff_ffff_ffff_8001, "lh sign-extends");
+        assert_eq!(cpu.regs[28], 0xffff_8001, "lwu zero-extends");
+    }
+
+    #[test]
+    fn shift_and_compare_semantics() {
+        let mut a = Asm::new();
+        a.li(5, 0x8000_0000_0000_0000);
+        a.srli(6, 5, 1); // logical: 0x4000...
+        a.srai(7, 5, 1); // arithmetic: 0xC000...
+        a.addi(28, 0, -1);
+        a.sltu(29, 0, 28); // 0 < u64::MAX unsigned → 1
+        a.addi(17, 0, 93);
+        a.ecall();
+        let cpu = run(&a.assemble(), 100);
+        assert_eq!(cpu.regs[6], 0x4000_0000_0000_0000);
+        assert_eq!(cpu.regs[7], 0xc000_0000_0000_0000);
+        assert_eq!(cpu.regs[29], 1);
+    }
+
+    #[test]
+    fn auipc_is_pc_relative() {
+        let mut a = Asm::new();
+        a.auipc(5, 0x1000);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let cpu = run(&a.assemble(), 10);
+        assert_eq!(cpu.regs[5], CODE + 0x1000);
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut a = Asm::new();
+        a.addi(0, 0, 123);
+        a.add(10, 0, 0);
+        a.ecall();
+        let cpu = run(&a.assemble(), 10);
+        assert_eq!(cpu.regs[0], 0);
+        assert_eq!(cpu.regs[10], 0);
+    }
+
+    #[test]
+    fn function_call_via_jalr() {
+        // call double(a0); a0 = 8.
+        let mut a = Asm::new();
+        let func = a.label();
+        a.addi(10, 0, 4);
+        a.jal(1, func); // ra = return addr
+        a.ecall();
+        a.bind(func);
+        a.add(10, 10, 10);
+        a.jalr(0, 1, 0);
+        let cpu = run(&a.assemble(), 20);
+        assert_eq!(cpu.regs[10], 8);
+    }
+
+    #[test]
+    fn page_fault_leaves_pc_for_retry() {
+        let mut a = Asm::new();
+        a.li(5, 0x9999_0000); // unmapped
+        a.ld(6, 0, 5);
+        a.ecall();
+        let (mut sys, mut mmu, mut cpu) = machine(&a.assemble());
+        // Run until the trap.
+        let trap = loop {
+            match cpu.step(&mut mmu, &mut sys) {
+                Ok(_) => {}
+                Err(t) => break t,
+            }
+        };
+        assert!(matches!(trap, Trap::Mem(MemFault::PageFault { va: 0x9999_0000 })));
+        let faulting_pc = cpu.pc;
+        // Service the fault (map the page) and retry the same instruction.
+        let mut frames = FrameAllocator::new(Ppn(3000), Ppn(3100));
+        let frame = frames.alloc().unwrap();
+        sys.phys.write_u64(frame.base(), 0xfeed).unwrap();
+        mmu.table
+            .unwrap()
+            .map(
+                VirtAddr(0x9999_0000),
+                frame,
+                Perms::RW,
+                KeyId::HOST,
+                &mut frames,
+                &mut sys.phys,
+            )
+            .unwrap();
+        assert_eq!(cpu.pc, faulting_pc, "PC must stay at the faulting instruction");
+        loop {
+            match cpu.step(&mut mmu, &mut sys).unwrap() {
+                StepEvent::Continue => {}
+                StepEvent::Ecall => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(cpu.regs[6], 0xfeed);
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut a = Asm::new();
+        a.li(5, DATA + 1);
+        a.ld(6, 0, 5);
+        let (mut sys, mut mmu, mut cpu) = machine(&a.assemble());
+        let trap = loop {
+            match cpu.step(&mut mmu, &mut sys) {
+                Ok(_) => {}
+                Err(t) => break t,
+            }
+        };
+        assert!(matches!(trap, Trap::Mem(MemFault::BusError { .. })));
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let image = 0u32.to_le_bytes();
+        let (mut sys, mut mmu, mut cpu) = machine(&image);
+        assert!(matches!(cpu.step(&mut mmu, &mut sys), Err(Trap::Illegal(0))));
+    }
+
+    #[test]
+    fn op32_sign_extends() {
+        let mut a = Asm::new();
+        a.li(5, 0x7fff_ffff);
+        a.addi(6, 0, 1);
+        // addw → 0x80000000 sign-extended to 0xffffffff80000000.
+        let word = {
+            // addw rd=7 rs1=5 rs2=6: opcode 0x3b funct3 0.
+            (6u32 << 20) | (5 << 15) | (7 << 7) | 0x3b
+        };
+        let mut image = a.assemble();
+        image.extend_from_slice(&word.to_le_bytes());
+        image.extend_from_slice(&0x0000_0073u32.to_le_bytes()); // ecall
+        let cpu = run(&image, 50);
+        assert_eq!(cpu.regs[7], 0xffff_ffff_8000_0000);
+    }
+}

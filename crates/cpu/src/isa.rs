@@ -1,0 +1,371 @@
+//! RV64IM instruction decoding.
+
+/// A decoded instruction. Register fields are architectural indices (0–31).
+// Field names follow the RISC-V specification (`rd`, `rs1`, `rs2`, `imm`,
+// `offset`); per-field rustdoc would only restate them.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load upper immediate.
+    Lui { rd: u8, imm: i64 },
+    /// Add upper immediate to PC.
+    Auipc { rd: u8, imm: i64 },
+    /// Jump and link.
+    Jal { rd: u8, offset: i64 },
+    /// Jump and link register.
+    Jalr { rd: u8, rs1: u8, offset: i64 },
+    /// Conditional branch.
+    Branch { kind: BranchKind, rs1: u8, rs2: u8, offset: i64 },
+    /// Memory load.
+    Load { kind: LoadKind, rd: u8, rs1: u8, offset: i64 },
+    /// Memory store.
+    Store { kind: StoreKind, rs2: u8, rs1: u8, offset: i64 },
+    /// Register–immediate ALU operation.
+    OpImm { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    /// Register–immediate ALU operation on the low 32 bits.
+    OpImm32 { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    /// Register–register ALU operation.
+    Op { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    /// Register–register ALU operation on the low 32 bits.
+    Op32 { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    /// Environment call.
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// FENCE (a no-op in this single-hart interpreter).
+    Fence,
+}
+
+/// Branch comparison kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Load widths and extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Sign-extended byte.
+    Lb,
+    /// Sign-extended half.
+    Lh,
+    /// Sign-extended word.
+    Lw,
+    /// Doubleword.
+    Ld,
+    /// Zero-extended byte.
+    Lbu,
+    /// Zero-extended half.
+    Lhu,
+    /// Zero-extended word.
+    Lwu,
+}
+
+/// Store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Byte.
+    Sb,
+    /// Half.
+    Sh,
+    /// Word.
+    Sw,
+    /// Doubleword.
+    Sd,
+}
+
+/// ALU operation kinds (shared between OP, OP-IMM, and the 32-bit forms;
+/// the M-extension kinds only appear in register–register forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// And.
+    And,
+    /// Multiply (M).
+    Mul,
+    /// Divide, signed (M).
+    Div,
+    /// Divide, unsigned (M).
+    Divu,
+    /// Remainder, signed (M).
+    Rem,
+    /// Remainder, unsigned (M).
+    Remu,
+}
+
+/// Decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalInstruction(pub u32);
+
+fn sext(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value as i64) << shift) >> shift
+}
+
+fn rd(word: u32) -> u8 {
+    ((word >> 7) & 0x1f) as u8
+}
+
+fn rs1(word: u32) -> u8 {
+    ((word >> 15) & 0x1f) as u8
+}
+
+fn rs2(word: u32) -> u8 {
+    ((word >> 20) & 0x1f) as u8
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// [`IllegalInstruction`] for encodings outside the supported RV64IM subset.
+pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
+    let opcode = word & 0x7f;
+    match opcode {
+        0x37 => Ok(Instr::Lui { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
+        0x17 => Ok(Instr::Auipc { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
+        0x6f => {
+            let imm = ((word >> 31) & 1) << 20
+                | ((word >> 12) & 0xff) << 12
+                | ((word >> 20) & 1) << 11
+                | ((word >> 21) & 0x3ff) << 1;
+            Ok(Instr::Jal { rd: rd(word), offset: sext(imm, 21) })
+        }
+        0x67 if funct3(word) == 0 => Ok(Instr::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: sext(word >> 20, 12),
+        }),
+        0x63 => {
+            let kind = match funct3(word) {
+                0b000 => BranchKind::Eq,
+                0b001 => BranchKind::Ne,
+                0b100 => BranchKind::Lt,
+                0b101 => BranchKind::Ge,
+                0b110 => BranchKind::Ltu,
+                0b111 => BranchKind::Geu,
+                _ => return Err(IllegalInstruction(word)),
+            };
+            let imm = ((word >> 31) & 1) << 12
+                | ((word >> 7) & 1) << 11
+                | ((word >> 25) & 0x3f) << 5
+                | ((word >> 8) & 0xf) << 1;
+            Ok(Instr::Branch { kind, rs1: rs1(word), rs2: rs2(word), offset: sext(imm, 13) })
+        }
+        0x03 => {
+            let kind = match funct3(word) {
+                0b000 => LoadKind::Lb,
+                0b001 => LoadKind::Lh,
+                0b010 => LoadKind::Lw,
+                0b011 => LoadKind::Ld,
+                0b100 => LoadKind::Lbu,
+                0b101 => LoadKind::Lhu,
+                0b110 => LoadKind::Lwu,
+                _ => return Err(IllegalInstruction(word)),
+            };
+            Ok(Instr::Load { kind, rd: rd(word), rs1: rs1(word), offset: sext(word >> 20, 12) })
+        }
+        0x23 => {
+            let kind = match funct3(word) {
+                0b000 => StoreKind::Sb,
+                0b001 => StoreKind::Sh,
+                0b010 => StoreKind::Sw,
+                0b011 => StoreKind::Sd,
+                _ => return Err(IllegalInstruction(word)),
+            };
+            let imm = ((word >> 25) & 0x7f) << 5 | ((word >> 7) & 0x1f);
+            Ok(Instr::Store { kind, rs2: rs2(word), rs1: rs1(word), offset: sext(imm, 12) })
+        }
+        0x13 => {
+            let imm = sext(word >> 20, 12);
+            let kind = match funct3(word) {
+                0b000 => AluKind::Add,
+                0b010 => AluKind::Slt,
+                0b011 => AluKind::Sltu,
+                0b100 => AluKind::Xor,
+                0b110 => AluKind::Or,
+                0b111 => AluKind::And,
+                0b001 if (word >> 26) == 0 => {
+                    return Ok(Instr::OpImm {
+                        kind: AluKind::Sll,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: ((word >> 20) & 0x3f) as i64,
+                    })
+                }
+                0b101 => {
+                    let shamt = ((word >> 20) & 0x3f) as i64;
+                    let kind = if (word >> 26) == 0b010000 { AluKind::Sra } else { AluKind::Srl };
+                    return Ok(Instr::OpImm { kind, rd: rd(word), rs1: rs1(word), imm: shamt });
+                }
+                _ => return Err(IllegalInstruction(word)),
+            };
+            Ok(Instr::OpImm { kind, rd: rd(word), rs1: rs1(word), imm })
+        }
+        0x1b => {
+            let kind = match funct3(word) {
+                0b000 => {
+                    return Ok(Instr::OpImm32 {
+                        kind: AluKind::Add,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: sext(word >> 20, 12),
+                    })
+                }
+                0b001 => AluKind::Sll,
+                0b101 => {
+                    if funct7(word) == 0b0100000 {
+                        AluKind::Sra
+                    } else {
+                        AluKind::Srl
+                    }
+                }
+                _ => return Err(IllegalInstruction(word)),
+            };
+            Ok(Instr::OpImm32 {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: ((word >> 20) & 0x1f) as i64,
+            })
+        }
+        0x33 => {
+            let kind = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluKind::Add,
+                (0b0100000, 0b000) => AluKind::Sub,
+                (0b0000000, 0b001) => AluKind::Sll,
+                (0b0000000, 0b010) => AluKind::Slt,
+                (0b0000000, 0b011) => AluKind::Sltu,
+                (0b0000000, 0b100) => AluKind::Xor,
+                (0b0000000, 0b101) => AluKind::Srl,
+                (0b0100000, 0b101) => AluKind::Sra,
+                (0b0000000, 0b110) => AluKind::Or,
+                (0b0000000, 0b111) => AluKind::And,
+                (0b0000001, 0b000) => AluKind::Mul,
+                (0b0000001, 0b100) => AluKind::Div,
+                (0b0000001, 0b101) => AluKind::Divu,
+                (0b0000001, 0b110) => AluKind::Rem,
+                (0b0000001, 0b111) => AluKind::Remu,
+                _ => return Err(IllegalInstruction(word)),
+            };
+            Ok(Instr::Op { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+        }
+        0x3b => {
+            let kind = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluKind::Add,
+                (0b0100000, 0b000) => AluKind::Sub,
+                (0b0000000, 0b001) => AluKind::Sll,
+                (0b0000000, 0b101) => AluKind::Srl,
+                (0b0100000, 0b101) => AluKind::Sra,
+                (0b0000001, 0b000) => AluKind::Mul,
+                _ => return Err(IllegalInstruction(word)),
+            };
+            Ok(Instr::Op32 { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+        }
+        0x73 => match word >> 20 {
+            0 if funct3(word) == 0 && rd(word) == 0 && rs1(word) == 0 => Ok(Instr::Ecall),
+            1 if funct3(word) == 0 && rd(word) == 0 && rs1(word) == 0 => Ok(Instr::Ebreak),
+            _ => Err(IllegalInstruction(word)),
+        },
+        0x0f => Ok(Instr::Fence),
+        _ => Err(IllegalInstruction(word)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_canonical_encodings() {
+        // addi x1, x0, 5  => 0x00500093
+        assert_eq!(
+            decode(0x0050_0093).unwrap(),
+            Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 0, imm: 5 }
+        );
+        // add x3, x1, x2 => 0x002081b3
+        assert_eq!(
+            decode(0x0020_81b3).unwrap(),
+            Instr::Op { kind: AluKind::Add, rd: 3, rs1: 1, rs2: 2 }
+        );
+        // lui x5, 0x12345 => 0x123452b7
+        assert_eq!(decode(0x1234_52b7).unwrap(), Instr::Lui { rd: 5, imm: 0x1234_5000 });
+        // ecall / ebreak
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
+        // ld x6, 8(x2) => 0x00813303
+        assert_eq!(
+            decode(0x0081_3303).unwrap(),
+            Instr::Load { kind: LoadKind::Ld, rd: 6, rs1: 2, offset: 8 }
+        );
+        // sd x6, 16(x2) => 0x00613823
+        assert_eq!(
+            decode(0x0061_3823).unwrap(),
+            Instr::Store { kind: StoreKind::Sd, rs2: 6, rs1: 2, offset: 16 }
+        );
+        // mul x10, x10, x11 => 0x02b50533
+        assert_eq!(
+            decode(0x02b5_0533).unwrap(),
+            Instr::Op { kind: AluKind::Mul, rd: 10, rs1: 10, rs2: 11 }
+        );
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi x1, x0, -1 => 0xfff00093
+        assert_eq!(
+            decode(0xfff0_0093).unwrap(),
+            Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 0, imm: -1 }
+        );
+        // beq x0, x0, -4 => imm[12|10:5]=0xfe.., offset -4.
+        // jal x0, -8:
+        let Instr::Jal { offset, .. } = decode(0xff9f_f06f).unwrap() else {
+            panic!("not a jal")
+        };
+        assert_eq!(offset, -8);
+    }
+
+    #[test]
+    fn illegal_encodings_rejected() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        // Unsupported opcode (floating point LOAD-FP 0x07).
+        assert!(decode(0x0000_0007).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! A small RV64IM interpreter for the computing subsystem.
+//!
+//! The paper's CS cores are BOOM-class RISC-V processors. This crate gives
+//! the reproduction a *functional* CS core: an RV64IM interpreter whose
+//! instruction fetches and data accesses all go through
+//! [`hypertee_mem::system::CoreMmu`] — i.e. through the enclave page table,
+//! the TLB, the bitmap check, and the MKTME engine. That makes the paper's
+//! demand-paging flow real: a program touching unmapped enclave heap takes a
+//! genuine page fault, which EMCall routes to EMS for EALLOC (§IV-A), and
+//! the instruction retries.
+//!
+//! * [`isa`] — instruction decoding (RV64I + M-extension multiply/divide).
+//! * [`asm`] — a tiny two-pass assembler with labels, for writing test and
+//!   example programs in Rust.
+//! * [`hart`] — the interpreter: architectural registers + `step`.
+//!
+//! # Example
+//!
+//! ```
+//! use hypertee_cpu::asm::Asm;
+//! use hypertee_cpu::hart::{Cpu, StepEvent};
+//! use hypertee_mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr};
+//! use hypertee_mem::pagetable::{PageTable, Perms};
+//! use hypertee_mem::phys::FrameAllocator;
+//! use hypertee_mem::system::{CoreMmu, MemorySystem};
+//!
+//! // a0 = 6 * 7; exit(a0).
+//! let mut a = Asm::new();
+//! a.addi(10, 0, 6);
+//! a.addi(11, 0, 7);
+//! a.mul(10, 10, 11);
+//! a.addi(17, 0, 93); // exit syscall number
+//! a.ecall();
+//! let image = a.assemble();
+//!
+//! // Minimal address space: one code page at 0x1000.
+//! let mut sys = MemorySystem::new(16 << 20, PhysAddr(0x4000));
+//! let mut frames = FrameAllocator::new(Ppn(16), Ppn(2000));
+//! let pt = PageTable::new(&mut frames, &mut sys.phys);
+//! let code = frames.alloc().unwrap();
+//! sys.phys.write(code.base(), &image).unwrap();
+//! pt.map(VirtAddr(0x1000), code, Perms::RX, KeyId::HOST, &mut frames, &mut sys.phys)
+//!     .unwrap();
+//! let mut mmu = CoreMmu::new(16);
+//! mmu.switch_table(Some(pt), false);
+//!
+//! let mut cpu = Cpu::new(VirtAddr(0x1000));
+//! loop {
+//!     match cpu.step(&mut mmu, &mut sys).unwrap() {
+//!         StepEvent::Continue => {}
+//!         StepEvent::Ecall => break,
+//!         other => panic!("unexpected {other:?}"),
+//!     }
+//! }
+//! assert_eq!(cpu.regs[10], 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod hart;
+pub mod isa;

@@ -1,0 +1,307 @@
+//! AES-128 block cipher with ECB-style single-block and CTR-mode helpers.
+//!
+//! This is the functional model of both the EMS crypto engine's AES unit
+//! (Table III: 1.24 Gbps) and of the multi-key memory encryption engine
+//! (§IV-C, MKTME/SME-like). The memory engine in `hypertee-mem` encrypts each
+//! physical line with AES-CTR keyed by the enclave's KeyID and tweaked by the
+//! physical address, so that reads through the wrong KeyID really return
+//! ciphertext — the property the paper's PTW attack-surface analysis relies
+//! on (§VIII-C).
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// AES inverse S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// Round constants for AES-128 key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// Multiplies two elements of GF(2^8) with the AES polynomial.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl core::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never leak key material through Debug.
+        write!(f, "Aes128 {{ round_keys: <redacted> }}")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key into the full round-key schedule.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let cipher = hypertee_crypto::aes::Aes128::new(&[0u8; 16]);
+    /// let ct = cipher.encrypt_block(&[0u8; 16]);
+    /// assert_eq!(cipher.decrypt_block(&ct), [0u8; 16]);
+    /// ```
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / 4 - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: state[4*c + r].
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            // Inverse shift rows.
+            let s = state;
+            for r in 1..4 {
+                for c in 0..4 {
+                    state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+                }
+            }
+            // Inverse sub bytes.
+            for b in state.iter_mut() {
+                *b = inv[*b as usize];
+            }
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            // Inverse mix columns.
+            for c in 0..4 {
+                let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+                state[4 * c] =
+                    gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+                state[4 * c + 1] =
+                    gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+                state[4 * c + 2] =
+                    gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+                state[4 * c + 3] =
+                    gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+            }
+        }
+        // Final (first) round.
+        let s = state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+
+    /// Applies CTR-mode keystream to `data` in place, starting from the
+    /// 16-byte `iv` interpreted as a big-endian counter block.
+    ///
+    /// CTR is an involution: applying it twice with the same parameters
+    /// restores the plaintext.
+    pub fn ctr_apply(&self, iv: &[u8; 16], data: &mut [u8]) {
+        let mut counter = *iv;
+        for chunk in data.chunks_mut(16) {
+            let ks = self.encrypt_block(&counter);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            // Increment the big-endian counter.
+            for i in (0..16).rev() {
+                counter[i] = counter[i].wrapping_add(1);
+                if counter[i] != 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Builds a CTR IV from a 64-bit tweak (e.g. a physical address) and a
+/// 64-bit stream nonce, as used by the memory encryption engine.
+pub fn ctr_iv(tweak: u64, nonce: u64) -> [u8; 16] {
+    let mut iv = [0u8; 16];
+    iv[..8].copy_from_slice(&tweak.to_be_bytes());
+    iv[8..].copy_from_slice(&nonce.to_be_bytes());
+    iv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    #[test]
+    fn fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1 known-answer test.
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let cipher = Aes128::new(&key);
+        let ct = cipher.encrypt_block(&pt);
+        assert_eq!(to_hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(cipher.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn ctr_is_involution() {
+        let cipher = Aes128::new(&[0x42; 16]);
+        let iv = ctr_iv(0xdead_beef, 7);
+        let mut data: Vec<u8> = (0..100u8).collect();
+        let orig = data.clone();
+        cipher.ctr_apply(&iv, &mut data);
+        assert_ne!(data, orig, "ciphertext must differ from plaintext");
+        cipher.ctr_apply(&iv, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_differs_per_tweak() {
+        let cipher = Aes128::new(&[0x42; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        cipher.ctr_apply(&ctr_iv(1, 0), &mut a);
+        cipher.ctr_apply(&ctr_iv(2, 0), &mut b);
+        assert_ne!(a, b, "different address tweaks must yield different keystreams");
+    }
+
+    #[test]
+    fn counter_increment_carries() {
+        let cipher = Aes128::new(&[0x01; 16]);
+        // IV ending in 0xff...ff forces a carry across bytes.
+        let iv = [0xffu8; 16];
+        let mut data = vec![0u8; 48];
+        cipher.ctr_apply(&iv, &mut data);
+        let mut again = data.clone();
+        cipher.ctr_apply(&iv, &mut again);
+        assert!(again.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn gmul_matches_xtime() {
+        for b in 0..=255u8 {
+            assert_eq!(gmul(b, 2), xtime(b));
+            assert_eq!(gmul(b, 1), b);
+            assert_eq!(gmul(b, 3), xtime(b) ^ b);
+        }
+    }
+}

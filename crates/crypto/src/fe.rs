@@ -1,0 +1,226 @@
+//! Arithmetic in the field GF(2^255 − 19) underlying Curve25519.
+
+use crate::u256::{U256, U512};
+
+/// The field prime p = 2^255 − 19, little-endian limbs.
+pub const P: U256 = U256([
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+]);
+
+/// An element of GF(2^255 − 19), kept in canonical form (`< p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fe(pub(crate) U256);
+
+/// Multiplies a 512-bit value by a small constant, asserting no overflow out
+/// of 512 bits (true for the reduction path where the top limbs are sparse).
+fn mul_small(x: &U512, k: u64) -> U512 {
+    let mut out = [0u64; 8];
+    let mut carry = 0u128;
+    for i in 0..8 {
+        let acc = (x.0[i] as u128) * (k as u128) + carry;
+        out[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    debug_assert_eq!(carry, 0, "mul_small overflow");
+    U512(out)
+}
+
+fn add512(a: &U512, b: &U512) -> U512 {
+    let mut out = [0u64; 8];
+    let mut carry = 0u64;
+    for i in 0..8 {
+        let (s1, c1) = a.0[i].overflowing_add(b.0[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    debug_assert_eq!(carry, 0, "add512 overflow");
+    U512(out)
+}
+
+/// `x >> 255`.
+fn shr255(x: &U512) -> U512 {
+    // Shift right by 255 = shift right 192 bits (3 limbs) then 63 bits.
+    let mut limbs = [0u64; 8];
+    for i in 0..5 {
+        let lo = x.0[i + 3] >> 63;
+        let hi = if i + 4 < 8 { x.0[i + 4] << 1 } else { 0 };
+        limbs[i] = lo | hi;
+    }
+    U512(limbs)
+}
+
+/// Low 255 bits of `x` as a 512-bit value.
+fn mask255(x: &U512) -> U512 {
+    let mut limbs = [0u64; 8];
+    limbs[..4].copy_from_slice(&x.0[..4]);
+    limbs[3] &= 0x7fff_ffff_ffff_ffff;
+    U512(limbs)
+}
+
+/// Reduces a 512-bit product modulo p using 2^255 ≡ 19 (mod p).
+fn reduce_p(mut x: U512) -> U256 {
+    loop {
+        let hi = shr255(&x);
+        if hi.is_zero() {
+            break;
+        }
+        x = add512(&mask255(&x), &mul_small(&hi, 19));
+    }
+    let mut r = U256([x.0[0], x.0[1], x.0[2], x.0[3]]);
+    // r < 2^255 < 2p, so at most one subtraction normalises it.
+    if r.cmp_u256(&P) != core::cmp::Ordering::Less {
+        let (sub, _) = r.sbb(&P);
+        r = sub;
+    }
+    r
+}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe(U256([0, 0, 0, 0]));
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe(U256([1, 0, 0, 0]));
+
+    /// Builds a field element from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Parses 32 little-endian bytes, reducing modulo p.
+    pub fn from_le_bytes(bytes: &[u8; 32]) -> Fe {
+        let raw = U256::from_le_bytes(bytes);
+        Fe(U512::from_u256(&raw).reduce_mod(&P))
+    }
+
+    /// Serializes to 32 little-endian bytes (canonical form).
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        self.0.to_le_bytes()
+    }
+
+    /// Returns `true` when this element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        Fe(crate::u256::add_mod(&self.0, &other.0, &P))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        Fe(crate::u256::sub_mod(&self.0, &other.0, &P))
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication with the fast 2^255 ≡ 19 reduction.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        Fe(reduce_p(self.0.widening_mul(&other.0)))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Raises to the power `exp` (square-and-multiply).
+    pub fn pow(&self, exp: &U256) -> Fe {
+        let mut acc = Fe::ONE;
+        let mut base = *self;
+        let top = exp.highest_bit().unwrap_or(0);
+        for i in 0..=top {
+            if exp.bit(i) {
+                acc = acc.mul(&base);
+            }
+            base = base.square();
+        }
+        if exp.is_zero() {
+            Fe::ONE
+        } else {
+            acc
+        }
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p−2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on zero.
+    pub fn invert(&self) -> Fe {
+        assert!(!self.is_zero(), "zero has no inverse");
+        let (p_minus_2, _) = P.sbb(&U256::from_u64(2));
+        self.pow(&p_minus_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_identity() {
+        let x = Fe::from_u64(123456789);
+        assert_eq!(x.mul(&Fe::ONE), x);
+        assert_eq!(x.add(&Fe::ZERO), x);
+    }
+
+    #[test]
+    fn sub_neg_consistency() {
+        let a = Fe::from_u64(5);
+        let b = Fe::from_u64(9);
+        assert_eq!(a.sub(&b), a.add(&b.neg()));
+    }
+
+    #[test]
+    fn two_to_255_is_19_plus_zero() {
+        // 2^255 mod p = 19.
+        let two = Fe::from_u64(2);
+        let v = two.pow(&U256::from_u64(255));
+        assert_eq!(v, Fe::from_u64(19));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        for v in [1u64, 2, 19, 123456789, u64::MAX] {
+            let x = Fe::from_u64(v);
+            assert_eq!(x.mul(&x.invert()), Fe::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        let bytes = P.to_le_bytes();
+        assert!(Fe::from_le_bytes(&bytes).is_zero());
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        let a = Fe::from_le_bytes(&[0xaa; 32]);
+        let b = Fe::from_le_bytes(&[0x37; 32]);
+        let c = Fe::from_le_bytes(&[0x91; 32]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn distributive_law() {
+        let a = Fe::from_u64(7777);
+        let b = Fe::from_le_bytes(&[0x55; 32]);
+        let c = Fe::from_le_bytes(&[0x13; 32]);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn invert_zero_panics() {
+        Fe::ZERO.invert();
+    }
+}

@@ -1,0 +1,139 @@
+//! Arithmetic modulo the Curve25519 group order
+//! L = 2^252 + 27742317777372353535851937790883648493.
+
+use crate::chacha::ChaChaRng;
+use crate::u256::{U256, U512};
+
+/// The group order L, little-endian limbs.
+pub const L: U256 = U256([
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+]);
+
+/// A scalar modulo L, kept in canonical form (`< L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Scalar(pub(crate) U256);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar(U256([0, 0, 0, 0]));
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar(U256([1, 0, 0, 0]));
+
+    /// Builds a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U512::from_u256(&U256::from_u64(v)).reduce_mod(&L))
+    }
+
+    /// Reduces 32 little-endian bytes modulo L.
+    pub fn from_le_bytes(bytes: &[u8; 32]) -> Scalar {
+        let raw = U256::from_le_bytes(bytes);
+        Scalar(U512::from_u256(&raw).reduce_mod(&L))
+    }
+
+    /// Reduces 64 little-endian bytes (e.g. a hash widened to 512 bits)
+    /// modulo L — the standard way to map digests to scalars.
+    pub fn from_le_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        Scalar(U512::from_le_bytes(bytes).reduce_mod(&L))
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        self.0.to_le_bytes()
+    }
+
+    /// Returns `true` when the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Samples a uniformly random nonzero scalar.
+    pub fn random(rng: &mut ChaChaRng) -> Scalar {
+        loop {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            let s = Scalar::from_le_bytes_wide(&wide);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Scalar addition mod L.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        Scalar(crate::u256::add_mod(&self.0, &other.0, &L))
+    }
+
+    /// Scalar subtraction mod L.
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        Scalar(crate::u256::sub_mod(&self.0, &other.0, &L))
+    }
+
+    /// Scalar multiplication mod L.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Scalar(crate::u256::mul_mod(&self.0, &other.0, &L))
+    }
+
+    /// Returns the bit at `index` of the canonical representation.
+    pub fn bit(&self, index: usize) -> bool {
+        self.0.bit(index)
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        self.0.highest_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let bytes = L.to_le_bytes();
+        assert!(Scalar::from_le_bytes(&bytes).is_zero());
+    }
+
+    #[test]
+    fn l_minus_one_plus_one_wraps() {
+        let (lm1, _) = L.sbb(&U256::ONE);
+        let s = Scalar::from_le_bytes(&lm1.to_le_bytes());
+        assert!(s.add(&Scalar::ONE).is_zero());
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let a = Scalar::from_le_bytes(&[0x61; 32]);
+        let b = Scalar::from_le_bytes(&[0x29; 32]);
+        let c = Scalar::from_le_bytes(&[0x77; 32]);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn wide_reduction_is_uniform_on_known_value() {
+        // 2^256 mod L, computed independently: 2^256 = 16·2^252; with
+        // 2^252 ≡ -c (mod L) where c = L - 2^252, 2^256 ≡ -16c ≡ L·16 - 16c… we
+        // simply check consistency: from_le_bytes_wide(2^256) ==
+        // from(2)^256 via repeated doubling.
+        let mut wide = [0u8; 64];
+        wide[32] = 1; // 2^256.
+        let direct = Scalar::from_le_bytes_wide(&wide);
+        let mut doubled = Scalar::ONE;
+        for _ in 0..256 {
+            doubled = doubled.add(&doubled);
+        }
+        assert_eq!(direct, doubled);
+    }
+
+    #[test]
+    fn random_scalars_differ() {
+        let mut rng = ChaChaRng::from_u64(99);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        assert_ne!(a, b);
+        assert!(!a.is_zero());
+    }
+}

@@ -1,0 +1,199 @@
+//! SHA3-256 over the Keccak-f\[1600\] permutation.
+//!
+//! The paper protects enclave memory integrity with a "SHA-3 based MAC
+//! (28-bit)" (§IV-C). This module provides the underlying hash; the truncated
+//! MAC itself lives in [`crate::mac`].
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+/// Applies the Keccak-f\[1600\] permutation to the 25-lane state.
+pub fn keccakf(state: &mut [u64; 25]) {
+    for round in 0..ROUNDS {
+        // Theta.
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // Rho and Pi.
+        let mut last = state[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = state[j];
+            state[j] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // Chi.
+        for y in 0..5 {
+            let row = [
+                state[5 * y],
+                state[5 * y + 1],
+                state[5 * y + 2],
+                state[5 * y + 3],
+                state[5 * y + 4],
+            ];
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ ((!row[(x + 1) % 5]) & row[(x + 2) % 5]);
+            }
+        }
+        // Iota.
+        state[0] ^= RC[round];
+    }
+}
+
+/// Rate in bytes for SHA3-256 (1088 bits).
+const RATE: usize = 136;
+
+/// Incremental SHA3-256 hasher.
+#[derive(Clone, Debug)]
+pub struct Sha3_256 {
+    state: [u64; 25],
+    buffer: [u8; RATE],
+    buffer_len: usize,
+}
+
+impl Default for Sha3_256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha3_256 {
+    /// Creates a fresh hasher.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hypertee_crypto::sha3::Sha3_256;
+    /// let mut h = Sha3_256::new();
+    /// h.update(b"abc");
+    /// let digest = h.finalize();
+    /// assert_eq!(digest[0], 0x3a);
+    /// ```
+    pub fn new() -> Self {
+        Sha3_256 { state: [0; 25], buffer: [0; RATE], buffer_len: 0 }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..RATE / 8 {
+            let lane = u64::from_le_bytes(self.buffer[8 * i..8 * i + 8].try_into().unwrap());
+            self.state[i] ^= lane;
+        }
+        keccakf(&mut self.state);
+        self.buffer_len = 0;
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffer_len] = b;
+            self.buffer_len += 1;
+            if self.buffer_len == RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // SHA-3 domain-separation padding: 0x06 ... 0x80.
+        for b in self.buffer[self.buffer_len..].iter_mut() {
+            *b = 0;
+        }
+        self.buffer[self.buffer_len] ^= 0x06;
+        self.buffer[RATE - 1] ^= 0x80;
+        self.buffer_len = RATE;
+        // absorb_block resets buffer_len, fine.
+        let mut this = self;
+        for i in 0..RATE / 8 {
+            let lane = u64::from_le_bytes(this.buffer[8 * i..8 * i + 8].try_into().unwrap());
+            this.state[i] ^= lane;
+        }
+        keccakf(&mut this.state);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * i + 8].copy_from_slice(&this.state[i].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot SHA3-256.
+pub fn sha3_256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha3_256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_hex;
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            to_hex(&sha3_256(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            to_hex(&sha3_256(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..2000u32).map(|i| (i * 7 % 253) as u8).collect();
+        let oneshot = sha3_256(&data);
+        for split in [0usize, 1, 135, 136, 137, 1000, 2000] {
+            let mut h = Sha3_256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn rate_boundary_message() {
+        // Exactly one rate block of input exercises the padding-only block.
+        let data = vec![0xa3u8; RATE];
+        let d1 = sha3_256(&data);
+        let mut h = Sha3_256::new();
+        for &b in &data {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finalize(), d1);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha3_256(b"enclave-a"), sha3_256(b"enclave-b"));
+    }
+}

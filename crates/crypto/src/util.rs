@@ -1,0 +1,82 @@
+//! Small helpers shared across the crate: hex encoding and constant-time
+//! comparison.
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(hypertee_crypto::util::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hex string into bytes. Returns `None` on odd length or invalid
+/// digits.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(hypertee_crypto::util::from_hex("dead"), Some(vec![0xde, 0xad]));
+/// assert_eq!(hypertee_crypto::util::from_hex("xyz"), None);
+/// ```
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let chars: Vec<char> = s.chars().collect();
+    for pair in chars.chunks(2) {
+        let hi = pair[0].to_digit(16)?;
+        let lo = pair[1].to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Compares two byte slices without early exit, so that comparison time does
+/// not depend on where they first differ. Returns `true` when equal.
+///
+/// Note: in a real firmware this matters against timing attackers; in the
+/// simulator it is kept for fidelity with the EMS runtime it models.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0u8, 1, 2, 0xff, 0x80, 0x7f];
+        assert_eq!(from_hex(&to_hex(&data)), Some(data));
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,344 @@
+//! Enclave life-cycle primitives: ECREATE, EADD, EMEAS, EENTER, ERESUME,
+//! EEXIT, EDESTROY (Table II, §IV-A).
+
+use crate::control::{layout, EnclaveConfig, EnclaveControl, EnclaveState};
+use crate::error::{EmsError, EmsResult};
+use crate::runtime::{Ems, EmsContext, StagedFrames};
+use hypertee_mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_mem::ownership::{EnclaveId, PageOwner};
+use hypertee_mem::pagetable::{PageTable, Perms};
+
+fn perms_from_bits(bits: u8) -> Perms {
+    Perms { r: bits & 1 != 0, w: bits & 2 != 0, x: bits & 4 != 0, u: true }
+}
+
+fn perm_bits(p: Perms) -> u8 {
+    (p.r as u8) | ((p.w as u8) << 1) | ((p.x as u8) << 2)
+}
+
+impl Ems {
+    /// ECREATE: builds a new enclave — dedicated page table in enclave
+    /// memory, fresh KeyID and derived keys, statically allocated stack, and
+    /// the HostApp shared window (§IV-A "Data movement between HostApp and
+    /// Enclave").
+    ///
+    /// `host_shared_pa` is the page-aligned base of the OS-provided frames
+    /// backing the shared window (plaintext, *not* enclave memory).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for unaligned/oversized configs, `Exhausted` when
+    /// frames or KeyIDs run out, `AccessDenied` when the proposed host
+    /// window overlaps enclave memory.
+    pub fn ecreate(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        config: EnclaveConfig,
+        host_shared_pa: u64,
+    ) -> EmsResult<EnclaveId> {
+        // Sanity checks (§III-B ③).
+        if host_shared_pa % PAGE_SIZE != 0
+            || config.heap_max > (layout::HOST_SHARED_BASE.0 - layout::HEAP_BASE.0)
+            || config.stack_bytes > (layout::HEAP_BASE.0 - layout::STACK_BASE.0)
+            || config.host_shared_bytes > (layout::SHM_BASE.0 - layout::HOST_SHARED_BASE.0)
+        {
+            return Err(EmsError::InvalidArgument);
+        }
+        let stack_pages = config.stack_bytes.div_ceil(PAGE_SIZE);
+        let host_pages = config.host_shared_bytes.div_ceil(PAGE_SIZE);
+        // The host window must not point at enclave memory.
+        for i in 0..host_pages {
+            let ppn = Ppn(host_shared_pa / PAGE_SIZE + i);
+            if self.pool_bitmap_is_enclave(ctx, ppn)? {
+                return Err(EmsError::AccessDenied);
+            }
+        }
+
+        let eid = self.fresh_eid();
+        let key = self.alloc_keyid(ctx)?;
+        let nonce = self.rng.gen_bytes32();
+        let (aes, mac) = self.vault.enclave_memory_keys(eid.0, &nonce);
+        ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+
+        // Stage frames for the page-table skeleton plus per-region leaves.
+        let pt_budget = 6 + stack_pages.div_ceil(512) + host_pages.div_ceil(512);
+        let mut staged = StagedFrames::stage(pt_budget, &mut self.pool, ctx)?;
+        let table = PageTable::new(&mut staged, &mut ctx.sys.phys);
+
+        // Statically allocate and map the stack (enclave-encrypted).
+        let mut data_frames = Vec::new();
+        for i in 0..stack_pages {
+            let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
+            self.ownership
+                .claim(frame, PageOwner::Enclave(eid))
+                .map_err(|_| EmsError::AccessDenied)?;
+            // Establish integrity MACs by writing zeros through the key.
+            let sys = &mut *ctx.sys;
+            sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
+            table.map(
+                VirtAddr(layout::STACK_BASE.0 + i * PAGE_SIZE),
+                frame,
+                Perms::RW,
+                key,
+                &mut staged,
+                &mut ctx.sys.phys,
+            )?;
+            data_frames.push(frame);
+        }
+
+        // Map the HostApp shared window (plaintext KeyID 0).
+        for i in 0..host_pages {
+            let ppn = Ppn(host_shared_pa / PAGE_SIZE + i);
+            table.map(
+                VirtAddr(layout::HOST_SHARED_BASE.0 + i * PAGE_SIZE),
+                ppn,
+                Perms::RW,
+                KeyId::HOST,
+                &mut staged,
+                &mut ctx.sys.phys,
+            )?;
+        }
+
+        let pt_frames = staged.unstage(&mut self.pool, ctx);
+        for f in &pt_frames {
+            self.ownership
+                .claim(*f, PageOwner::EmsPrivate)
+                .map_err(|_| EmsError::AccessDenied)?;
+        }
+
+        let mut control = EnclaveControl::new(eid, table, pt_frames, key, nonce, config);
+        control.key_nonce = nonce;
+        control.data_frames = data_frames;
+        self.enclaves.insert(eid.0, control);
+        Ok(eid)
+    }
+
+    fn pool_bitmap_is_enclave(&mut self, ctx: &mut EmsContext<'_>, ppn: Ppn) -> EmsResult<bool> {
+        Ok(ctx.sys.bitmap.is_enclave(ppn, &mut ctx.sys.phys)?)
+    }
+
+    /// EADD: copies `len` bytes from CS memory at `src_pa` into the enclave
+    /// at `dest_va`, mapping fresh enclave pages with `perm_bits`
+    /// (bit 0 = R, 1 = W, 2 = X), and extends the measurement.
+    ///
+    /// # Errors
+    ///
+    /// `BadState` after measurement, `InvalidArgument` for bad ranges.
+    pub fn eadd(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        eid: u64,
+        dest_va: u64,
+        src_pa: u64,
+        len: u64,
+        perm_bits: u8,
+    ) -> EmsResult<()> {
+        let enclave = self.enclave(eid)?;
+        if enclave.state != EnclaveState::Building {
+            return Err(EmsError::BadState);
+        }
+        if dest_va % PAGE_SIZE != 0
+            || len == 0
+            || dest_va < layout::CODE_BASE.0
+            || dest_va + len > layout::STACK_BASE.0
+        {
+            return Err(EmsError::InvalidArgument);
+        }
+        let key = enclave.key.ok_or(EmsError::BadState)?;
+        let table = enclave.page_table;
+        let pages = len.div_ceil(PAGE_SIZE);
+        let perms = perms_from_bits(perm_bits);
+        let mut staged =
+            StagedFrames::stage(2 + pages.div_ceil(512), &mut self.pool, ctx)?;
+        let mut added = Vec::new();
+        for i in 0..pages {
+            let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
+            self.ownership
+                .claim(frame, PageOwner::Enclave(EnclaveId(eid)))
+                .map_err(|_| EmsError::AccessDenied)?;
+            // EMS reads the image chunk from CS memory (unidirectional
+            // access) and writes it through the enclave's key.
+            let chunk_len = (len - i * PAGE_SIZE).min(PAGE_SIZE) as usize;
+            let mut page_buf = vec![0u8; PAGE_SIZE as usize];
+            ctx.sys.phys.read(PhysAddr(src_pa + i * PAGE_SIZE), &mut page_buf[..chunk_len])?;
+            let sys = &mut *ctx.sys;
+            sys.engine.write(&mut sys.phys, frame.base(), key, &page_buf)?;
+            table.map(
+                VirtAddr(dest_va + i * PAGE_SIZE),
+                frame,
+                perms,
+                key,
+                &mut staged,
+                &mut ctx.sys.phys,
+            )?;
+            added.push((VirtAddr(dest_va + i * PAGE_SIZE), frame, page_buf));
+        }
+        let pt_frames = staged.unstage(&mut self.pool, ctx);
+        for f in &pt_frames {
+            self.ownership
+                .claim(*f, PageOwner::EmsPrivate)
+                .map_err(|_| EmsError::AccessDenied)?;
+        }
+        let enclave = self.enclave_mut(eid)?;
+        enclave.pt_frames.extend(pt_frames);
+        for (va, frame, data) in added {
+            enclave.extend_measurement(va, perm_bits, &data);
+            enclave.data_frames.push(frame);
+        }
+        let _ = perm_bits;
+        Ok(())
+    }
+
+    /// EMEAS: finalises the measurement and moves the enclave to `Measured`.
+    ///
+    /// # Errors
+    ///
+    /// `BadState` unless the enclave is still building.
+    pub fn emeas(&mut self, eid: u64) -> EmsResult<[u8; 32]> {
+        let enclave = self.enclave_mut(eid)?;
+        if enclave.state != EnclaveState::Building {
+            return Err(EmsError::BadState);
+        }
+        let digest = enclave.finalize_measurement();
+        enclave.state = EnclaveState::Measured;
+        Ok(digest)
+    }
+
+    /// EENTER: transitions to `Running` and returns what EMCall needs for
+    /// the atomic context switch: page-table root, entry PC, KeyID.
+    ///
+    /// # Errors
+    ///
+    /// `BadState` unless the enclave is `Measured` or `Stopped`.
+    pub fn eenter(
+        &mut self,
+        _ctx: &mut EmsContext<'_>,
+        eid: u64,
+    ) -> EmsResult<(Ppn, VirtAddr, KeyId)> {
+        let enclave = self.enclave_mut(eid)?;
+        match enclave.state {
+            EnclaveState::Measured | EnclaveState::Stopped => {}
+            _ => return Err(EmsError::BadState),
+        }
+        let key = enclave.key.ok_or(EmsError::BadState)?;
+        enclave.state = EnclaveState::Running;
+        enclave.switches += 1;
+        Ok((enclave.page_table.root, enclave.entry, key))
+    }
+
+    /// ERESUME: like EENTER but also revives `Suspended` enclaves by
+    /// re-deriving and re-programming their memory key under a fresh KeyID
+    /// (§IV-C KeyID exhaustion recovery).
+    ///
+    /// # Errors
+    ///
+    /// `BadState` unless `Stopped` or `Suspended`.
+    pub fn eresume(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        eid: u64,
+    ) -> EmsResult<(Ppn, VirtAddr, KeyId)> {
+        let state = self.enclave(eid)?.state;
+        match state {
+            EnclaveState::Stopped => self.eenter(ctx, eid),
+            EnclaveState::Suspended => {
+                let key = self.alloc_keyid(ctx)?;
+                let (nonce, table_root, prev_key) = {
+                    let e = self.enclave(eid)?;
+                    (e.key_nonce, e.page_table, e.prev_key.ok_or(EmsError::BadState)?)
+                };
+                let (aes, mac) = self.vault.enclave_memory_keys(eid, &nonce);
+                ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+                // Rewrite the fresh KeyID into the enclave's own leaf PTEs.
+                // Host-window (KeyID 0) and shared-memory PTEs keep theirs.
+                let mappings = table_root.mappings(&mut ctx.sys.phys)?;
+                for (va, pte) in mappings {
+                    if pte.key() == prev_key {
+                        table_root.unmap(va, &mut ctx.sys.phys)?;
+                        table_root
+                            .map_raw(va, pte.ppn(), pte.perms(), key, &mut ctx.sys.phys)?;
+                    }
+                }
+                let enclave = self.enclave_mut(eid)?;
+                enclave.key = Some(key);
+                enclave.prev_key = None;
+                enclave.state = EnclaveState::Running;
+                enclave.switches += 1;
+                Ok((enclave.page_table.root, enclave.entry, key))
+            }
+            _ => Err(EmsError::BadState),
+        }
+    }
+
+    /// EEXIT: transitions `Running` → `Stopped`.
+    ///
+    /// # Errors
+    ///
+    /// `BadState` unless running.
+    pub fn eexit(&mut self, eid: u64) -> EmsResult<()> {
+        let enclave = self.enclave_mut(eid)?;
+        if enclave.state != EnclaveState::Running {
+            return Err(EmsError::BadState);
+        }
+        enclave.state = EnclaveState::Stopped;
+        enclave.switches += 1;
+        Ok(())
+    }
+
+    /// EDESTROY: reclaims every page (zeroed back into the pool), releases
+    /// ownership, revokes the key, and removes the control structure. Shared
+    /// regions the enclave was attached to are detached; regions it created
+    /// are destroyed once no connections remain.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown enclaves.
+    pub fn edestroy(&mut self, ctx: &mut EmsContext<'_>, eid: u64) -> EmsResult<()> {
+        let enclave = self.enclaves.remove(&eid).ok_or(EmsError::NotFound)?;
+        // Detach from any shared regions.
+        let shm_ids: Vec<u64> = self.shms.keys().copied().collect();
+        for sid in shm_ids {
+            let (was_attached, creator, active) = {
+                let shm = self.shms.get_mut(&sid).expect("sid from keys()");
+                let was = shm.attached.remove(&eid).is_some();
+                if was {
+                    shm.active_connections = shm.active_connections.saturating_sub(1);
+                }
+                (was, shm.creator, shm.active_connections)
+            };
+            let _ = was_attached;
+            if creator == EnclaveId(eid) && active == 0 {
+                self.destroy_shm_internal(ctx, sid)?;
+            }
+        }
+        // Reclaim data pages.
+        for frame in enclave.data_frames {
+            self.ownership
+                .release(frame, PageOwner::Enclave(EnclaveId(eid)))
+                .map_err(|_| EmsError::AccessDenied)?;
+            self.pool.give_back(frame, ctx.sys)?;
+        }
+        // Reclaim page-table pages.
+        for frame in enclave.pt_frames {
+            self.ownership
+                .release(frame, PageOwner::EmsPrivate)
+                .map_err(|_| EmsError::AccessDenied)?;
+            self.pool.give_back(frame, ctx.sys)?;
+        }
+        if let Some(key) = enclave.key {
+            ctx.hub.ems_revoke_key(&self.cap, &mut ctx.sys.engine, key);
+            self.free_keyid(key);
+        }
+        Ok(())
+    }
+
+    /// The perm-bits encoding used across primitives (exposed for the SDK).
+    pub fn encode_perms(p: Perms) -> u8 {
+        perm_bits(p)
+    }
+
+    /// Inverse of [`Ems::encode_perms`].
+    pub fn decode_perms(bits: u8) -> Perms {
+        perms_from_bits(bits)
+    }
+}

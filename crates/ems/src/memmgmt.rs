@@ -1,0 +1,155 @@
+//! Enclave memory-management primitives: EALLOC, EFREE, EWB (§IV-A).
+
+use crate::control::{layout, EnclaveState};
+use crate::error::{EmsError, EmsResult};
+use crate::runtime::{Ems, EmsContext, StagedFrames};
+use hypertee_crypto::aes::{ctr_iv, Aes128};
+use hypertee_mem::addr::{Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_mem::ownership::{EnclaveId, PageOwner};
+use hypertee_mem::pagetable::Perms;
+
+impl Ems {
+    /// The enclave's heap cursor (next unmapped VA) and heap limit in
+    /// bytes — what EMCall needs to service demand-paging faults (§IV-A).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown enclaves.
+    pub fn enclave_heap_info(&self, eid: u64) -> EmsResult<(u64, u64)> {
+        let e = self.enclave(eid)?;
+        Ok((e.heap_cursor.0, e.config.heap_max))
+    }
+
+    /// EALLOC: maps `bytes` of fresh, zeroed enclave heap memory from the
+    /// pool. Pages come out of the pool without notifying the CS OS — the
+    /// §IV-A defence against allocation-based controlled channels.
+    ///
+    /// Returns the base virtual address and the number of pages mapped.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for zero size or heap-limit overflow, `Exhausted`
+    /// when the pool and OS are drained, `BadState` while suspended.
+    pub fn ealloc(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        eid: u64,
+        bytes: u64,
+    ) -> EmsResult<(VirtAddr, u64)> {
+        let enclave = self.enclave(eid)?;
+        if enclave.state == EnclaveState::Suspended {
+            return Err(EmsError::BadState);
+        }
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        if bytes == 0 {
+            return Err(EmsError::InvalidArgument);
+        }
+        let base = enclave.heap_cursor;
+        let heap_end = layout::HEAP_BASE.0 + enclave.config.heap_max;
+        if base.0 + pages * PAGE_SIZE > heap_end {
+            return Err(EmsError::InvalidArgument);
+        }
+        let key = enclave.key.ok_or(EmsError::BadState)?;
+        let table = enclave.page_table;
+
+        let mut staged = StagedFrames::stage(2 + pages.div_ceil(512), &mut self.pool, ctx)?;
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
+            self.ownership
+                .claim(frame, PageOwner::Enclave(EnclaveId(eid)))
+                .map_err(|_| EmsError::AccessDenied)?;
+            // Zero through the enclave key so integrity MACs exist (§IV-A:
+            // "Before being mapped, corresponding pages will be zeroed").
+            let sys = &mut *ctx.sys;
+            sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
+            table.map(
+                VirtAddr(base.0 + i * PAGE_SIZE),
+                frame,
+                Perms::RW,
+                key,
+                &mut staged,
+                &mut ctx.sys.phys,
+            )?;
+            frames.push(frame);
+        }
+        let pt_frames = staged.unstage(&mut self.pool, ctx);
+        for f in &pt_frames {
+            self.ownership
+                .claim(*f, PageOwner::EmsPrivate)
+                .map_err(|_| EmsError::AccessDenied)?;
+        }
+        let enclave = self.enclave_mut(eid)?;
+        enclave.pt_frames.extend(pt_frames);
+        enclave.data_frames.extend(frames);
+        enclave.heap_cursor = VirtAddr(base.0 + pages * PAGE_SIZE);
+        Ok((base, pages))
+    }
+
+    /// EFREE: unmaps `bytes` of heap starting at `va`, zeroes the pages, and
+    /// returns them to the pool (they stay enclave-marked while pooled).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for unaligned or out-of-heap ranges, `AccessDenied`
+    /// when a page is not owned by the enclave.
+    pub fn efree(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        eid: u64,
+        va: u64,
+        bytes: u64,
+    ) -> EmsResult<()> {
+        let enclave = self.enclave(eid)?;
+        if va % PAGE_SIZE != 0 || bytes == 0 {
+            return Err(EmsError::InvalidArgument);
+        }
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        if va < layout::HEAP_BASE.0 || va + pages * PAGE_SIZE > enclave.heap_cursor.0 {
+            return Err(EmsError::InvalidArgument);
+        }
+        let table = enclave.page_table;
+        let mut freed = Vec::new();
+        for i in 0..pages {
+            let pte = table.unmap(VirtAddr(va + i * PAGE_SIZE), &mut ctx.sys.phys)?;
+            let frame = pte.ppn();
+            self.ownership
+                .release(frame, PageOwner::Enclave(EnclaveId(eid)))
+                .map_err(|_| EmsError::AccessDenied)?;
+            self.pool.give_back(frame, ctx.sys)?;
+            freed.push(frame);
+        }
+        let enclave = self.enclave_mut(eid)?;
+        enclave.data_frames.retain(|f| !freed.contains(f));
+        Ok(())
+    }
+
+    /// EWB: the CS OS asks for enclave pages to swap out. EMS selects a
+    /// *randomized* number of *unused pool pages* (never live enclave
+    /// pages), fills them with ciphertext indistinguishable from used
+    /// enclave memory, clears their bitmap bits, and returns their physical
+    /// addresses for the OS to reclaim (§IV-A swapping defence).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for a zero request, `Exhausted` when the pool
+    /// cannot cover the randomized count.
+    pub fn ewb(&mut self, ctx: &mut EmsContext<'_>, requested: u64) -> EmsResult<Vec<Ppn>> {
+        if requested == 0 || requested > 4096 {
+            return Err(EmsError::InvalidArgument);
+        }
+        let count = self.pool.swap_jitter(requested);
+        let frames = self.pool.evict_random(count, ctx.os_frames, ctx.sys)?;
+        // Fill each page with fresh keystream so the OS cannot tell swapped
+        // "pages" from real encrypted enclave memory.
+        let mut swap_key = [0u8; 16];
+        self.rng.fill_bytes(&mut swap_key);
+        let cipher = Aes128::new(&swap_key);
+        for frame in &frames {
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            cipher.ctr_apply(&ctr_iv(frame.base().0, 0x5357_4150), &mut page);
+            ctx.sys.phys.write(frame.base(), &page)?;
+        }
+        Ok(frames)
+    }
+}

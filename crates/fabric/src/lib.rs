@@ -1,0 +1,30 @@
+//! On-chip fabric of the HyperTEE SoC: iHub, mailbox, and DMA whitelist.
+//!
+//! §III of the paper: "CS cores and HyperTEE IP are connected through an
+//! on-chip fabric, mediated by *iHub*… iHub allows uni-directional access to
+//! the entire CS memory space and I/O devices by EMS. Conversely, EMS private
+//! memory and its I/O devices remain invisible to CS."
+//!
+//! The unidirectional isolation is enforced *structurally*: operations that
+//! only EMS may perform (fetching requests, pushing responses, programming
+//! encryption keys, configuring the DMA whitelist) require an
+//! [`ihub::EmsCapability`], a token minted exactly once when the iHub is
+//! built and handed to the EMS runtime. CS-side code holds no such token, so
+//! the forbidden calls are unrepresentable rather than merely rejected.
+//!
+//! * [`message`] — primitive requests/responses and Table II's privilege map.
+//! * [`ring`] — the Tx/Rx ring task queues inside EMCall (§III-C, Fig. 3).
+//! * [`mailbox`] — the request/response queues in iHub with exclusive
+//!   request↔response binding.
+//! * [`dma`] — the DMA whitelist register file (§V-C).
+//! * [`ihub`] — the hub tying them together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod ihub;
+pub mod iommu;
+pub mod mailbox;
+pub mod message;
+pub mod ring;

@@ -1,0 +1,179 @@
+//! The dedicated mailbox in iHub (§III-C, Fig. 3).
+//!
+//! "CS can send enclave primitive requests to EMS through a dedicated
+//! mailbox in iHub… Each primitive request is bound with its response
+//! exclusively through a unique identification, and a request cannot access
+//! the other response packets."
+//!
+//! The mailbox hands out [`RequestTicket`]s on submission; collecting a
+//! response requires presenting the ticket, so reading someone else's
+//! response is unrepresentable. Only EMCall can submit (enforced by the
+//! EMCall layer owning the CS port), and only EMS can fetch/respond
+//! (enforced by [`crate::ihub::EmsCapability`]).
+
+use crate::message::{Request, Response};
+use std::collections::{HashMap, VecDeque};
+
+/// Proof that a specific request was submitted; required to poll its
+/// response. Not cloneable — one request, one collector.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RequestTicket {
+    req_id: u64,
+}
+
+impl RequestTicket {
+    /// The bound request identification.
+    pub fn req_id(&self) -> u64 {
+        self.req_id
+    }
+}
+
+/// Mailbox traffic counters (timing-model input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Requests submitted by EMCall.
+    pub requests: u64,
+    /// Responses pushed by EMS.
+    pub responses: u64,
+    /// Poll attempts that found no response yet (EMCall polls, §III-C).
+    pub empty_polls: u64,
+}
+
+/// The request/response mailbox.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    next_req_id: u64,
+    requests: VecDeque<Request>,
+    responses: HashMap<u64, Response>,
+    /// Counters.
+    pub stats: MailboxStats,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Submits a request (EMCall side). The mailbox assigns the unique
+    /// request identification and returns the binding ticket.
+    pub fn submit(&mut self, mut request: Request) -> RequestTicket {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        request.req_id = req_id;
+        self.requests.push_back(request);
+        self.stats.requests += 1;
+        RequestTicket { req_id }
+    }
+
+    /// Fetches the oldest pending request (EMS side; gated by the iHub).
+    pub(crate) fn fetch_request(&mut self) -> Option<Request> {
+        self.requests.pop_front()
+    }
+
+    /// Pushes a response (EMS side; gated by the iHub).
+    pub(crate) fn push_response(&mut self, response: Response) {
+        self.stats.responses += 1;
+        self.responses.insert(response.req_id, response);
+    }
+
+    /// Polls for the response bound to `ticket`. Returns the ticket back on
+    /// a miss so the caller can poll again — the polling loop EMCall uses
+    /// instead of trusting CS interrupt handlers.
+    pub fn poll(&mut self, ticket: RequestTicket) -> Result<Response, RequestTicket> {
+        match self.responses.remove(&ticket.req_id) {
+            Some(r) => Ok(r),
+            None => {
+                self.stats.empty_polls += 1;
+                Err(ticket)
+            }
+        }
+    }
+
+    /// Number of requests waiting for EMS.
+    pub fn pending_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Number of responses waiting for collection.
+    pub fn pending_responses(&self) -> usize {
+        self.responses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CallerIdentity, Primitive, Privilege, Status};
+
+    fn request() -> Request {
+        Request {
+            req_id: 0,
+            primitive: Primitive::Ealloc,
+            caller: CallerIdentity { privilege: Privilege::User, enclave: None },
+            args: vec![4096],
+            payload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn submit_fetch_respond_poll() {
+        let mut mb = Mailbox::new();
+        let ticket = mb.submit(request());
+        let req = mb.fetch_request().unwrap();
+        assert_eq!(req.req_id, ticket.req_id());
+        mb.push_response(Response::ok(req.req_id, vec![42]));
+        let resp = mb.poll(ticket).unwrap();
+        assert_eq!(resp.vals, vec![42]);
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn poll_before_response_misses() {
+        let mut mb = Mailbox::new();
+        let ticket = mb.submit(request());
+        let ticket = mb.poll(ticket).unwrap_err();
+        assert_eq!(mb.stats.empty_polls, 1);
+        let req = mb.fetch_request().unwrap();
+        mb.push_response(Response::ok(req.req_id, vec![]));
+        assert!(mb.poll(ticket).is_ok());
+    }
+
+    #[test]
+    fn responses_bound_exclusively() {
+        // Two in-flight requests: each ticket only ever sees its own
+        // response, regardless of completion order.
+        let mut mb = Mailbox::new();
+        let t1 = mb.submit(request());
+        let t2 = mb.submit(request());
+        let r1 = mb.fetch_request().unwrap();
+        let r2 = mb.fetch_request().unwrap();
+        // EMS completes the *second* request first.
+        mb.push_response(Response::ok(r2.req_id, vec![2]));
+        mb.push_response(Response::ok(r1.req_id, vec![1]));
+        assert_eq!(mb.poll(t1).unwrap().vals, vec![1]);
+        assert_eq!(mb.poll(t2).unwrap().vals, vec![2]);
+    }
+
+    #[test]
+    fn request_ids_are_unique() {
+        let mut mb = Mailbox::new();
+        let t1 = mb.submit(request());
+        let t2 = mb.submit(request());
+        let t3 = mb.submit(request());
+        assert_ne!(t1.req_id(), t2.req_id());
+        assert_ne!(t2.req_id(), t3.req_id());
+    }
+
+    #[test]
+    fn fifo_request_delivery() {
+        let mut mb = Mailbox::new();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(mb.submit(request()).req_id());
+        }
+        for expected in ids {
+            assert_eq!(mb.fetch_request().unwrap().req_id, expected);
+        }
+    }
+}

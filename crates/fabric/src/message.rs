@@ -1,0 +1,215 @@
+//! Primitive requests and responses, and Table II's privilege map.
+
+use hypertee_mem::ownership::EnclaveId;
+
+/// CS privilege level of a primitive caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Privilege {
+    /// User mode (applications, enclaves).
+    User,
+    /// Supervisor mode (the CS operating system).
+    Os,
+    /// Machine mode (EMCall firmware itself).
+    Machine,
+}
+
+/// The sixteen enclave primitives of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Create an enclave.
+    Ecreate,
+    /// Load codes and data into an enclave.
+    Eadd,
+    /// Start executing an enclave.
+    Eenter,
+    /// Resume enclave execution.
+    Eresume,
+    /// Exit enclave execution.
+    Eexit,
+    /// Destroy an enclave.
+    Edestroy,
+    /// Allocate enclave memory.
+    Ealloc,
+    /// Release enclave memory.
+    Efree,
+    /// Swap enclave memory.
+    Ewb,
+    /// Apply shared memory from EMS.
+    Eshmget,
+    /// Attach shared memory to enclaves.
+    Eshmat,
+    /// Detach enclave shared memory.
+    Eshmdt,
+    /// Share memory with an enclave.
+    Eshmshr,
+    /// Destroy enclave shared memory.
+    Eshmdes,
+    /// Measure code and data of an enclave.
+    Emeas,
+    /// Sign enclave and platform.
+    Eattest,
+}
+
+impl Primitive {
+    /// The privilege level Table II requires for this primitive. EMCall
+    /// "checks the current privilege register during primitive invocation
+    /// and blocks any cross-privilege request" (§III-B).
+    ///
+    /// (Table II's Priv column in the paper text is garbled for the
+    /// lifecycle rows; the assignment below follows the obvious semantics:
+    /// only EEXIT originates from the enclave itself.)
+    pub fn required_privilege(&self) -> Privilege {
+        match self {
+            Primitive::Ecreate
+            | Primitive::Eadd
+            | Primitive::Eenter
+            | Primitive::Eresume
+            | Primitive::Edestroy
+            | Primitive::Ewb
+            | Primitive::Emeas => Privilege::Os,
+            Primitive::Eexit
+            | Primitive::Ealloc
+            | Primitive::Efree
+            | Primitive::Eshmget
+            | Primitive::Eshmat
+            | Primitive::Eshmdt
+            | Primitive::Eshmshr
+            | Primitive::Eshmdes
+            | Primitive::Eattest => Privilege::User,
+        }
+    }
+
+    /// All sixteen primitives (handy for exhaustive tests).
+    pub fn all() -> [Primitive; 16] {
+        [
+            Primitive::Ecreate,
+            Primitive::Eadd,
+            Primitive::Eenter,
+            Primitive::Eresume,
+            Primitive::Eexit,
+            Primitive::Edestroy,
+            Primitive::Ealloc,
+            Primitive::Efree,
+            Primitive::Ewb,
+            Primitive::Eshmget,
+            Primitive::Eshmat,
+            Primitive::Eshmdt,
+            Primitive::Eshmshr,
+            Primitive::Eshmdes,
+            Primitive::Emeas,
+            Primitive::Eattest,
+        ]
+    }
+}
+
+/// Identity EMCall stamps into every request (§III-B: "EMCall encapsulates
+/// the current enclave identification (enclaveID) as an argument. In this
+/// way, attackers cannot impersonate other enclaves").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallerIdentity {
+    /// Privilege level EMCall read from the privilege register.
+    pub privilege: Privilege,
+    /// The enclave currently executing on the calling hart, if any.
+    pub enclave: Option<EnclaveId>,
+}
+
+/// A primitive request packet as transmitted through the mailbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unique identification binding this request to its response.
+    pub req_id: u64,
+    /// Requested primitive.
+    pub primitive: Primitive,
+    /// Caller identity stamped by EMCall.
+    pub caller: CallerIdentity,
+    /// Scalar arguments (sizes, addresses, IDs — sanity-checked by EMS).
+    pub args: Vec<u64>,
+    /// Bulk payload (e.g. EADD image chunk descriptors). Enclave private
+    /// data is never carried here (§III-C).
+    pub payload: Vec<u8>,
+}
+
+/// Response status codes from EMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The primitive succeeded.
+    Ok,
+    /// Arguments failed the EMS sanity check.
+    InvalidArgument,
+    /// The caller's privilege did not match Table II.
+    PrivilegeMismatch,
+    /// The caller does not own / may not touch the target object.
+    AccessDenied,
+    /// Out of resources (frames, KeyIDs, pool).
+    Exhausted,
+    /// The referenced object does not exist.
+    NotFound,
+}
+
+/// A primitive response packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Matches [`Request::req_id`].
+    pub req_id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Scalar return values.
+    pub vals: Vec<u64>,
+    /// Bulk return data (e.g. attestation quotes, sealed blobs).
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Convenience constructor for success.
+    pub fn ok(req_id: u64, vals: Vec<u64>) -> Response {
+        Response { req_id, status: Status::Ok, vals, payload: Vec::new() }
+    }
+
+    /// Success with bulk data attached.
+    pub fn ok_with_payload(req_id: u64, vals: Vec<u64>, payload: Vec<u8>) -> Response {
+        Response { req_id, status: Status::Ok, vals, payload }
+    }
+
+    /// Convenience constructor for failure.
+    pub fn err(req_id: u64, status: Status) -> Response {
+        Response { req_id, status, vals: Vec::new(), payload: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_table_matches_paper() {
+        use Primitive::*;
+        assert_eq!(Ecreate.required_privilege(), Privilege::Os);
+        assert_eq!(Eadd.required_privilege(), Privilege::Os);
+        assert_eq!(Ewb.required_privilege(), Privilege::Os);
+        assert_eq!(Emeas.required_privilege(), Privilege::Os);
+        assert_eq!(Ealloc.required_privilege(), Privilege::User);
+        assert_eq!(Eattest.required_privilege(), Privilege::User);
+        assert_eq!(Eshmget.required_privilege(), Privilege::User);
+        assert_eq!(Eexit.required_privilege(), Privilege::User);
+    }
+
+    #[test]
+    fn all_returns_each_primitive_once() {
+        let all = Primitive::all();
+        assert_eq!(all.len(), 16);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = Response::ok(7, vec![1, 2]);
+        assert_eq!(ok.status, Status::Ok);
+        assert_eq!(ok.req_id, 7);
+        let err = Response::err(8, Status::AccessDenied);
+        assert!(err.vals.is_empty());
+    }
+}

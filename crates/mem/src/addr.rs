@@ -1,0 +1,163 @@
+//! Address types and the front-side bus layout.
+//!
+//! §IV-C: "the width of CS core front-side memory bus is 56 bits, among which
+//! the lowest 40 bits are used for the physical address, and the highest 16
+//! bits are used for the KeyID."
+
+/// Page size in bytes (RISC-V Sv39 base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Bits in a page offset.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Width of the physical-address portion of the bus.
+pub const PA_BITS: u32 = 40;
+
+/// Width of the KeyID portion of the bus.
+pub const KEYID_BITS: u32 = 16;
+
+/// A physical byte address (must fit in [`PA_BITS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual byte address (Sv39: 39 significant bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical page (frame) number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(pub u64);
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A memory-encryption key identifier carried in the high bus bits.
+/// KeyID 0 means "no encryption" (ordinary host memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KeyId(pub u16);
+
+impl KeyId {
+    /// The host (unencrypted) KeyID.
+    pub const HOST: KeyId = KeyId(0);
+
+    /// Whether this KeyID selects an encryption key.
+    pub fn is_encrypted(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl PhysAddr {
+    /// The page containing this address.
+    pub fn ppn(&self) -> Ppn {
+        Ppn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset within the page.
+    pub fn offset(&self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Packs this address and a KeyID into the 56-bit bus representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds 40 bits.
+    pub fn to_bus(&self, key: KeyId) -> u64 {
+        assert!(self.0 < (1 << PA_BITS), "physical address exceeds 40 bits");
+        ((key.0 as u64) << PA_BITS) | self.0
+    }
+
+    /// Unpacks a 56-bit bus word into address + KeyID.
+    pub fn from_bus(bus: u64) -> (PhysAddr, KeyId) {
+        let pa = bus & ((1 << PA_BITS) - 1);
+        let key = (bus >> PA_BITS) as u16;
+        (PhysAddr(pa), KeyId(key))
+    }
+}
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    pub fn vpn(&self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset within the page.
+    pub fn offset(&self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Sv39 page-table indices (level 2, 1, 0), 9 bits each.
+    pub fn sv39_indices(&self) -> [usize; 3] {
+        let vpn = self.0 >> PAGE_SHIFT;
+        [
+            ((vpn >> 18) & 0x1ff) as usize,
+            ((vpn >> 9) & 0x1ff) as usize,
+            (vpn & 0x1ff) as usize,
+        ]
+    }
+}
+
+impl Ppn {
+    /// Base physical address of this frame.
+    pub fn base(&self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl Vpn {
+    /// Base virtual address of this page.
+    pub fn base(&self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_roundtrip() {
+        let pa = PhysAddr(0x12_3456_7000);
+        let key = KeyId(0xbeef);
+        let bus = pa.to_bus(key);
+        assert_eq!(PhysAddr::from_bus(bus), (pa, key));
+    }
+
+    #[test]
+    fn bus_layout_is_40_16() {
+        let pa = PhysAddr(0xff_ffff_ffff); // max 40-bit value
+        let bus = pa.to_bus(KeyId(1));
+        assert_eq!(bus >> PA_BITS, 1);
+        assert_eq!(bus & ((1 << PA_BITS) - 1), 0xff_ffff_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 40 bits")]
+    fn oversized_pa_panics() {
+        PhysAddr(1 << PA_BITS).to_bus(KeyId::HOST);
+    }
+
+    #[test]
+    fn sv39_indices_decompose() {
+        // vpn = (1 << 18) | (2 << 9) | 3 → indices [1, 2, 3].
+        let va = VirtAddr(((1u64 << 18 | 2 << 9 | 3) << PAGE_SHIFT) | 0x123);
+        assert_eq!(va.sv39_indices(), [1, 2, 3]);
+        assert_eq!(va.offset(), 0x123);
+    }
+
+    #[test]
+    fn page_math() {
+        let pa = PhysAddr(0x5432);
+        assert_eq!(pa.ppn(), Ppn(5));
+        assert_eq!(pa.offset(), 0x432);
+        assert_eq!(Ppn(5).base(), PhysAddr(0x5000));
+        assert_eq!(Vpn(7).base().vpn(), Vpn(7));
+    }
+
+    #[test]
+    fn host_keyid_is_plaintext() {
+        assert!(!KeyId::HOST.is_encrypted());
+        assert!(KeyId(3).is_encrypted());
+    }
+}

@@ -1,0 +1,346 @@
+//! Multi-key memory encryption engine with integrity (§IV-C).
+//!
+//! "HyperTEE leverages a commercial multi-key memory encryption engine,
+//! similar to Intel MK-TME and AMD SME. Each enclave is assigned a unique
+//! encryption key and identification (KeyID), configured only by EMS via
+//! iHub… HyperTEE employs SHA-3 based MAC (28-bit)… In case of an integrity
+//! violation, an exception is triggered."
+//!
+//! The engine sits between the cores and [`crate::phys::PhysMemory`]:
+//! physical memory holds *ciphertext* for encrypted KeyIDs. Reads through
+//! the wrong KeyID therefore really return garbage and (when integrity is
+//! on) really fault — the behaviour the paper's attack-surface analysis
+//! (§VIII-C, "PTW cannot decrypt enclave data correctly") relies on.
+
+use crate::addr::{KeyId, PhysAddr};
+use crate::phys::PhysMemory;
+use crate::MemFault;
+use hypertee_crypto::aes::{ctr_iv, Aes128};
+use hypertee_crypto::mac::{mac28, MacTag};
+use std::collections::HashMap;
+
+/// Memory-line granularity of encryption and MAC (bytes).
+pub const LINE_SIZE: u64 = 64;
+
+#[derive(Clone)]
+struct KeySlot {
+    cipher: Aes128,
+    mac_key: [u8; 32],
+}
+
+impl core::fmt::Debug for KeySlot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "KeySlot {{ <redacted> }}")
+    }
+}
+
+/// Engine event counters (timing-model input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MktmeStats {
+    /// Bytes encrypted on writes.
+    pub bytes_encrypted: u64,
+    /// Bytes decrypted on reads.
+    pub bytes_decrypted: u64,
+    /// MAC verifications performed.
+    pub mac_checks: u64,
+    /// MAC failures raised.
+    pub mac_failures: u64,
+}
+
+/// The multi-key engine.
+#[derive(Debug)]
+pub struct MktmeEngine {
+    keys: HashMap<u16, KeySlot>,
+    /// Per-line MACs: line base address → tag (keyed by the writing key's
+    /// MAC key, so re-programming the same key under a new KeyID — the
+    /// suspension/resume path of §IV-C — keeps lines verifiable).
+    macs: HashMap<u64, MacTag>,
+    integrity: bool,
+    /// Counters.
+    pub stats: MktmeStats,
+}
+
+impl MktmeEngine {
+    /// Creates an engine; `integrity` enables the 28-bit MAC path.
+    pub fn new(integrity: bool) -> Self {
+        MktmeEngine { keys: HashMap::new(), macs: HashMap::new(), integrity, stats: MktmeStats::default() }
+    }
+
+    /// Whether integrity protection is enabled.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity
+    }
+
+    /// Programs a key slot. In the real SoC only EMS can reach this register
+    /// interface (via iHub); the fabric layer enforces that restriction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when programming KeyID 0, which is architecturally plaintext.
+    pub fn program_key(&mut self, key: KeyId, aes_key: &[u8; 16], mac_key: &[u8; 32]) {
+        assert!(key.is_encrypted(), "KeyID 0 is the plaintext domain");
+        self.keys.insert(key.0, KeySlot { cipher: Aes128::new(aes_key), mac_key: *mac_key });
+    }
+
+    /// Revokes a key slot (KeyID exhaustion handling, §IV-C). Lines written
+    /// under the key keep their MACs, so stale reuse is detectable.
+    pub fn revoke_key(&mut self, key: KeyId) {
+        self.keys.remove(&key.0);
+    }
+
+    /// Whether a KeyID currently has a programmed key.
+    pub fn key_programmed(&self, key: KeyId) -> bool {
+        self.keys.contains_key(&key.0)
+    }
+
+    /// Number of programmed keys.
+    pub fn keys_in_use(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn keystream(slot: &KeySlot, line_base: u64, line: &mut [u8]) {
+        let iv = ctr_iv(line_base, 0x4d4b_544d_4531_0001); // "MKTME1" domain tag
+        slot.cipher.ctr_apply(&iv, line);
+    }
+
+    /// Writes `data` at `pa` through `key`.
+    ///
+    /// For encrypted KeyIDs this performs read-modify-write at line
+    /// granularity, stores ciphertext, and refreshes each line's MAC.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] for unprogrammed encrypted KeyIDs or
+    /// out-of-range addresses.
+    pub fn write(
+        &mut self,
+        mem: &mut PhysMemory,
+        pa: PhysAddr,
+        key: KeyId,
+        data: &[u8],
+    ) -> Result<(), MemFault> {
+        if !key.is_encrypted() {
+            return mem.write(pa, data);
+        }
+        let slot = self
+            .keys
+            .get(&key.0)
+            .cloned()
+            .ok_or(MemFault::BusError { pa: pa.0 })?;
+        self.stats.bytes_encrypted += data.len() as u64;
+        let mut written = 0usize;
+        let mut addr = pa.0;
+        while written < data.len() {
+            let line_base = addr & !(LINE_SIZE - 1);
+            let off = (addr - line_base) as usize;
+            let take = ((LINE_SIZE as usize - off).min(data.len() - written)) as usize;
+            // Fetch the current line ciphertext and decrypt it.
+            let mut line = [0u8; LINE_SIZE as usize];
+            mem.read(PhysAddr(line_base), &mut line)?;
+            Self::keystream(&slot, line_base, &mut line);
+            // Splice in the new plaintext bytes.
+            line[off..off + take].copy_from_slice(&data[written..written + take]);
+            // Refresh the MAC over the plaintext line.
+            if self.integrity {
+                let tag = mac28(&slot.mac_key, line_base, &line);
+                self.macs.insert(line_base, tag);
+            }
+            // Re-encrypt and store.
+            Self::keystream(&slot, line_base, &mut line);
+            mem.write(PhysAddr(line_base), &line)?;
+            written += take;
+            addr += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads through `key` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::IntegrityViolation`] when a MAC check fails (tampering,
+    /// wrong KeyID, or unauthenticated data); [`MemFault::BusError`] for
+    /// unprogrammed encrypted KeyIDs or out-of-range addresses.
+    pub fn read(
+        &mut self,
+        mem: &mut PhysMemory,
+        pa: PhysAddr,
+        key: KeyId,
+        buf: &mut [u8],
+    ) -> Result<(), MemFault> {
+        if !key.is_encrypted() {
+            return mem.read(pa, buf);
+        }
+        let slot = self
+            .keys
+            .get(&key.0)
+            .cloned()
+            .ok_or(MemFault::BusError { pa: pa.0 })?;
+        self.stats.bytes_decrypted += buf.len() as u64;
+        let mut done = 0usize;
+        let mut addr = pa.0;
+        while done < buf.len() {
+            let line_base = addr & !(LINE_SIZE - 1);
+            let off = (addr - line_base) as usize;
+            let take = ((LINE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            let mut line = [0u8; LINE_SIZE as usize];
+            mem.read(PhysAddr(line_base), &mut line)?;
+            Self::keystream(&slot, line_base, &mut line);
+            if self.integrity {
+                self.stats.mac_checks += 1;
+                let valid = match self.macs.get(&line_base) {
+                    Some(&tag) => mac28(&slot.mac_key, line_base, &line) == tag,
+                    None => false,
+                };
+                if !valid {
+                    self.stats.mac_failures += 1;
+                    return Err(MemFault::IntegrityViolation { pa: line_base });
+                }
+            }
+            buf[done..done + take].copy_from_slice(&line[off..off + take]);
+            done += take;
+            addr += take as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMemory, MktmeEngine) {
+        let mem = PhysMemory::new(4 << 20);
+        let mut engine = MktmeEngine::new(true);
+        engine.program_key(KeyId(1), &[0x11; 16], &[0xa1; 32]);
+        engine.program_key(KeyId(2), &[0x22; 16], &[0xa2; 32]);
+        (mem, engine)
+    }
+
+    #[test]
+    fn encrypted_roundtrip() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x10_000);
+        engine.write(&mut mem, pa, KeyId(1), b"enclave secret data").unwrap();
+        let mut buf = [0u8; 19];
+        engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
+        assert_eq!(&buf, b"enclave secret data");
+    }
+
+    #[test]
+    fn memory_holds_ciphertext() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x10_000);
+        engine.write(&mut mem, pa, KeyId(1), b"enclave secret data").unwrap();
+        // A raw (host KeyID 0) read sees ciphertext, not the plaintext.
+        let mut raw = [0u8; 19];
+        mem.read(pa, &mut raw).unwrap();
+        assert_ne!(&raw, b"enclave secret data");
+    }
+
+    #[test]
+    fn wrong_keyid_read_faults() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x20_000);
+        engine.write(&mut mem, pa, KeyId(1), &[0x5a; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(matches!(
+            engine.read(&mut mem, pa, KeyId(2), &mut buf),
+            Err(MemFault::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn physical_tampering_detected() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x30_000);
+        engine.write(&mut mem, pa, KeyId(1), &[7u8; 64]).unwrap();
+        // Attacker flips a ciphertext bit through the plaintext domain.
+        let mut raw = [0u8; 1];
+        mem.read(pa, &mut raw).unwrap();
+        raw[0] ^= 0x80;
+        mem.write(pa, &raw).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(matches!(
+            engine.read(&mut mem, pa, KeyId(1), &mut buf),
+            Err(MemFault::IntegrityViolation { .. })
+        ));
+        assert_eq!(engine.stats.mac_failures, 1);
+    }
+
+    #[test]
+    fn unauthenticated_lines_rejected() {
+        let (mut mem, mut engine) = setup();
+        // Nothing was ever written with KeyID 1 at this line.
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            engine.read(&mut mem, PhysAddr(0x40_000), KeyId(1), &mut buf),
+            Err(MemFault::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn unprogrammed_key_is_bus_error() {
+        let (mut mem, mut engine) = setup();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            engine.read(&mut mem, PhysAddr(0x1000), KeyId(9), &mut buf),
+            Err(MemFault::BusError { .. })
+        ));
+        assert!(engine.write(&mut mem, PhysAddr(0x1000), KeyId(9), &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn partial_line_write_preserves_rest() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x50_000);
+        engine.write(&mut mem, pa, KeyId(1), &[0xaa; 64]).unwrap();
+        // Overwrite 8 bytes in the middle of the line.
+        engine.write(&mut mem, PhysAddr(pa.0 + 20), KeyId(1), &[0xbb; 8]).unwrap();
+        let mut buf = [0u8; 64];
+        engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
+        assert_eq!(&buf[..20], &[0xaa; 20]);
+        assert_eq!(&buf[20..28], &[0xbb; 8]);
+        assert_eq!(&buf[28..], &[0xaa; 36]);
+    }
+
+    #[test]
+    fn key_revocation() {
+        let (mut mem, mut engine) = setup();
+        let pa = PhysAddr(0x60_000);
+        engine.write(&mut mem, pa, KeyId(1), &[1u8; 64]).unwrap();
+        engine.revoke_key(KeyId(1));
+        assert!(!engine.key_programmed(KeyId(1)));
+        let mut buf = [0u8; 64];
+        assert!(engine.read(&mut mem, pa, KeyId(1), &mut buf).is_err());
+        // Reprogramming with a different key does not resurrect plaintext.
+        engine.program_key(KeyId(1), &[0x99; 16], &[0x88; 32]);
+        assert!(matches!(
+            engine.read(&mut mem, pa, KeyId(1), &mut buf),
+            Err(MemFault::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn host_keyid_bypasses_engine() {
+        let (mut mem, mut engine) = setup();
+        engine.write(&mut mem, PhysAddr(0x100), KeyId::HOST, b"plain").unwrap();
+        let mut raw = [0u8; 5];
+        mem.read(PhysAddr(0x100), &mut raw).unwrap();
+        assert_eq!(&raw, b"plain");
+        assert_eq!(engine.stats.bytes_encrypted, 0);
+    }
+
+    #[test]
+    fn distinct_keys_produce_distinct_ciphertexts() {
+        let (mut mem, mut engine) = setup();
+        engine.write(&mut mem, PhysAddr(0x1000), KeyId(1), &[0u8; 64]).unwrap();
+        engine.write(&mut mem, PhysAddr(0x2000), KeyId(2), &[0u8; 64]).unwrap();
+        let mut c1 = [0u8; 64];
+        let mut c2 = [0u8; 64];
+        mem.read(PhysAddr(0x1000), &mut c1).unwrap();
+        mem.read(PhysAddr(0x2000), &mut c2).unwrap();
+        assert_ne!(c1, c2);
+        assert_ne!(c1, [0u8; 64]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Sparse physical memory and the CS OS frame allocator.
+//!
+//! Frames are materialised lazily, so simulating a multi-gigabyte SoC costs
+//! only what is actually touched. Raw byte access here is *below* the
+//! encryption engine: [`crate::mktme`] layers AES-CTR on top.
+
+use crate::addr::{PhysAddr, Ppn, PAGE_SIZE};
+use crate::MemFault;
+use std::collections::BTreeMap;
+
+/// Sparse physical memory of a fixed installed size.
+#[derive(Debug)]
+pub struct PhysMemory {
+    frames: BTreeMap<u64, Box<[u8]>>,
+    total_frames: u64,
+    /// Number of raw physical accesses performed (timing-model input).
+    pub access_count: u64,
+}
+
+impl PhysMemory {
+    /// Creates memory with `bytes` of installed capacity (rounded down to
+    /// whole frames).
+    pub fn new(bytes: u64) -> Self {
+        PhysMemory { frames: BTreeMap::new(), total_frames: bytes / PAGE_SIZE, access_count: 0 }
+    }
+
+    /// Installed capacity in frames.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemFault> {
+        if pa.0 + len > self.total_frames * PAGE_SIZE {
+            return Err(MemFault::BusError { pa: pa.0 });
+        }
+        Ok(())
+    }
+
+    fn frame_mut(&mut self, ppn: u64) -> &mut [u8] {
+        self.frames
+            .entry(ppn)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa`. Crossing frame boundaries is
+    /// allowed; untouched frames read as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when the range exceeds installed memory.
+    pub fn read(&mut self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check(pa, buf.len() as u64)?;
+        self.access_count += 1;
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let ppn = addr / PAGE_SIZE;
+            let off = (addr % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            match self.frames.get(&ppn) {
+                Some(frame) => buf[done..done + take].copy_from_slice(&frame[off..off + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            addr += take as u64;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when the range exceeds installed memory.
+    pub fn write(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), MemFault> {
+        self.check(pa, buf.len() as u64)?;
+        self.access_count += 1;
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let ppn = addr / PAGE_SIZE;
+            let off = (addr % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            let frame = self.frame_mut(ppn);
+            frame[off..off + take].copy_from_slice(&buf[done..done + take]);
+            addr += take as u64;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Reads a u64 (little endian).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when out of range.
+    pub fn read_u64(&mut self, pa: PhysAddr) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a u64 (little endian).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when out of range.
+    pub fn write_u64(&mut self, pa: PhysAddr, v: u64) -> Result<(), MemFault> {
+        self.write(pa, &v.to_le_bytes())
+    }
+
+    /// Fills a whole frame with zeros (EMS zeroes pages before reuse, §IV-A).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when the frame is out of range.
+    pub fn zero_frame(&mut self, ppn: Ppn) -> Result<(), MemFault> {
+        self.check(ppn.base(), PAGE_SIZE)?;
+        self.access_count += 1;
+        self.frames.remove(&ppn.0);
+        Ok(())
+    }
+}
+
+/// The CS operating system's frame allocator: hands out free physical frames.
+/// EMS requests frames from here to feed the enclave memory pool (§IV-A).
+#[derive(Debug)]
+pub struct FrameAllocator {
+    next: u64,
+    limit: u64,
+    free: Vec<Ppn>,
+    /// Frames currently handed out.
+    pub allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Manages frames `[first, limit)`.
+    pub fn new(first: Ppn, limit: Ppn) -> Self {
+        assert!(first.0 < limit.0, "empty allocator range");
+        FrameAllocator { next: first.0, limit: limit.0, free: Vec::new(), allocated: 0 }
+    }
+
+    /// Allocates one frame, or `None` when physical memory is exhausted.
+    pub fn alloc(&mut self) -> Option<Ppn> {
+        if let Some(f) = self.free.pop() {
+            self.allocated += 1;
+            return Some(f);
+        }
+        if self.next < self.limit {
+            let f = Ppn(self.next);
+            self.next += 1;
+            self.allocated += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Allocates `n` physically contiguous frames (host windows, image
+    /// staging). Draws from the untouched tail of the range, never from the
+    /// free list.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Option<Ppn> {
+        if self.next + n <= self.limit {
+            let base = Ppn(self.next);
+            self.next += n;
+            self.allocated += n;
+            Some(base)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a frame to the free list.
+    pub fn free(&mut self, ppn: Ppn) {
+        debug_assert!(ppn.0 < self.limit, "freeing frame outside range");
+        self.allocated = self.allocated.saturating_sub(1);
+        self.free.push(ppn);
+    }
+
+    /// Frames still available.
+    pub fn available(&self) -> u64 {
+        (self.limit - self.next) + self.free.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let pa = PhysAddr(0x1234);
+        mem.write(pa, b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        mem.read(pa, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn cross_frame_access() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let pa = PhysAddr(PAGE_SIZE - 3);
+        mem.write(pa, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut buf = [0u8; 6];
+        mem.read(pa, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let mut buf = [0xffu8; 16];
+        mem.read(PhysAddr(0x8000), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn bus_error_beyond_installed() {
+        let mut mem = PhysMemory::new(2 * PAGE_SIZE);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            mem.read(PhysAddr(2 * PAGE_SIZE), &mut buf),
+            Err(MemFault::BusError { .. })
+        ));
+        // A straddling access is also rejected.
+        assert!(mem.write(PhysAddr(2 * PAGE_SIZE - 2), &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn zero_frame_clears() {
+        let mut mem = PhysMemory::new(1 << 20);
+        mem.write(PhysAddr(0x2000), &[0xaa; 64]).unwrap();
+        mem.zero_frame(Ppn(2)).unwrap();
+        let mut buf = [0xffu8; 64];
+        mem.read(PhysAddr(0x2000), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut mem = PhysMemory::new(1 << 20);
+        mem.write_u64(PhysAddr(0x100), 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(mem.read_u64(PhysAddr(0x100)).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn allocator_reuses_freed_frames() {
+        let mut alloc = FrameAllocator::new(Ppn(10), Ppn(13));
+        let a = alloc.alloc().unwrap();
+        let b = alloc.alloc().unwrap();
+        let c = alloc.alloc().unwrap();
+        assert_eq!(alloc.alloc(), None, "range exhausted");
+        alloc.free(b);
+        assert_eq!(alloc.alloc(), Some(b));
+        assert_eq!(alloc.allocated, 3);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn allocator_available_counts() {
+        let mut alloc = FrameAllocator::new(Ppn(0), Ppn(5));
+        assert_eq!(alloc.available(), 5);
+        let f = alloc.alloc().unwrap();
+        assert_eq!(alloc.available(), 4);
+        alloc.free(f);
+        assert_eq!(alloc.available(), 5);
+    }
+}

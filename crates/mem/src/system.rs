@@ -1,0 +1,311 @@
+//! The memory-system façade: TLB → PTW (+bitmap) → encryption engine.
+//!
+//! [`MemorySystem`] owns the SoC-global pieces (physical memory, MKTME
+//! engine, bitmap); each core owns a [`CoreMmu`] (its TLB, page-table base
+//! register, and IS_ENCLAVE mode bit — the two registers of Fig. 5 that only
+//! the highest privilege level may update, which the EMCall layer enforces).
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::bitmap::EnclaveBitmap;
+use crate::mktme::MktmeEngine;
+use crate::pagetable::{AccessKind, PageTable};
+use crate::phys::PhysMemory;
+use crate::ptw::{self, PtwStats};
+use crate::tlb::Tlb;
+use crate::MemFault;
+
+/// SoC-global memory state.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// Raw physical memory (below the encryption engine).
+    pub phys: PhysMemory,
+    /// Multi-key encryption + integrity engine.
+    pub engine: MktmeEngine,
+    /// The enclave-memory bitmap.
+    pub bitmap: EnclaveBitmap,
+    /// Walker counters.
+    pub ptw_stats: PtwStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with `bytes` installed and a bitmap at
+    /// `bm_base` covering all of it. Integrity protection is always on, as
+    /// in the paper's prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap cannot be installed.
+    pub fn new(bytes: u64, bm_base: PhysAddr) -> Self {
+        let mut phys = PhysMemory::new(bytes);
+        let frames = phys.total_frames();
+        let bitmap = EnclaveBitmap::install(bm_base, frames, &mut phys)
+            .expect("bitmap region must fit in installed memory");
+        MemorySystem { phys, engine: MktmeEngine::new(true), bitmap, ptw_stats: PtwStats::default() }
+    }
+}
+
+/// Per-core MMU state.
+#[derive(Debug)]
+pub struct CoreMmu {
+    /// The TLB.
+    pub tlb: Tlb,
+    /// Current page-table root (satp); `None` means bare/physical mode.
+    pub table: Option<PageTable>,
+    /// IS_ENCLAVE register: whether the core currently runs an enclave.
+    pub enclave_mode: bool,
+}
+
+impl CoreMmu {
+    /// Creates a core MMU with a TLB of `tlb_entries`.
+    pub fn new(tlb_entries: usize) -> Self {
+        CoreMmu { tlb: Tlb::new(tlb_entries), table: None, enclave_mode: false }
+    }
+
+    /// Switches the address space (satp write) — flushes the TLB, as EMCall
+    /// does on every enclave context switch (§IV-B).
+    pub fn switch_table(&mut self, table: Option<PageTable>, enclave_mode: bool) {
+        self.table = table;
+        self.enclave_mode = enclave_mode;
+        self.tlb.flush_all();
+    }
+
+    fn translate(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<crate::tlb::TlbEntry, MemFault> {
+        let table = self.table.ok_or(MemFault::PageFault { va: va.0 })?;
+        if let Some(entry) = self.tlb.lookup(va.vpn()) {
+            if !entry.perms.allows(kind) {
+                return Err(MemFault::PermissionDenied { va: va.0 });
+            }
+            return Ok(entry);
+        }
+        let entry = ptw::translate(
+            &table,
+            va,
+            kind,
+            self.enclave_mode,
+            &sys.bitmap,
+            &mut sys.phys,
+            &mut sys.ptw_stats,
+        )?;
+        if !entry.perms.allows(kind) {
+            return Err(MemFault::PermissionDenied { va: va.0 });
+        }
+        self.tlb.insert(entry);
+        Ok(entry)
+    }
+
+    /// Loads `buf.len()` bytes from virtual address `va`.
+    ///
+    /// The access may not cross a page boundary (split it at a higher layer,
+    /// as real ISAs require for translated accesses).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults ([`MemFault::PageFault`],
+    /// [`MemFault::BitmapViolation`], [`MemFault::PermissionDenied`]) and
+    /// data-path faults ([`MemFault::IntegrityViolation`],
+    /// [`MemFault::BusError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a page boundary.
+    pub fn load(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), MemFault> {
+        assert_page_bounded(va, buf.len());
+        let entry = self.translate(sys, va, AccessKind::Read)?;
+        let pa = PhysAddr(entry.ppn.base().0 + va.offset());
+        sys.engine.read(&mut sys.phys, pa, entry.key, buf)
+    }
+
+    /// Stores `buf` to virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoreMmu::load`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a page boundary.
+    pub fn store(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+        buf: &[u8],
+    ) -> Result<(), MemFault> {
+        assert_page_bounded(va, buf.len());
+        let entry = self.translate(sys, va, AccessKind::Write)?;
+        let pa = PhysAddr(entry.ppn.base().0 + va.offset());
+        sys.engine.write(&mut sys.phys, pa, entry.key, buf)
+    }
+
+    /// Loads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoreMmu::load`].
+    pub fn load_u64(&mut self, sys: &mut MemorySystem, va: VirtAddr) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.load(sys, va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Stores a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoreMmu::store`].
+    pub fn store_u64(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+        v: u64,
+    ) -> Result<(), MemFault> {
+        self.store(sys, va, &v.to_le_bytes())
+    }
+}
+
+fn assert_page_bounded(va: VirtAddr, len: usize) {
+    let end = va.offset() + len as u64;
+    assert!(
+        end <= crate::addr::PAGE_SIZE,
+        "access at {va:?} + {len} crosses a page boundary; split it"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{KeyId, Ppn};
+    use crate::pagetable::Perms;
+    use crate::phys::FrameAllocator;
+
+    fn setup() -> (MemorySystem, FrameAllocator, CoreMmu, PageTable) {
+        let mut sys = MemorySystem::new(64 << 20, PhysAddr(0x4000));
+        let mut alloc = FrameAllocator::new(Ppn(64), Ppn(16000));
+        let pt = PageTable::new(&mut alloc, &mut sys.phys);
+        let mut mmu = CoreMmu::new(32);
+        mmu.switch_table(Some(pt), false);
+        (sys, alloc, mmu, pt)
+    }
+
+    #[test]
+    fn load_store_through_translation() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        pt.map(VirtAddr(0x40_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
+            .unwrap();
+        mmu.store(&mut sys, VirtAddr(0x40_010), b"data").unwrap();
+        let mut buf = [0u8; 4];
+        mmu.load(&mut sys, VirtAddr(0x40_010), &mut buf).unwrap();
+        assert_eq!(&buf, b"data");
+    }
+
+    #[test]
+    fn tlb_caches_translation() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        pt.map(VirtAddr(0x40_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
+            .unwrap();
+        mmu.store_u64(&mut sys, VirtAddr(0x40_000), 1).unwrap();
+        let walks_after_first = sys.ptw_stats.walks;
+        mmu.load_u64(&mut sys, VirtAddr(0x40_000)).unwrap();
+        mmu.load_u64(&mut sys, VirtAddr(0x40_100)).unwrap();
+        assert_eq!(sys.ptw_stats.walks, walks_after_first, "TLB hits avoid walks");
+        assert!(mmu.tlb.stats.hits >= 2);
+    }
+
+    #[test]
+    fn write_to_readonly_denied() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        pt.map(VirtAddr(0x50_000), frame, Perms::RO, KeyId::HOST, &mut alloc, &mut sys.phys)
+            .unwrap();
+        assert!(matches!(
+            mmu.store(&mut sys, VirtAddr(0x50_000), &[1]),
+            Err(MemFault::PermissionDenied { .. })
+        ));
+        // Read still works.
+        let mut b = [0u8; 1];
+        mmu.load(&mut sys, VirtAddr(0x50_000), &mut b).unwrap();
+    }
+
+    #[test]
+    fn host_cannot_touch_enclave_frame() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
+        pt.map(VirtAddr(0x60_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
+            .unwrap();
+        let mut b = [0u8; 1];
+        assert!(matches!(
+            mmu.load(&mut sys, VirtAddr(0x60_000), &mut b),
+            Err(MemFault::BitmapViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_tlb_cannot_bypass_bitmap_after_flush() {
+        // Map + access a normal frame, then mark it enclave and flush the
+        // TLB (as EMCall does on bitmap changes): the next access must fault.
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        pt.map(VirtAddr(0x70_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
+            .unwrap();
+        let mut b = [0u8; 1];
+        mmu.load(&mut sys, VirtAddr(0x70_000), &mut b).unwrap();
+        sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
+        // Without a flush the stale entry would still hit — the exact attack
+        // the paper closes by flushing on bitmap changes.
+        mmu.tlb.flush_ppn(frame);
+        assert!(matches!(
+            mmu.load(&mut sys, VirtAddr(0x70_000), &mut b),
+            Err(MemFault::BitmapViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn enclave_mode_reads_encrypted_data() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        sys.engine.program_key(KeyId(3), &[1; 16], &[2; 32]);
+        let frame = alloc.alloc().unwrap();
+        sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
+        pt.map(VirtAddr(0x80_000), frame, Perms::RW, KeyId(3), &mut alloc, &mut sys.phys)
+            .unwrap();
+        mmu.switch_table(Some(pt), true);
+        mmu.store(&mut sys, VirtAddr(0x80_000), b"secret!!").unwrap();
+        let mut b = [0u8; 8];
+        mmu.load(&mut sys, VirtAddr(0x80_000), &mut b).unwrap();
+        assert_eq!(&b, b"secret!!");
+        // Underlying physical bytes are ciphertext.
+        let mut raw = [0u8; 8];
+        sys.phys.read(frame.base(), &mut raw).unwrap();
+        assert_ne!(&raw, b"secret!!");
+    }
+
+    #[test]
+    fn bare_mode_faults() {
+        let (mut sys, _alloc, mut mmu, _pt) = setup();
+        mmu.switch_table(None, false);
+        let mut b = [0u8; 1];
+        assert!(matches!(
+            mmu.load(&mut sys, VirtAddr(0x1000), &mut b),
+            Err(MemFault::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a page boundary")]
+    fn page_crossing_panics() {
+        let (mut sys, _alloc, mut mmu, _pt) = setup();
+        let mut b = [0u8; 16];
+        let _ = mmu.load(&mut sys, VirtAddr(0xff8), &mut b);
+    }
+}

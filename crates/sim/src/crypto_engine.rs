@@ -1,0 +1,69 @@
+//! Timing for the EMS crypto engine and its software fallback.
+//!
+//! Table III gives the engine's measured rates (AES 1.24 Gbps, SHA-256
+//! 16.1 Gbps, RSA sign 123 ops/s, verify 10 K ops/s). Table IV evaluates
+//! primitives *with and without* the engine; [`CryptoOp::cycles`] charges the
+//! appropriate cost for either configuration.
+
+use crate::latency::LatencyBook;
+
+/// A cryptographic operation whose timing is being requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoOp {
+    /// Hash `n` bytes (measurement, transcripts).
+    Sha(u64),
+    /// AES-process `n` bytes (sealing, EWB page encryption).
+    Aes(u64),
+    /// Produce one attestation signature.
+    Sign,
+    /// Verify one signature.
+    Verify,
+}
+
+impl CryptoOp {
+    /// CS-domain cycles for this operation, with or without the engine.
+    pub fn cycles(self, book: &LatencyBook, engine: bool) -> f64 {
+        match self {
+            CryptoOp::Sha(n) => book.measure_cost(n, engine),
+            CryptoOp::Aes(n) => book.ems_aes_cost(n, engine),
+            CryptoOp::Sign => book.sign_cost(engine),
+            CryptoOp::Verify => {
+                if engine {
+                    book.engine_verify_cycles
+                } else {
+                    book.ems_cycles(book.engine_verify_cycles * 1.35 / (2.5 / 0.75))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_always_wins_for_hashing() {
+        let book = LatencyBook::default();
+        for n in [4096u64, 1 << 20, 16 << 20] {
+            let hw = CryptoOp::Sha(n).cycles(&book, true);
+            let sw = CryptoOp::Sha(n).cycles(&book, false);
+            assert!(hw < sw, "engine must accelerate SHA at {n} bytes");
+        }
+    }
+
+    #[test]
+    fn aes_engine_rate() {
+        let book = LatencyBook::default();
+        // 1 MiB at 0.062 B/cycle ≈ 16.9M cycles.
+        let c = CryptoOp::Aes(1 << 20).cycles(&book, true);
+        assert!((c - (1u64 << 20) as f64 / 0.062).abs() < 1.0);
+    }
+
+    #[test]
+    fn sign_is_expensive_either_way() {
+        let book = LatencyBook::default();
+        assert!(CryptoOp::Sign.cycles(&book, true) > 1e7);
+        assert!(CryptoOp::Sign.cycles(&book, false) > CryptoOp::Sign.cycles(&book, true));
+    }
+}

@@ -1,0 +1,164 @@
+//! A small generic discrete-event simulation kernel.
+//!
+//! Events are user-defined payloads ordered by timestamp; ties break by
+//! insertion order so simulations are fully deterministic.
+
+use crate::clock::Cycles;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over event payloads of type `E`.
+///
+/// # Example
+///
+/// ```
+/// use hypertee_sim::engine::EventQueue;
+/// use hypertee_sim::clock::Cycles;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(20), "second");
+/// q.schedule(Cycles(10), "first");
+/// assert_eq!(q.pop(), Some((Cycles(10), "first")));
+/// assert_eq!(q.pop(), Some((Cycles(20), "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Cycles::ZERO }
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time — a
+    /// causality violation that always indicates a model bug.
+    pub fn schedule(&mut self, at: Cycles, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Scheduled { at, seq: self.next_seq, payload });
+        self.next_seq += 1;
+    }
+
+    /// Schedules `payload` at `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Cycles, payload: E) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Pops the next event, advancing the simulation clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(5), 1u32);
+        q.schedule(Cycles(5), 2);
+        q.schedule(Cycles(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(100), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles(100));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "a");
+        q.pop();
+        q.schedule_after(Cycles(5), "b");
+        assert_eq!(q.pop(), Some((Cycles(15), "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), ());
+        q.pop();
+        q.schedule(Cycles(5), ());
+    }
+
+    #[test]
+    fn interleaved_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 'c');
+        q.schedule(Cycles(10), 'a');
+        q.schedule(Cycles(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+}

@@ -1,0 +1,148 @@
+//! Summary statistics for latency samples and overhead reporting.
+
+/// A collection of latency samples with percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0.0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (q in \[0, 1\]) using nearest-rank interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set or `q` outside \[0, 1\].
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "percentile of empty sample set");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        self.ensure_sorted();
+        let idx = ((self.values.len() as f64 - 1.0) * q).round() as usize;
+        self.values[idx]
+    }
+
+    /// Fraction of samples ≤ `threshold`.
+    pub fn fraction_within(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let n = self.values.iter().filter(|&&v| v <= threshold).count();
+        n as f64 / self.values.len() as f64
+    }
+
+    /// Maximum sample; 0.0 for an empty set.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// One row of an overhead report: a workload with baseline and treated times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Baseline cycles (e.g. Host-Native).
+    pub baseline: f64,
+    /// Treated cycles (e.g. Enclave-M_encrypt).
+    pub treated: f64,
+}
+
+impl OverheadRow {
+    /// Relative overhead: `(treated − baseline) / baseline`.
+    pub fn overhead(&self) -> f64 {
+        (self.treated - self.baseline) / self.baseline
+    }
+
+    /// Speedup of baseline over treated (used for Fig. 12 where the
+    /// *baseline* is the slow conventional design).
+    pub fn speedup(&self) -> f64 {
+        self.baseline / self.treated
+    }
+}
+
+/// Geometric-mean overhead across rows (how the paper reports averages).
+pub fn mean_overhead(rows: &[OverheadRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.overhead()).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.push(v as f64);
+        }
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        let p99 = s.percentile(0.99);
+        assert!((99.0..=100.0).contains(&p99));
+    }
+
+    #[test]
+    fn fraction_within_counts() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.fraction_within(2.5), 0.5);
+        assert_eq!(s.fraction_within(0.0), 0.0);
+        assert_eq!(s.fraction_within(100.0), 1.0);
+    }
+
+    #[test]
+    fn overhead_row_math() {
+        let row = OverheadRow { name: "x".into(), baseline: 100.0, treated: 102.0 };
+        assert!((row.overhead() - 0.02).abs() < 1e-12);
+        let fig12 = OverheadRow { name: "resnet".into(), baseline: 400.0, treated: 100.0 };
+        assert!((fig12.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty sample set")]
+    fn empty_percentile_panics() {
+        Samples::new().percentile(0.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload models for the HyperTEE evaluation (§VII-A).
+//!
+//! The paper evaluates with RV8 + wolfSSL (enclave workloads), MemStream
+//! (memory-latency stress), SPEC CPU2017 Integer (non-enclave bitmap-check
+//! impact), DNN inference on the Gemmini accelerator, and a NIC controller.
+//! None of those binaries can run on a simulated SoC without an ISA-level
+//! CPU, so each workload is represented two ways:
+//!
+//! * a **profile** ([`hypertee_sim::perf::WorkloadProfile`]) carrying the
+//!   microarchitectural rates the evaluation depends on — instruction
+//!   counts, memory-reference density, TLB/LLC miss rates (taken from the
+//!   paper where stated, e.g. xalancbmk's 0.8% TLB miss rate), and enclave
+//!   image sizes calibrated so the Table IV measurement shares reproduce;
+//! * where the workload's essence is computable, a **functional kernel**
+//!   ([`rv8::kernels`], [`wolfssl`]) that really performs the work (AES,
+//!   hashing, sorting, compression, a TLS-style handshake) inside enclave
+//!   memory, used by the examples and integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dnn;
+pub mod memstream;
+pub mod nic;
+pub mod programs;
+pub mod rv8;
+pub mod spec;
+pub mod wolfssl;

@@ -1,0 +1,190 @@
+//! Reusable RV64 programs, assembled in Rust, for running *real* workloads
+//! inside enclaves on the functional core (`hypertee-cpu`). These are the
+//! executable counterparts of the profile-based workloads: a stride walker
+//! with the memory behaviour Fig. 11 studies, a sieve of Eratosthenes
+//! (the RV8 `primes` benchmark), and small arithmetic kernels.
+//!
+//! Syscall ABI: `a7` = 93 exit(`a0`), `a7` = 1 ealloc(`a0` bytes) → `a0` va.
+
+use hypertee_cpu::asm::Asm;
+
+/// A program that immediately exits with `code` (smoke tests).
+pub fn exit_with(code: i64) -> Vec<u8> {
+    let mut a = Asm::new();
+    a.addi(10, 0, code.clamp(0, 2047));
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+/// Iterative Fibonacci: exits with `fib(n)`.
+///
+/// # Panics
+///
+/// Panics for `n > 90` (the result would overflow u64 anyway).
+pub fn fib(n: u16) -> Vec<u8> {
+    assert!(n <= 90, "fib({n}) overflows u64");
+    let mut a = Asm::new();
+    a.addi(5, 0, 0);
+    a.addi(6, 0, 1);
+    a.addi(7, 0, n as i64);
+    let top = a.label();
+    let done = a.label();
+    a.bind(top);
+    a.beq(7, 0, done);
+    a.add(28, 5, 6);
+    a.addi(5, 6, 0);
+    a.addi(6, 28, 0);
+    a.addi(7, 7, -1);
+    a.jal(0, top);
+    a.bind(done);
+    a.addi(10, 5, 0);
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+/// The Fig. 11 memory shape: allocate `pages` of heap, then sweep one word
+/// per page, `iterations` times. Exits with 0. Every sweep after a TLB
+/// flush re-walks all `pages` translations — exactly the refill cost the
+/// figure prices.
+pub fn stride_walk(pages: u16, iterations: u16) -> Vec<u8> {
+    let mut a = Asm::new();
+    a.addi(17, 0, 1);
+    a.li(10, pages as u64 * 4096);
+    a.ecall();
+    a.addi(5, 10, 0); // base
+    a.li(6, iterations as u64);
+    let outer = a.label();
+    let outer_done = a.label();
+    a.bind(outer);
+    a.beq(6, 0, outer_done);
+    a.li(7, pages as u64);
+    a.addi(28, 5, 0);
+    let inner = a.label();
+    let inner_done = a.label();
+    a.bind(inner);
+    a.beq(7, 0, inner_done);
+    a.ld(29, 0, 28);
+    a.li(30, 4096);
+    a.add(28, 28, 30);
+    a.addi(7, 7, -1);
+    a.jal(0, inner);
+    a.bind(inner_done);
+    a.addi(6, 6, -1);
+    a.jal(0, outer);
+    a.bind(outer_done);
+    a.addi(10, 0, 0);
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+/// Sieve of Eratosthenes over `[0, n)` — the RV8 `primes` benchmark as an
+/// enclave program. Exits with the count of primes below `n`.
+pub fn sieve(n: u16) -> Vec<u8> {
+    let n = n as u64;
+    let mut a = Asm::new();
+    // base = ealloc(n) — one byte flag per candidate, EMS-zeroed.
+    a.addi(17, 0, 1);
+    a.li(10, n.max(1));
+    a.ecall();
+    a.addi(5, 10, 0); // x5 = base
+    a.li(6, n); // x6 = n
+    a.addi(31, 0, 1); // x31 = 1
+    // Mark 2..n candidate (flag = 1).
+    a.addi(7, 0, 2);
+    let mark = a.label();
+    let mark_done = a.label();
+    a.bind(mark);
+    a.bge(7, 6, mark_done);
+    a.add(28, 5, 7);
+    a.sb(31, 0, 28);
+    a.addi(7, 7, 1);
+    a.jal(0, mark);
+    a.bind(mark_done);
+    // Sieve: for i = 2; i*i < n; i++ { if flag[i] { for j = i*i; j < n; j += i: flag[j] = 0 } }
+    a.addi(7, 0, 2); // i
+    let sieve_top = a.label();
+    let sieve_done = a.label();
+    let next_i = a.label();
+    a.bind(sieve_top);
+    a.mul(28, 7, 7); // i*i
+    a.bge(28, 6, sieve_done);
+    a.add(29, 5, 7);
+    a.lbu(29, 0, 29);
+    a.beq(29, 0, next_i);
+    // inner: j in x28 already = i*i
+    let inner = a.label();
+    a.bind(inner);
+    a.bge(28, 6, next_i);
+    a.add(29, 5, 28);
+    a.sb(0, 0, 29);
+    a.add(28, 28, 7);
+    a.jal(0, inner);
+    a.bind(next_i);
+    a.addi(7, 7, 1);
+    a.jal(0, sieve_top);
+    a.bind(sieve_done);
+    // Count flags.
+    a.addi(7, 0, 2);
+    a.addi(10, 0, 0);
+    let count = a.label();
+    let count_done = a.label();
+    a.bind(count);
+    a.bge(7, 6, count_done);
+    a.add(28, 5, 7);
+    a.lbu(29, 0, 28);
+    a.add(10, 10, 29);
+    a.addi(7, 7, 1);
+    a.jal(0, count);
+    a.bind(count_done);
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertee::exec::RunOutcome;
+    use hypertee::machine::Machine;
+    use hypertee::manifest::EnclaveManifest;
+
+    fn run(image: &[u8], steps: u64) -> u64 {
+        let mut m = Machine::boot_default();
+        let manifest =
+            EnclaveManifest::parse("heap = 2M\nstack = 64K\nhost_shared = 16K").unwrap();
+        let e = m.create_enclave(0, &manifest, image).unwrap();
+        m.enter(0, e).unwrap();
+        match m.run_enclave_program(0, steps).unwrap() {
+            RunOutcome::Exited { code, .. } => code,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_code_propagates() {
+        assert_eq!(run(&exit_with(77), 100), 77);
+    }
+
+    #[test]
+    fn fib_matches_reference() {
+        assert_eq!(run(&fib(10), 10_000), 55);
+        assert_eq!(run(&fib(30), 10_000), 832_040);
+    }
+
+    #[test]
+    fn sieve_matches_rust_kernel() {
+        // Cross-validate the assembled program against the Rust kernel.
+        for n in [10u16, 100, 500] {
+            let expected = crate::rv8::kernels::primes(n as usize);
+            assert_eq!(run(&sieve(n), 3_000_000), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn stride_walk_completes() {
+        assert_eq!(run(&stride_walk(8, 4), 1_000_000), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Confidential-VM lifecycle and migration (§IX): deploy an encrypted VM
+//! image, snapshot it with AES + Merkle-tree integrity, and migrate it to a
+//! second attested HyperTEE node over an encrypted channel.
+//!
+//! Run with: `cargo run --example cvm_migration`
+
+use hypertee_repro::crypto::aes::{ctr_iv, Aes128};
+use hypertee_repro::crypto::chacha::ChaChaRng;
+use hypertee_repro::ems::keys::EFuse;
+use hypertee_repro::ems::runtime::{Ems, EmsContext};
+use hypertee_repro::fabric::ihub::IHub;
+use hypertee_repro::mem::addr::{PhysAddr, Ppn};
+use hypertee_repro::mem::phys::FrameAllocator;
+use hypertee_repro::mem::system::MemorySystem;
+
+/// One HyperTEE node (EMS + memory), standing in for a whole server.
+struct Node {
+    sys: MemorySystem,
+    hub: IHub,
+    os: FrameAllocator,
+    ems: Ems,
+}
+
+impl Node {
+    fn boot(seed: u64) -> Node {
+        let sys = MemorySystem::new(128 << 20, PhysAddr(0x10_000));
+        let (hub, cap) = IHub::new();
+        let os = FrameAllocator::new(Ppn(256), Ppn(30000));
+        let mut rng = ChaChaRng::from_u64(seed);
+        let efuse = EFuse::burn(&mut rng);
+        Node { sys, hub, os, ems: Ems::new(cap, efuse, [0xDD; 32], seed) }
+    }
+
+    fn with<R>(&mut self, f: impl FnOnce(&mut Ems, &mut EmsContext<'_>) -> R) -> R {
+        let mut ctx =
+            EmsContext { sys: &mut self.sys, hub: &mut self.hub, os_frames: &mut self.os };
+        f(&mut self.ems, &mut ctx)
+    }
+}
+
+fn main() {
+    let mut source = Node::boot(1001);
+    let mut destination = Node::boot(2002);
+
+    // The VM owner ships an encrypted image; only EMS holds the key at
+    // deployment time.
+    let image_key: [u8; 16] = *b"vm-owner-img-key";
+    let plain_image = b"confidential VM: kernel, initrd, secrets".to_vec();
+    let mut encrypted = plain_image.clone();
+    Aes128::new(&image_key).ctr_apply(&ctr_iv(0x4356_4d49, 0), &mut encrypted);
+
+    let cvm = source
+        .with(|e, c| e.cvm_create(c, &encrypted, &image_key, 16))
+        .expect("deploy CVM");
+    println!("deployed CVM {:?} ({} guest pages)", cvm, 16);
+    source.with(|e, c| e.cvm_write(c, cvm, 8 * 4096, b"runtime state: 42 sessions")).unwrap();
+
+    // Snapshot to (untrusted) disk: ciphertext + Merkle proofs only; the
+    // key and root stay in EMS private memory.
+    let snapshot = source.with(|e, c| e.cvm_save(c, cvm)).expect("snapshot");
+    println!(
+        "snapshot v{}: {} encrypted pages handed to the host",
+        snapshot.sequence,
+        snapshot.pages.len()
+    );
+    source.with(|e, c| e.cvm_restore(c, &snapshot)).expect("restore");
+    println!("restore verified every page against the EMS-held Merkle root");
+
+    // Migration: ① destination publishes an attested channel offer…
+    let (offer, offer_priv) = destination.ems.migration_offer();
+    // …② source verifies the destination's platform quote against the
+    // manufacturer EK, then emits the encrypted bundle…
+    let dest_ek = destination.ems.ek_public();
+    let bundle = source
+        .with(|e, c| e.migrate_out(c, cvm, &offer, &dest_ek))
+        .expect("source attests destination and exports");
+    println!("source attested the destination node and exported the CVM");
+    // …③ destination verifies the bundle MAC + Merkle root and installs.
+    let new_id = destination
+        .with(|e, c| e.migrate_in(c, &bundle, &offer_priv))
+        .expect("destination installs");
+
+    let mut state = [0u8; 26];
+    destination.with(|e, c| e.cvm_read(c, new_id, 8 * 4096, &mut state)).unwrap();
+    assert_eq!(&state, b"runtime state: 42 sessions");
+    println!(
+        "CVM now runs on the destination as {:?}; live state intact: {:?}",
+        new_id,
+        std::str::from_utf8(&state).unwrap()
+    );
+    println!(
+        "source-side state: {:?} (no longer owns the CVM)",
+        source.ems.cvm_state(cvm).unwrap()
+    );
+}

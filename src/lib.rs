@@ -1,0 +1,16 @@
+//! Umbrella crate for the HyperTEE reproduction workspace.
+//!
+//! This crate exists so that workspace-level integration tests (`tests/`) and
+//! examples (`examples/`) can depend on every member crate at once. The public
+//! API lives in the member crates; the most important entry point is
+//! [`hypertee`], the core crate implementing the paper's primary contribution.
+
+pub use hypertee;
+pub use hypertee_cpu;
+pub use hypertee_crypto as crypto;
+pub use hypertee_emcall as emcall;
+pub use hypertee_ems as ems;
+pub use hypertee_fabric as fabric;
+pub use hypertee_mem as mem;
+pub use hypertee_sim as sim;
+pub use hypertee_workloads as workloads;

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cryptographic invariants.
+
+use hypertee_repro::crypto::aes::{ctr_iv, Aes128};
+use hypertee_repro::crypto::chacha::ChaChaRng;
+use hypertee_repro::crypto::ed::Point;
+use hypertee_repro::crypto::fe::Fe;
+use hypertee_repro::crypto::scalar::Scalar;
+use hypertee_repro::crypto::sha256::{sha256, Sha256};
+use hypertee_repro::crypto::sig::Keypair;
+use hypertee_repro::fabric::ring::Ring;
+use hypertee_repro::mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_repro::mem::mktme::MktmeEngine;
+use hypertee_repro::mem::pagetable::{PageTable, Perms};
+use hypertee_repro::mem::phys::{FrameAllocator, PhysMemory};
+use hypertee_repro::hypertee_cpu::asm::Asm;
+use hypertee_repro::hypertee_cpu::isa::decode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aes_ctr_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                         tweak in any::<u64>(),
+                         data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let cipher = Aes128::new(&key);
+        let iv = ctr_iv(tweak, 1);
+        let mut buf = data.clone();
+        cipher.ctr_apply(&iv, &mut buf);
+        cipher.ctr_apply(&iv, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aes_block_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                           block in prop::array::uniform16(any::<u8>())) {
+        let cipher = Aes128::new(&key);
+        prop_assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
+                                         split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn field_inverse_law(v in 1u64..) {
+        let x = Fe::from_u64(v);
+        prop_assert_eq!(x.mul(&x.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in prop::array::uniform32(any::<u8>()),
+                        b in prop::array::uniform32(any::<u8>()),
+                        c in prop::array::uniform32(any::<u8>())) {
+        let (a, b, c) = (Scalar::from_le_bytes(&a), Scalar::from_le_bytes(&b), Scalar::from_le_bytes(&c));
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn group_homomorphism(x in 1u64.., y in 1u64..) {
+        // (x+y)B == xB + yB for the Edwards group.
+        let (sx, sy) = (Scalar::from_u64(x), Scalar::from_u64(y));
+        let b = Point::base();
+        prop_assert_eq!(b.mul(&sx.add(&sy)), b.mul(&sx).add(&b.mul(&sy)));
+    }
+
+    #[test]
+    fn signatures_bind_messages(seed in any::<u64>(),
+                                msg in prop::collection::vec(any::<u8>(), 1..128),
+                                flip in 0usize..128) {
+        let mut rng = ChaChaRng::from_u64(seed);
+        let kp = Keypair::generate(&mut rng);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1;
+        prop_assert!(!kp.public.verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn mktme_roundtrip_any_range(offset in 0u64..4000,
+                                 data in prop::collection::vec(any::<u8>(), 1..256)) {
+        let mut mem = PhysMemory::new(1 << 20);
+        let mut engine = MktmeEngine::new(true);
+        engine.program_key(KeyId(1), &[9; 16], &[8; 32]);
+        let pa = PhysAddr(0x10_000 + offset);
+        engine.write(&mut mem, pa, KeyId(1), &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn mktme_detects_any_single_bit_flip(byte in 0u64..64, bit in 0u32..8) {
+        let mut mem = PhysMemory::new(1 << 20);
+        let mut engine = MktmeEngine::new(true);
+        engine.program_key(KeyId(1), &[1; 16], &[2; 32]);
+        let pa = PhysAddr(0x20_000);
+        engine.write(&mut mem, pa, KeyId(1), &[0x5a; 64]).unwrap();
+        // Flip one ciphertext bit through the raw path.
+        let mut raw = [0u8; 1];
+        mem.read(PhysAddr(pa.0 + byte), &mut raw).unwrap();
+        raw[0] ^= 1 << bit;
+        mem.write(PhysAddr(pa.0 + byte), &raw).unwrap();
+        let mut buf = [0u8; 64];
+        prop_assert!(engine.read(&mut mem, pa, KeyId(1), &mut buf).is_err());
+    }
+
+    #[test]
+    fn pagetable_maps_are_faithful(entries in prop::collection::btree_map(
+        0u64..10_000, 1u64..5_000, 1..40)) {
+        let mut mem = PhysMemory::new(128 << 20);
+        let mut alloc = FrameAllocator::new(Ppn(16), Ppn(30_000));
+        let pt = PageTable::new(&mut alloc, &mut mem);
+        for (&vpn, &ppn) in &entries {
+            pt.map(VirtAddr(vpn * PAGE_SIZE), Ppn(ppn), Perms::RW, KeyId::HOST,
+                   &mut alloc, &mut mem).unwrap();
+        }
+        // Every mapping translates to exactly what was installed.
+        for (&vpn, &ppn) in &entries {
+            let tr = pt.walk(VirtAddr(vpn * PAGE_SIZE), false, &mut mem).unwrap();
+            prop_assert_eq!(tr.ppn, Ppn(ppn));
+        }
+        // The enumeration matches the installed set exactly.
+        let maps = pt.mappings(&mut mem).unwrap();
+        prop_assert_eq!(maps.len(), entries.len());
+        // Unmapping removes translations.
+        for (&vpn, _) in entries.iter().take(5) {
+            pt.unmap(VirtAddr(vpn * PAGE_SIZE), &mut mem).unwrap();
+            prop_assert!(pt.walk(VirtAddr(vpn * PAGE_SIZE), false, &mut mem).is_err());
+        }
+    }
+
+    #[test]
+    fn ring_behaves_like_vecdeque(ops in prop::collection::vec(any::<Option<u8>>(), 0..200)) {
+        // Some(x) = push, None = pop; compare against the std model.
+        let mut ring = Ring::new(16);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    let ring_ok = ring.push(x).is_ok();
+                    let model_ok = model.len() < 16;
+                    prop_assert_eq!(ring_ok, model_ok);
+                    if model_ok {
+                        model.push_back(x);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ring.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn manifest_accepts_generated_configs(heap in 1u64..1024, stack in 1u64..512,
+                                          shared in 1u64..512) {
+        let text = format!("heap = {heap}K\nstack = {stack}K\nhost_shared = {shared}K");
+        let m = hypertee_repro::hypertee::manifest::EnclaveManifest::parse(&text).unwrap();
+        prop_assert_eq!(m.heap_max, heap * 1024);
+        prop_assert_eq!(m.stack_bytes, stack * 1024);
+        prop_assert_eq!(m.host_shared_bytes, shared * 1024);
+    }
+
+    #[test]
+    fn decoder_is_total(word in any::<u32>()) {
+        // Arbitrary bit patterns either decode or return IllegalInstruction;
+        // never panic.
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn assembled_alu_programs_decode(rd in 1u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+                                     imm in -2048i64..2048) {
+        let mut a = Asm::new();
+        a.addi(rd, rs1, imm);
+        a.add(rd, rs1, rs2);
+        a.xor(rd, rs1, rs2);
+        a.sltu(rd, rs1, rs2);
+        a.mul(rd, rs1, rs2);
+        let image = a.assemble();
+        for chunk in image.chunks(4) {
+            let word = u32::from_le_bytes(chunk.try_into().unwrap());
+            prop_assert!(decode(word).is_ok(), "word {word:#010x} must decode");
+        }
+    }
+
+    #[test]
+    fn li_loads_any_constant(value in any::<u64>()) {
+        // Execute the li expansion on a bare interpreter and check x5.
+        use hypertee_repro::hypertee_cpu::hart::{Cpu, StepEvent};
+        use hypertee_repro::mem::pagetable::{PageTable, Perms};
+        use hypertee_repro::mem::phys::FrameAllocator;
+        use hypertee_repro::mem::system::{CoreMmu, MemorySystem};
+        let mut a = Asm::new();
+        a.li(5, value);
+        a.ecall();
+        let image = a.assemble();
+        let mut sys = MemorySystem::new(8 << 20, PhysAddr(0x2000));
+        let mut frames = FrameAllocator::new(Ppn(16), Ppn(1000));
+        let pt = PageTable::new(&mut frames, &mut sys.phys);
+        let code = frames.alloc().unwrap();
+        sys.phys.write(code.base(), &image).unwrap();
+        pt.map(VirtAddr(0x10_000), code, Perms::RX, KeyId::HOST, &mut frames, &mut sys.phys)
+            .unwrap();
+        let mut mmu = CoreMmu::new(8);
+        mmu.switch_table(Some(pt), false);
+        let mut cpu = Cpu::new(VirtAddr(0x10_000));
+        loop {
+            match cpu.step(&mut mmu, &mut sys).unwrap() {
+                StepEvent::Continue => {}
+                StepEvent::Ecall => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        prop_assert_eq!(cpu.regs[5], value);
+    }
+
+    #[test]
+    fn point_encoding_roundtrips(k in 1u64..) {
+        let p = Point::base().mul(&Scalar::from_u64(k));
+        prop_assert_eq!(Point::decode(&p.encode()).unwrap(), p);
+    }
+}

@@ -1,0 +1,207 @@
+//! Randomized stress testing: hundreds of random SDK operations against the
+//! machine, with global invariants checked throughout. This is the
+//! "monkey test" for the EMS bookkeeping — pool accounting, ownership table,
+//! KeyID lifecycle, and enclave/shm state machines must stay consistent
+//! under any interleaving the random driver produces.
+
+use hypertee_repro::crypto::chacha::ChaChaRng;
+use hypertee_repro::hypertee::machine::{EnclaveHandle, Machine};
+use hypertee_repro::hypertee::manifest::EnclaveManifest;
+use hypertee_repro::hypertee::sdk::ShmPerm;
+use hypertee_repro::mem::addr::VirtAddr;
+
+struct Driver {
+    machine: Machine,
+    rng: ChaChaRng,
+    /// Enclave handle per hart slot, with "entered" flag and live shm ids
+    /// it created.
+    slots: Vec<Slot>,
+    ops: u64,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    enclave: Option<EnclaveHandle>,
+    entered: bool,
+    allocs: Vec<(VirtAddr, u64)>,
+    shms: Vec<u64>,
+}
+
+impl Driver {
+    fn new(seed: u64) -> Driver {
+        let machine = Machine::boot_default();
+        let harts = machine.harts.len();
+        Driver {
+            machine,
+            rng: ChaChaRng::from_u64(seed),
+            slots: (0..harts).map(|_| Slot::default()).collect(),
+            ops: 0,
+        }
+    }
+
+    fn manifest() -> EnclaveManifest {
+        EnclaveManifest::parse("heap = 2M\nstack = 32K\nhost_shared = 16K").unwrap()
+    }
+
+    fn step(&mut self) {
+        self.ops += 1;
+        let hart = (self.rng.gen_range(self.slots.len() as u64)) as usize;
+        let action = self.rng.gen_range(10);
+        let slot_state = (self.slots[hart].enclave.is_some(), self.slots[hart].entered);
+        match (action, slot_state) {
+            // Create.
+            (0, (false, _)) => {
+                let image = format!("stress enclave {}", self.ops);
+                if let Ok(h) =
+                    self.machine.create_enclave(hart, &Self::manifest(), image.as_bytes())
+                {
+                    self.slots[hart].enclave = Some(h);
+                }
+            }
+            // Enter.
+            (1, (true, false)) => {
+                let h = self.slots[hart].enclave.unwrap();
+                if self.machine.enter(hart, h).is_ok() {
+                    self.slots[hart].entered = true;
+                }
+            }
+            // Exit.
+            (2, (_, true)) => {
+                self.machine.exit(hart).unwrap();
+                self.slots[hart].entered = false;
+            }
+            // Destroy (must be exited).
+            (3, (true, false)) => {
+                let h = self.slots[hart].enclave.take().unwrap();
+                self.machine.destroy(hart, h).unwrap();
+                self.slots[hart] = Slot::default();
+            }
+            // EALLOC.
+            (4, (_, true)) => {
+                let bytes = 4096 * (1 + self.rng.gen_range(8));
+                if let Ok(va) = self.machine.ealloc(hart, bytes) {
+                    self.slots[hart].allocs.push((va, bytes));
+                    // Touch it.
+                    self.machine.enclave_store(hart, va, &[0xb5; 16]).unwrap();
+                }
+            }
+            // EFREE the most recent allocation (heap frees must not leave
+            // holes below the cursor being re-allocated; freeing the tail
+            // is always valid).
+            (5, (_, true)) => {
+                if let Some((va, bytes)) = self.slots[hart].allocs.pop() {
+                    // Only the last allocation is guaranteed adjacent to the
+                    // cursor; earlier frees are still legal (the region
+                    // stays reserved), so free whichever we popped.
+                    self.machine.efree(hart, va, bytes).unwrap();
+                }
+            }
+            // Shared memory create.
+            (6, (_, true)) => {
+                if let Ok(id) = self.machine.shmget(hart, 8192, ShmPerm::ReadWrite, false) {
+                    self.slots[hart].shms.push(id);
+                }
+            }
+            // Shared memory destroy (creator, not attached).
+            (7, (_, true)) => {
+                if let Some(id) = self.slots[hart].shms.pop() {
+                    self.machine.shmdes(hart, id).unwrap();
+                }
+            }
+            // EWB from a host hart.
+            (8, (_, false)) => {
+                let _ = self.machine.ewb(hart, 1 + self.rng.gen_range(4));
+            }
+            // Seal/unseal round trip.
+            (9, (_, true)) => {
+                let blob = self.machine.seal(hart, b"stress secret").unwrap();
+                assert_eq!(self.machine.unseal(hart, &blob).unwrap(), b"stress secret");
+            }
+            _ => {}
+        }
+    }
+
+    fn check_invariants(&mut self) {
+        // KeyID accounting: programmed keys == live enclaves with keys +
+        // encrypted shm regions.
+        let live_enclaves = self.machine.ems.enclave_count();
+        let shms: usize = self.slots.iter().map(|s| s.shms.len()).sum();
+        let keys = self.machine.sys.engine.keys_in_use();
+        assert!(
+            keys <= live_enclaves + shms,
+            "key leak: {keys} programmed vs {live_enclaves} enclaves + {shms} shms"
+        );
+        // Pool accounting: stats are internally consistent.
+        let pool = self.machine.ems.pool();
+        assert!(
+            pool.stats.pages_served >= pool.stats.pages_returned,
+            "more pages returned than served"
+        );
+        assert_eq!(
+            pool.stats.pages_served - pool.stats.pages_returned,
+            pool.used_frames(),
+            "pool used-frame accounting drifted"
+        );
+        // EMCall never blocked anything (the driver uses the SDK correctly).
+        assert_eq!(self.machine.emcall.stats.blocked, 0);
+    }
+
+    fn teardown(&mut self) {
+        for hart in 0..self.slots.len() {
+            if self.slots[hart].entered {
+                self.machine.exit(hart).unwrap();
+                self.slots[hart].entered = false;
+            }
+        }
+        for hart in 0..self.slots.len() {
+            // Destroy owned shms first (requires being inside the enclave).
+            if let Some(h) = self.slots[hart].enclave {
+                if !self.slots[hart].shms.is_empty() {
+                    self.machine.enter(hart, h).unwrap();
+                    for id in std::mem::take(&mut self.slots[hart].shms) {
+                        self.machine.shmdes(hart, id).unwrap();
+                    }
+                    self.machine.exit(hart).unwrap();
+                }
+                self.machine.destroy(hart, h).unwrap();
+            }
+        }
+        assert_eq!(self.machine.ems.enclave_count(), 0);
+    }
+}
+
+#[test]
+fn random_operation_storm() {
+    for seed in [1u64, 2, 3] {
+        let mut driver = Driver::new(seed);
+        for i in 0..300 {
+            driver.step();
+            if i % 50 == 49 {
+                driver.check_invariants();
+            }
+        }
+        driver.check_invariants();
+        driver.teardown();
+        driver.check_invariants();
+    }
+}
+
+#[test]
+fn create_destroy_churn_does_not_leak() {
+    let mut m = Machine::boot_default();
+    let manifest = Driver::manifest();
+    let keys_start = m.sys.engine.keys_in_use();
+    let used_start = m.ems.pool().used_frames();
+    for round in 0..20 {
+        let image = format!("churn {round}");
+        let h = m.create_enclave(0, &manifest, image.as_bytes()).unwrap();
+        m.enter(0, h).unwrap();
+        let va = m.ealloc(0, 64 * 1024).unwrap();
+        m.enclave_store(0, va, &[round as u8; 32]).unwrap();
+        m.exit(0).unwrap();
+        m.destroy(0, h).unwrap();
+    }
+    assert_eq!(m.sys.engine.keys_in_use(), keys_start, "KeyID leak across churn");
+    assert_eq!(m.ems.pool().used_frames(), used_start, "frame leak across churn");
+    assert_eq!(m.ems.enclave_count(), 0);
+}

@@ -1,0 +1,220 @@
+//! Workspace-level integration tests: whole-system flows spanning every
+//! crate, driven through the public SDK exactly like the examples.
+
+use hypertee_repro::crypto::chacha::ChaChaRng;
+use hypertee_repro::ems::attest::SigmaInitiator;
+use hypertee_repro::hypertee::machine::{Machine, MachineError};
+use hypertee_repro::hypertee::manifest::EnclaveManifest;
+use hypertee_repro::hypertee::sdk::ShmPerm;
+use hypertee_repro::mem::addr::VirtAddr;
+use hypertee_repro::sim::config::SocConfig;
+use hypertee_repro::workloads::memstream;
+use hypertee_repro::workloads::rv8::kernels;
+
+fn manifest() -> EnclaveManifest {
+    EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap()
+}
+
+#[test]
+fn multi_enclave_concurrent_lifecycles() {
+    let mut m = Machine::boot_default();
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let image = format!("tenant enclave #{i}");
+        handles.push(m.create_enclave(i, &manifest(), image.as_bytes()).unwrap());
+    }
+    // Each runs on its own hart with its own address space.
+    for (i, &h) in handles.iter().enumerate() {
+        m.enter(i, h).unwrap();
+        let va = m.ealloc(i, 32 * 1024).unwrap();
+        m.enclave_store(i, va, format!("tenant {i} data").as_bytes()).unwrap();
+    }
+    // Reads back isolated per tenant.
+    for (i, _) in handles.iter().enumerate() {
+        let mut buf = vec![0u8; 13];
+        m.enclave_load(i, VirtAddr(0x2000_0000), &mut buf).unwrap();
+        assert_eq!(buf, format!("tenant {i} data").as_bytes());
+    }
+    for (i, &h) in handles.iter().enumerate() {
+        m.exit(i).unwrap();
+        m.destroy(i, h).unwrap();
+    }
+    assert_eq!(m.ems.enclave_count(), 0);
+}
+
+#[test]
+fn enclave_runs_rv8_kernels_on_enclave_memory() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"rv8 runner").unwrap();
+    m.enter(0, e).unwrap();
+    let va = m.ealloc(0, 64 * 1024).unwrap();
+
+    // Pull data out of enclave memory, run each kernel, store results back.
+    let mut data = vec![0u8; 4096];
+    for (i, b) in data.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    m.enclave_store(0, va, &data).unwrap();
+    let mut working = vec![0u8; 4096];
+    m.enclave_load(0, va, &mut working).unwrap();
+    assert_eq!(working, data);
+
+    let results = [
+        kernels::aes(&mut working, 1),
+        kernels::dhrystone(10_000),
+        kernels::miniz(&data),
+        kernels::norx(&mut working.clone()),
+        kernels::primes(10_000),
+        kernels::qsort(2_000, 42),
+        kernels::sha512(&data, 3),
+    ];
+    for (i, r) in results.iter().enumerate() {
+        m.enclave_store(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &r.to_le_bytes()).unwrap();
+    }
+    for (i, r) in results.iter().enumerate() {
+        let mut buf = [0u8; 8];
+        m.enclave_load(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), *r);
+    }
+}
+
+#[test]
+fn memstream_chase_in_enclave_memory() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"memstream").unwrap();
+    m.enter(0, e).unwrap();
+    let slots = 1024usize;
+    let va = m.ealloc(0, (slots * 4) as u64).unwrap();
+    let chain = memstream::build_chain(slots, 11);
+    // Store the chain into enclave memory and chase it back out.
+    for (i, next) in chain.iter().enumerate() {
+        m.enclave_store(0, VirtAddr(va.0 + (i as u64) * 4), &next.to_le_bytes()).unwrap();
+    }
+    let mut cur = 0u32;
+    let mut acc = 0u64;
+    for _ in 0..slots {
+        let mut buf = [0u8; 4];
+        m.enclave_load(0, VirtAddr(va.0 + (cur as u64) * 4), &mut buf).unwrap();
+        cur = u32::from_le_bytes(buf);
+        acc = acc.wrapping_add(cur as u64);
+    }
+    assert_eq!(acc, memstream::chase(&chain, slots));
+    assert_eq!(cur, 0, "full cycle returns to slot 0");
+}
+
+#[test]
+fn suspension_preserves_enclave_memory() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"suspend me").unwrap();
+    m.enter(0, e).unwrap();
+    let va = m.ealloc(0, 8192).unwrap();
+    m.enclave_store(0, va, b"survives keyid retirement").unwrap();
+    m.exit(0).unwrap();
+    // EMS suspends the enclave (KeyID pressure path).
+    let mut ctx = hypertee_repro::ems::runtime::EmsContext {
+        sys: &mut m.sys,
+        hub: &mut m.hub,
+        os_frames: &mut m.os,
+    };
+    m.ems.suspend_enclave(&mut ctx, e.0).unwrap();
+    // Resume re-derives the key under a fresh KeyID; data is intact.
+    m.resume(0, e).unwrap();
+    let mut buf = [0u8; 25];
+    m.enclave_load(0, va, &mut buf).unwrap();
+    assert_eq!(&buf, b"survives keyid retirement");
+}
+
+#[test]
+fn quotes_do_not_transfer_across_platforms() {
+    let mut m1 = Machine::boot(SocConfig::default(), 111).unwrap();
+    let mut m2 = Machine::boot(SocConfig::default(), 222).unwrap();
+    let e1 = m1.create_enclave(0, &manifest(), b"same image").unwrap();
+    m1.enter(0, e1).unwrap();
+    let quote = m1.attest(0, e1, b"nonce").unwrap();
+    assert!(quote.verify(&m1.ek_public()));
+    // A different device has a different eFuse EK: the quote is rejected.
+    assert!(!quote.verify(&m2.ek_public()));
+    let _ = m2.create_enclave(0, &manifest(), b"same image").unwrap();
+}
+
+#[test]
+fn sigma_session_keys_are_fresh_per_run() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"sigma").unwrap();
+    m.enter(0, e).unwrap();
+    let meas = m.attest(0, e, b"").unwrap().enclave_measurement;
+    let ek = m.ek_public();
+    let mut rng = ChaChaRng::from_u64(5);
+    let (i1, msg1a) = SigmaInitiator::start(&mut rng);
+    let k1 = i1.finish(&m.ems.sigma_respond(e.0, &msg1a).unwrap(), &ek, &meas).unwrap();
+    let (i2, msg1b) = SigmaInitiator::start(&mut rng);
+    let k2 = i2.finish(&m.ems.sigma_respond(e.0, &msg1b).unwrap(), &ek, &meas).unwrap();
+    assert_ne!(k1, k2, "ephemeral ECDH must give fresh session keys");
+}
+
+#[test]
+fn sealed_data_survives_enclave_reincarnation() {
+    let mut m = Machine::boot_default();
+    let e1 = m.create_enclave(0, &manifest(), b"identical image").unwrap();
+    m.enter(0, e1).unwrap();
+    let blob = m.seal(0, b"state across restarts").unwrap();
+    m.exit(0).unwrap();
+    m.destroy(0, e1).unwrap();
+    // The same image relaunched has the same measurement → can unseal.
+    let e2 = m.create_enclave(0, &manifest(), b"identical image").unwrap();
+    m.enter(0, e2).unwrap();
+    assert_eq!(m.unseal(0, &blob).unwrap(), b"state across restarts");
+    // A different image cannot.
+    m.exit(0).unwrap();
+    let e3 = m.create_enclave(1, &manifest(), b"different image!").unwrap();
+    m.enter(1, e3).unwrap();
+    assert!(m.unseal(1, &blob).is_err());
+}
+
+#[test]
+fn ewb_swap_and_continue() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"swap workload").unwrap();
+    m.enter(0, e).unwrap();
+    let va = m.ealloc(0, 512 * 1024).unwrap();
+    m.enclave_store(0, va, &[0x77; 64]).unwrap();
+    m.exit(0).unwrap();
+    // The OS reclaims memory via EWB several times.
+    let mut reclaimed = 0;
+    for _ in 0..3 {
+        reclaimed += m.ewb(1, 4).unwrap().len();
+    }
+    assert!(reclaimed >= 12);
+    // The enclave keeps running with its data intact.
+    m.resume(0, e).unwrap();
+    let mut buf = [0u8; 64];
+    m.enclave_load(0, va, &mut buf).unwrap();
+    assert_eq!(buf, [0x77; 64]);
+}
+
+#[test]
+fn wrong_mode_operations_are_rejected() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"modes").unwrap();
+    // Enclave-only operations fail outside an enclave.
+    assert!(matches!(m.ealloc(0, 4096), Err(MachineError::WrongMode)));
+    assert!(matches!(m.exit(0), Err(MachineError::WrongMode)));
+    assert!(matches!(m.seal(0, b"x"), Err(MachineError::WrongMode)));
+    // Double entry is rejected.
+    m.enter(0, e).unwrap();
+    assert!(matches!(m.enter(0, e), Err(MachineError::WrongMode)));
+}
+
+#[test]
+fn emcall_statistics_track_activity() {
+    let mut m = Machine::boot_default();
+    let e = m.create_enclave(0, &manifest(), b"stats").unwrap();
+    m.enter(0, e).unwrap();
+    m.ealloc(0, 4096).unwrap();
+    m.exit(0).unwrap();
+    assert!(m.emcall.stats.forwarded >= 6, "create(3) + enter + alloc + exit");
+    assert!(m.emcall.stats.context_switches >= 2);
+    assert!(m.emcall.stats.tlb_flushes >= 2);
+    assert_eq!(m.emcall.stats.blocked, 0);
+    assert!(m.ems.stats.served >= 6);
+}
