@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the in-tree crypto primitives — the
-//! software side of the Table IV engine/no-engine comparison.
+//! Micro-benchmarks for the in-tree crypto primitives — the software side
+//! of the Table IV engine/no-engine comparison. Runs on the dependency-free
+//! harness in `hypertee_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hypertee_bench::microbench::bench;
 use hypertee_crypto::aes::{ctr_iv, Aes128};
 use hypertee_crypto::chacha::ChaChaRng;
 use hypertee_crypto::sha256::sha256;
@@ -9,36 +10,31 @@ use hypertee_crypto::sha3::sha3_256;
 use hypertee_crypto::sig::Keypair;
 use std::hint::black_box;
 
-fn bench_symmetric(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symmetric");
+fn main() {
     let data = vec![0xa5u8; 64 * 1024];
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("aes128_ctr_64k", |b| {
-        let cipher = Aes128::new(&[7; 16]);
-        let iv = ctr_iv(0x1000, 1);
-        b.iter(|| {
-            let mut buf = data.clone();
-            cipher.ctr_apply(&iv, &mut buf);
-            black_box(buf[0])
-        })
-    });
-    group.bench_function("sha256_64k", |b| b.iter(|| black_box(sha256(&data))));
-    group.bench_function("sha3_256_64k", |b| b.iter(|| black_box(sha3_256(&data))));
-    group.finish();
-}
+    let bytes = data.len() as u64;
 
-fn bench_signatures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signatures");
-    group.sample_size(10);
+    let cipher = Aes128::new(&[7; 16]);
+    let iv = ctr_iv(0x1000, 1);
+    bench("symmetric/aes128_ctr_64k", 20, bytes, || {
+        let mut buf = data.clone();
+        cipher.ctr_apply(&iv, &mut buf);
+        black_box(buf[0]);
+    });
+    bench("symmetric/sha256_64k", 20, bytes, || {
+        black_box(sha256(&data));
+    });
+    bench("symmetric/sha3_256_64k", 20, bytes, || {
+        black_box(sha3_256(&data));
+    });
+
     let mut rng = ChaChaRng::from_u64(42);
     let kp = Keypair::generate(&mut rng);
     let sig = kp.sign(b"measurement");
-    group.bench_function("schnorr_sign", |b| b.iter(|| black_box(kp.sign(b"measurement"))));
-    group.bench_function("schnorr_verify", |b| {
-        b.iter(|| black_box(kp.public.verify(b"measurement", &sig)))
+    bench("signatures/schnorr_sign", 10, 0, || {
+        black_box(kp.sign(b"measurement"));
     });
-    group.finish();
+    bench("signatures/schnorr_verify", 10, 0, || {
+        black_box(kp.public.verify(b"measurement", &sig));
+    });
 }
-
-criterion_group!(benches, bench_symmetric, bench_signatures);
-criterion_main!(benches);

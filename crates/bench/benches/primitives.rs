@@ -1,47 +1,47 @@
-//! Criterion benchmarks for the functional machine: primitive round trips
-//! through EMCall → mailbox → EMS, as a real SoC driver would issue them.
+//! Benchmarks for the functional machine: primitive round trips through
+//! EMCall → mailbox → EMS, as a real SoC driver would issue them. Runs on
+//! the dependency-free harness in `hypertee_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hypertee::machine::Machine;
 use hypertee::manifest::EnclaveManifest;
 use hypertee::sdk::ShmPerm;
+use hypertee_bench::microbench::bench;
 use std::hint::black_box;
 
 fn manifest() -> EnclaveManifest {
     EnclaveManifest::parse("heap = 64M\nstack = 64K\nhost_shared = 64K").unwrap()
 }
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
-    group.sample_size(10);
-
-    group.bench_function("ealloc_64k_round_trip", |b| {
+fn main() {
+    {
         let mut m = Machine::boot_default();
         let e = m.create_enclave(0, &manifest(), b"bench enclave").unwrap();
         m.enter(0, e).unwrap();
-        b.iter(|| black_box(m.ealloc(0, 64 * 1024).unwrap()));
-    });
+        bench("primitives/ealloc_64k_round_trip", 10, 64 * 1024, || {
+            black_box(m.ealloc(0, 64 * 1024).unwrap());
+        });
+    }
 
-    group.bench_function("context_switch_pair", |b| {
+    {
         let mut m = Machine::boot_default();
         let e = m.create_enclave(0, &manifest(), b"bench enclave").unwrap();
         m.enter(0, e).unwrap();
         m.exit(0).unwrap();
-        b.iter(|| {
+        bench("primitives/context_switch_pair", 10, 0, || {
             m.resume(0, e).unwrap();
             m.exit(0).unwrap();
         });
-    });
+    }
 
-    group.bench_function("create_destroy_enclave", |b| {
+    {
         let mut m = Machine::boot_default();
-        b.iter(|| {
+        bench("primitives/create_destroy_enclave", 5, 0, || {
             let e = m.create_enclave(0, &manifest(), b"short-lived enclave").unwrap();
             m.destroy(0, e).unwrap();
         });
-    });
+    }
 
-    group.bench_function("shm_store_load_4k", |b| {
+    {
         let mut m = Machine::boot_default();
         let s = m.create_enclave(0, &manifest(), b"sender").unwrap();
         let r = m.create_enclave(1, &manifest(), b"receiver").unwrap();
@@ -53,27 +53,19 @@ fn bench_primitives(c: &mut Criterion) {
         let r_va = m.shmat(1, shmid, s).unwrap();
         let payload = vec![0x5au8; 4096];
         let mut sink = vec![0u8; 4096];
-        b.iter(|| {
+        bench("primitives/shm_store_load_4k", 10, 4096, || {
             m.enclave_store(0, s_va, &payload).unwrap();
             m.enclave_load(1, r_va, &mut sink).unwrap();
-            black_box(sink[0])
+            black_box(sink[0]);
         });
-    });
+    }
 
-    group.finish();
-}
-
-fn bench_attestation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("attestation");
-    group.sample_size(10);
-    group.bench_function("eattest_quote", |b| {
+    {
         let mut m = Machine::boot_default();
         let e = m.create_enclave(0, &manifest(), b"attested").unwrap();
         m.enter(0, e).unwrap();
-        b.iter(|| black_box(m.attest(0, e, b"challenge").unwrap()));
-    });
-    group.finish();
+        bench("attestation/eattest_quote", 5, 0, || {
+            black_box(m.attest(0, e, b"challenge").unwrap());
+        });
+    }
 }
-
-criterion_group!(benches, bench_primitives, bench_attestation);
-criterion_main!(benches);

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod microbench;
 
 use hypertee::attacks::{self, AttackReport};
 use hypertee::baselines::{table6_policies, Defense};

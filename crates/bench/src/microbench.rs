@@ -1,0 +1,83 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace builds with no registry access, so the `[[bench]]`
+//! targets cannot use criterion; this module provides the small subset the
+//! in-tree benches need: warm-up, repeated timed batches, and a
+//! median-of-batches report in ns/iter (plus throughput when the caller
+//! supplies a per-iteration byte count).
+
+use std::time::Instant;
+
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 7;
+
+/// One benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark label.
+    pub name: String,
+    /// Median batch time divided by iterations, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Bytes processed per iteration (0 when not meaningful).
+    pub bytes_per_iter: u64,
+}
+
+impl BenchReport {
+    /// Throughput in MiB/s, when `bytes_per_iter` was supplied.
+    pub fn mib_per_sec(&self) -> Option<f64> {
+        if self.bytes_per_iter == 0 || self.ns_per_iter == 0.0 {
+            return None;
+        }
+        Some(self.bytes_per_iter as f64 / (1 << 20) as f64 / (self.ns_per_iter * 1e-9))
+    }
+}
+
+impl std::fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:40} {:>14.1} ns/iter", self.name, self.ns_per_iter)?;
+        if let Some(tp) = self.mib_per_sec() {
+            write!(f, " {tp:>10.1} MiB/s")?;
+        }
+        Ok(())
+    }
+}
+
+/// Times `f` over `iters` iterations per batch, printing and returning the
+/// median-of-batches report. The closure's return value is consumed with a
+/// volatile-free sink (`std::hint::black_box`) by the caller.
+pub fn bench(name: &str, iters: u32, bytes_per_iter: u64, mut f: impl FnMut()) -> BenchReport {
+    // Warm-up batch.
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    let mut samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(iters.max(1)));
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let report = BenchReport {
+        name: name.to_string(),
+        ns_per_iter: samples[samples.len() / 2],
+        bytes_per_iter,
+    };
+    println!("{report}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_positive_time() {
+        let r = bench("spin", 100, 64, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.mib_per_sec().unwrap() > 0.0);
+    }
+}

@@ -6,7 +6,9 @@ use hypertee_ems::keys::EFuse;
 use hypertee_ems::runtime::{Ems, EmsContext};
 use hypertee_fabric::ihub::IHub;
 use hypertee_fabric::message::{Primitive, Response, Status};
+use hypertee_faults::{FaultPlan, FaultStats};
 use hypertee_mem::addr::{PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_mem::audit::{AuditError, ConsistencyAudit};
 use hypertee_mem::pagetable::{PageTable, Perms};
 use hypertee_mem::phys::FrameAllocator;
 use hypertee_mem::system::MemorySystem;
@@ -52,6 +54,9 @@ pub enum MachineError {
     WrongMode,
     /// Unknown enclave handle.
     UnknownEnclave,
+    /// The primitive round trip kept failing (lost packets, repeated
+    /// aborts) past the retry budget of [`RetryPolicy`].
+    Timeout,
 }
 
 impl From<EmCallError> for MachineError {
@@ -76,6 +81,7 @@ impl core::fmt::Display for MachineError {
             MachineError::OutOfMemory => write!(f, "out of physical memory"),
             MachineError::WrongMode => write!(f, "hart in wrong mode"),
             MachineError::UnknownEnclave => write!(f, "unknown enclave handle"),
+            MachineError::Timeout => write!(f, "primitive retries exhausted"),
         }
     }
 }
@@ -84,6 +90,28 @@ impl std::error::Error for MachineError {}
 
 /// Shorthand result.
 pub type MachineResult<T> = Result<T, MachineError>;
+
+/// How stubbornly [`Machine::invoke`] chases a response.
+///
+/// A fault-free round trip completes within one or two polls, so the poll
+/// budget only bites when a packet was dropped, corrupted, or delayed by an
+/// injected fault. Each retry resubmits the request under the *same*
+/// `req_id`, which the EMS response cache makes idempotent, and charges an
+/// exponentially growing back-off to the machine clock.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Poll iterations per attempt before the request is declared lost.
+    pub poll_budget: u32,
+    /// Resubmissions after the first attempt before giving up with
+    /// [`MachineError::Timeout`].
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { poll_budget: 32, max_retries: 6 }
+    }
+}
 
 /// The simulated HyperTEE SoC.
 pub struct Machine {
@@ -107,6 +135,8 @@ pub struct Machine {
     pub config: SocConfig,
     /// The timing calibration used for live cycle accounting.
     pub book: LatencyBook,
+    /// Poll/retry budget for primitive round trips under faults.
+    pub retry: RetryPolicy,
     /// Simulated-time clock: every primitive round trip charges its
     /// modelled cost here, so functional runs also report SoC time.
     pub clock: Cycles,
@@ -188,6 +218,7 @@ impl Machine {
             boot_report: report,
             config,
             book: LatencyBook::default(),
+            retry: RetryPolicy::default(),
             clock: Cycles::ZERO,
             enclaves: BTreeMap::new(),
             next_host_va: 0x7000_0000,
@@ -205,13 +236,52 @@ impl Machine {
         self.ems.service(&mut ctx)
     }
 
-    /// Invokes one enclave primitive from `hart_id`: EMCall gate → mailbox →
-    /// EMS → polled response.
+    /// Arms every fault site in the SoC — mailbox, DMA whitelist, and the
+    /// EMS runtime — from one replayable seed-driven plan.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.hub.arm_faults(plan);
+        self.ems.arm_faults(plan);
+    }
+
+    /// Merged injected-fault statistics across the fabric and EMS sites.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.hub.fault_stats();
+        stats.merge(self.ems.fault_stats());
+        stats
+    }
+
+    /// Runs the cross-structure consistency audit over the live machine:
+    /// enclave bitmap vs ownership table vs pool free list vs the page
+    /// tables of every non-poisoned enclave.
     ///
     /// # Errors
     ///
-    /// [`MachineError::Gate`] for cross-privilege calls and
-    /// [`MachineError::Primitive`] for EMS-side failures.
+    /// The first [`AuditError`] invariant violation found.
+    pub fn audit(&mut self) -> Result<ConsistencyAudit, AuditError> {
+        let tables = self.ems.audit_tables();
+        ConsistencyAudit::run(
+            &mut self.sys,
+            self.ems.ownership(),
+            self.ems.pool().free_list(),
+            self.ems.pool().used_frames(),
+            &tables,
+        )
+    }
+
+    /// Invokes one enclave primitive from `hart_id`: EMCall gate → mailbox →
+    /// EMS → polled response, with bounded recovery. If the response does
+    /// not arrive within [`RetryPolicy::poll_budget`] polls (dropped or
+    /// corrupted packet) or comes back [`Status::Aborted`] (injected
+    /// mid-primitive fault, already rolled back on EMS), the request is
+    /// resubmitted under the same `req_id` after an exponential back-off —
+    /// the EMS response cache makes replayed completions idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Gate`] for cross-privilege calls,
+    /// [`MachineError::Primitive`] for EMS-side failures, and
+    /// [`MachineError::Timeout`] when [`RetryPolicy::max_retries`]
+    /// resubmissions still produced no completion.
     pub fn invoke(
         &mut self,
         hart_id: usize,
@@ -219,22 +289,79 @@ impl Machine {
         args: Vec<u64>,
         payload: Vec<u8>,
     ) -> MachineResult<Response> {
-        let ticket = {
+        let mut ticket = {
             let hart = &self.harts[hart_id];
-            self.emcall.submit(hart, &mut self.hub, primitive, args, payload)?
+            self.emcall.submit(hart, &mut self.hub, primitive, args.clone(), payload.clone())?
         };
-        let mut ticket = ticket;
+        let mut attempt: u32 = 0;
         loop {
-            self.pump_ems();
-            match self.emcall.poll(&mut self.hub, ticket) {
-                Ok(resp) => {
-                    self.charge_primitive(primitive, &resp);
-                    if resp.status == Status::Ok {
-                        return Ok(resp);
+            let mut polls: u32 = 0;
+            // A collected response consumes the ticket (one request, one
+            // collector); a blown poll budget carries it out for resubmission.
+            let outcome = loop {
+                self.pump_ems();
+                match self.emcall.poll(&mut self.hub, ticket) {
+                    Ok(resp) => break Ok(resp),
+                    Err(t) => {
+                        polls += 1;
+                        if polls >= self.retry.poll_budget {
+                            break Err(t);
+                        }
+                        ticket = t;
                     }
+                }
+            };
+            attempt += 1;
+            let backoff = self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16));
+            match outcome {
+                Ok(resp) if resp.status == Status::Ok => {
+                    self.charge_primitive(primitive, &resp);
+                    return Ok(resp);
+                }
+                Ok(resp) if resp.status != Status::Aborted => {
+                    self.charge_primitive(primitive, &resp);
                     return Err(MachineError::Primitive(resp.status));
                 }
-                Err(t) => ticket = t,
+                Ok(_aborted) => {
+                    // Aborted mid-primitive: EMS rolled back and cached
+                    // nothing, so a fresh submission is safe. The abort
+                    // response itself still crossed the fabric.
+                    if attempt > self.retry.max_retries {
+                        return Err(MachineError::Timeout);
+                    }
+                    self.clock +=
+                        Cycles((self.book.mailbox_round_trip() + backoff).round() as u64);
+                    let hart = &self.harts[hart_id];
+                    ticket = self.emcall.submit(
+                        hart,
+                        &mut self.hub,
+                        primitive,
+                        args.clone(),
+                        payload.clone(),
+                    )?;
+                }
+                Err(t) => {
+                    // Round trip lost (dropped/corrupted packet): resubmit
+                    // under the same req_id — if EMS in fact completed the
+                    // request, its response cache replays the completion
+                    // instead of re-executing the primitive.
+                    if attempt > self.retry.max_retries {
+                        return Err(MachineError::Timeout);
+                    }
+                    self.clock += Cycles(
+                        (f64::from(polls) * self.book.emcall_poll + backoff).round() as u64,
+                    );
+                    let hart = &self.harts[hart_id];
+                    self.emcall.resubmit(
+                        hart,
+                        &mut self.hub,
+                        &t,
+                        primitive,
+                        args.clone(),
+                        payload.clone(),
+                    )?;
+                    ticket = t;
+                }
             }
         }
     }

@@ -8,10 +8,10 @@
 //! sizes, `#` comments, blank lines ignored.
 
 use hypertee_ems::control::EnclaveConfig;
-use serde::{Deserialize, Serialize};
 
 /// A parsed enclave manifest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnclaveManifest {
     /// Optional display name.
     pub name: String,

@@ -71,7 +71,7 @@ impl Cpu {
         len: usize,
     ) -> Result<u64, Trap> {
         self.stats.mem_ops += 1;
-        if va % len as u64 != 0 {
+        if !va.is_multiple_of(len as u64) {
             // Misaligned accesses split at page granularity would complicate
             // the MMU contract; treat as a bus error at the address.
             return Err(Trap::Mem(MemFault::BusError { pa: va }));
@@ -92,7 +92,7 @@ impl Cpu {
         value: u64,
     ) -> Result<(), Trap> {
         self.stats.mem_ops += 1;
-        if va % len as u64 != 0 {
+        if !va.is_multiple_of(len as u64) {
             return Err(Trap::Mem(MemFault::BusError { pa: va }));
         }
         let bytes = value.to_le_bytes();
@@ -119,13 +119,7 @@ impl Cpu {
                     ((a as i64).wrapping_div(b as i64)) as u64
                 }
             }
-            AluKind::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluKind::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             AluKind::Rem => {
                 if b == 0 {
                     a

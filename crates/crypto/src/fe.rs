@@ -19,9 +19,9 @@ pub struct Fe(pub(crate) U256);
 fn mul_small(x: &U512, k: u64) -> U512 {
     let mut out = [0u64; 8];
     let mut carry = 0u128;
-    for i in 0..8 {
-        let acc = (x.0[i] as u128) * (k as u128) + carry;
-        out[i] = acc as u64;
+    for (o, &limb) in out.iter_mut().zip(x.0.iter()) {
+        let acc = (limb as u128) * (k as u128) + carry;
+        *o = acc as u64;
         carry = acc >> 64;
     }
     debug_assert_eq!(carry, 0, "mul_small overflow");
@@ -31,10 +31,10 @@ fn mul_small(x: &U512, k: u64) -> U512 {
 fn add512(a: &U512, b: &U512) -> U512 {
     let mut out = [0u64; 8];
     let mut carry = 0u64;
-    for i in 0..8 {
-        let (s1, c1) = a.0[i].overflowing_add(b.0[i]);
+    for (o, (&ai, &bi)) in out.iter_mut().zip(a.0.iter().zip(b.0.iter())) {
+        let (s1, c1) = ai.overflowing_add(bi);
         let (s2, c2) = s1.overflowing_add(carry);
-        out[i] = s2;
+        *o = s2;
         carry = (c1 as u64) + (c2 as u64);
     }
     debug_assert_eq!(carry, 0, "add512 overflow");
@@ -45,10 +45,10 @@ fn add512(a: &U512, b: &U512) -> U512 {
 fn shr255(x: &U512) -> U512 {
     // Shift right by 255 = shift right 192 bits (3 limbs) then 63 bits.
     let mut limbs = [0u64; 8];
-    for i in 0..5 {
+    for (i, limb) in limbs.iter_mut().enumerate().take(5) {
         let lo = x.0[i + 3] >> 63;
         let hi = if i + 4 < 8 { x.0[i + 4] << 1 } else { 0 };
-        limbs[i] = lo | hi;
+        *limb = lo | hi;
     }
     U512(limbs)
 }

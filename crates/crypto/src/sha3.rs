@@ -25,7 +25,7 @@ const PI: [usize; 24] = [
 
 /// Applies the Keccak-f\[1600\] permutation to the 25-lane state.
 pub fn keccakf(state: &mut [u64; 25]) {
-    for round in 0..ROUNDS {
+    for &rc in RC.iter() {
         // Theta.
         let mut c = [0u64; 5];
         for x in 0..5 {
@@ -59,7 +59,7 @@ pub fn keccakf(state: &mut [u64; 25]) {
             }
         }
         // Iota.
-        state[0] ^= RC[round];
+        state[0] ^= rc;
     }
 }
 

@@ -62,10 +62,10 @@ impl U256 {
     pub fn adc(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256(out), carry != 0)
@@ -75,10 +75,10 @@ impl U256 {
     pub fn sbb(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256(out), borrow != 0)
@@ -183,10 +183,10 @@ impl U512 {
     pub fn checked_sub(&self, other: &U512) -> U512 {
         let mut out = [0u64; 8];
         let mut borrow = 0u64;
-        for i in 0..8 {
-            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         debug_assert_eq!(borrow, 0, "checked_sub underflow");

@@ -151,6 +151,9 @@ pub struct EmCallStats {
     pub context_switches: u64,
     /// TLB flushes issued (context switches + bitmap changes).
     pub tlb_flushes: u64,
+    /// Requests resubmitted under an existing ticket after a lost or
+    /// aborted round trip.
+    pub resubmissions: u64,
     /// Exceptions routed to EMS.
     pub to_ems: u64,
     /// Exceptions routed to the CS OS.
@@ -249,6 +252,38 @@ impl EmCall {
         let request = Request { req_id: 0, primitive, caller, args, payload };
         self.stats.forwarded += 1;
         Ok(hub.mailbox.submit(request))
+    }
+
+    /// Resubmits a primitive under the `req_id` of an existing ticket after
+    /// the original round trip was lost (dropped packet, corrupt response)
+    /// or aborted mid-primitive. The same gate checks apply as on first
+    /// submission; reusing the `req_id` lets the EMS-side response cache
+    /// make the retry idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`EmCallError::CrossPrivilege`] when Table II forbids this primitive
+    /// at the hart's privilege level.
+    pub fn resubmit(
+        &mut self,
+        hart: &HartState,
+        hub: &mut IHub,
+        ticket: &RequestTicket,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> Result<(), EmCallError> {
+        let required = primitive.required_privilege();
+        if hart.privilege != required {
+            self.stats.blocked += 1;
+            return Err(EmCallError::CrossPrivilege { required, actual: hart.privilege });
+        }
+        let caller = CallerIdentity { privilege: hart.privilege, enclave: hart.current_enclave };
+        let request = Request { req_id: 0, primitive, caller, args, payload };
+        self.stats.forwarded += 1;
+        self.stats.resubmissions += 1;
+        hub.mailbox.resubmit(ticket, request);
+        Ok(())
     }
 
     /// Polls for the response bound to `ticket`, using the obfuscated
@@ -413,6 +448,30 @@ mod tests {
         let resp = emcall.poll(&mut hub, ticket).unwrap();
         assert_eq!(resp.status, Status::Ok);
         assert!(emcall.stats.polls >= 2);
+    }
+
+    #[test]
+    fn resubmit_reuses_ticket_req_id() {
+        let mut emcall = EmCall::new();
+        let (mut hub, cap) = IHub::new();
+        let h = hart(Privilege::User, Some(1));
+        let ticket = emcall
+            .submit(&h, &mut hub, Primitive::Ealloc, vec![1, 4096], vec![])
+            .unwrap();
+        let first = hub.ems_fetch_request(&cap).unwrap();
+        // Pretend the response was lost; resubmit under the same ticket.
+        emcall
+            .resubmit(&h, &mut hub, &ticket, Primitive::Ealloc, vec![1, 4096], vec![])
+            .unwrap();
+        let second = hub.ems_fetch_request(&cap).unwrap();
+        assert_eq!(first.req_id, second.req_id);
+        assert_eq!(second.caller.enclave, Some(EnclaveId(1)));
+        assert_eq!(emcall.stats.resubmissions, 1);
+        // The gate still applies on the retry path.
+        let os = hart(Privilege::Os, None);
+        assert!(emcall
+            .resubmit(&os, &mut hub, &ticket, Primitive::Ealloc, vec![1, 4096], vec![])
+            .is_err());
     }
 
     #[test]

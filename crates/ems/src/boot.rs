@@ -84,7 +84,7 @@ fn flash_cipher(flash_key: &[u8; 16]) -> Aes128 {
 /// Encrypts a runtime image for flash storage (manufacturing-side helper).
 pub fn provision_flash(flash_key: &[u8; 16], runtime: &[u8]) -> (FlashImage, Eeprom, [u8; 32]) {
     let mut data = runtime.to_vec();
-    flash_cipher(flash_key).ctr_apply(&ctr_iv(0x464c_4153_48, 0), &mut data);
+    flash_cipher(flash_key).ctr_apply(&ctr_iv(0x0046_4c41_5348, 0), &mut data);
     let runtime_hash = sha256(runtime);
     (
         FlashImage { ciphertext: data },
@@ -108,7 +108,7 @@ pub fn secure_boot(
     let mut stages = vec![BootStage::ChipInit];
     // BootROM: decrypt the runtime and verify against the EEPROM hash.
     let mut runtime = flash.ciphertext.clone();
-    flash_cipher(flash_key).ctr_apply(&ctr_iv(0x464c_4153_48, 0), &mut runtime);
+    flash_cipher(flash_key).ctr_apply(&ctr_iv(0x0046_4c41_5348, 0), &mut runtime);
     let runtime_hash = sha256(&runtime);
     if !ct_eq(&runtime_hash, &eeprom.runtime_hash) {
         return Err(BootError::RuntimeTampered);

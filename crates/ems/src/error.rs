@@ -19,6 +19,9 @@ pub enum EmsError {
     Exhausted,
     /// An underlying memory fault.
     Mem(MemFault),
+    /// The primitive was aborted mid-flight; its partial effects were
+    /// rolled back and the caller may retry the identical request.
+    Aborted,
 }
 
 impl From<MemFault> for EmsError {
@@ -33,9 +36,10 @@ impl From<EmsError> for Status {
             EmsError::InvalidArgument => Status::InvalidArgument,
             EmsError::AccessDenied => Status::AccessDenied,
             EmsError::NotFound => Status::NotFound,
-            EmsError::BadState => Status::InvalidArgument,
+            EmsError::BadState => Status::BadState,
             EmsError::Exhausted => Status::Exhausted,
-            EmsError::Mem(_) => Status::InvalidArgument,
+            EmsError::Mem(_) => Status::MemFault,
+            EmsError::Aborted => Status::Aborted,
         }
     }
 }
@@ -49,6 +53,7 @@ impl core::fmt::Display for EmsError {
             EmsError::BadState => write!(f, "object in wrong state"),
             EmsError::Exhausted => write!(f, "resources exhausted"),
             EmsError::Mem(m) => write!(f, "memory fault: {m}"),
+            EmsError::Aborted => write!(f, "primitive aborted; partial effects rolled back"),
         }
     }
 }
@@ -68,6 +73,15 @@ mod tests {
         assert_eq!(Status::from(EmsError::AccessDenied), Status::AccessDenied);
         assert_eq!(Status::from(EmsError::Exhausted), Status::Exhausted);
         assert_eq!(Status::from(EmsError::NotFound), Status::NotFound);
+        // Lossless: these must NOT collapse to InvalidArgument — the CS
+        // side distinguishes "bad call" from "bad state" and "memory fault"
+        // when deciding whether to retry.
+        assert_eq!(Status::from(EmsError::BadState), Status::BadState);
+        assert_eq!(
+            Status::from(EmsError::Mem(MemFault::PageFault { va: 0x2000 })),
+            Status::MemFault
+        );
+        assert_eq!(Status::from(EmsError::Aborted), Status::Aborted);
     }
 
     #[test]

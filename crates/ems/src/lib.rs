@@ -22,6 +22,9 @@
 //! * [`runtime`] — the [`runtime::Ems`] dispatcher: fetches primitive
 //!   requests from the iHub mailbox, sanity-checks arguments, executes, and
 //!   responds.
+//! * [`txn`] — primitive-scoped transactions: a step counter (the abort
+//!   injection point) plus an undo log, so mid-primitive faults roll back
+//!   instead of leaving the pool/ownership/bitmap/page-table disagreeing.
 //!
 //! All state the paper keeps in EMS private memory (ownership table, control
 //! structures, pool bookkeeping, keys) is private to [`runtime::Ems`];
@@ -42,3 +45,4 @@ pub mod mempool;
 pub mod runtime;
 pub mod scheduler;
 pub mod shm;
+pub mod txn;

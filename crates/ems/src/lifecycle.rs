@@ -4,6 +4,7 @@
 use crate::control::{layout, EnclaveConfig, EnclaveControl, EnclaveState};
 use crate::error::{EmsError, EmsResult};
 use crate::runtime::{Ems, EmsContext, StagedFrames};
+use crate::txn::{Txn, UndoOp};
 use hypertee_mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
 use hypertee_mem::ownership::{EnclaveId, PageOwner};
 use hypertee_mem::pagetable::{PageTable, Perms};
@@ -37,7 +38,7 @@ impl Ems {
         host_shared_pa: u64,
     ) -> EmsResult<EnclaveId> {
         // Sanity checks (§III-B ③).
-        if host_shared_pa % PAGE_SIZE != 0
+        if !host_shared_pa.is_multiple_of(PAGE_SIZE)
             || config.heap_max > (layout::HOST_SHARED_BASE.0 - layout::HEAP_BASE.0)
             || config.stack_bytes > (layout::HEAP_BASE.0 - layout::STACK_BASE.0)
             || config.host_shared_bytes > (layout::SHM_BASE.0 - layout::HOST_SHARED_BASE.0)
@@ -55,62 +56,137 @@ impl Ems {
         }
 
         let eid = self.fresh_eid();
+        let mut txn = Txn::begin(self.injector.abort_step());
         let key = self.alloc_keyid(ctx)?;
+        // The brand-new table is discarded wholesale on failure, so —
+        // unlike EALLOC/EADD on a live table — *everything* here rolls
+        // back, the KeyID included. (A victim suspended by `alloc_keyid`
+        // stays suspended; ERESUME revives it.)
+        txn.record(UndoOp::ReleaseKey(key));
         let nonce = self.rng.gen_bytes32();
         let (aes, mac) = self.vault.enclave_memory_keys(eid.0, &nonce);
         ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
 
         // Stage frames for the page-table skeleton plus per-region leaves.
         let pt_budget = 6 + stack_pages.div_ceil(512) + host_pages.div_ceil(512);
-        let mut staged = StagedFrames::stage(pt_budget, &mut self.pool, ctx)?;
-        let table = PageTable::new(&mut staged, &mut ctx.sys.phys);
+        let mut staged = match StagedFrames::stage(pt_budget, &mut self.pool, ctx) {
+            Ok(s) => s,
+            Err(e) => {
+                if self.rollback(ctx, txn).is_err() {
+                    return Err(EmsError::BadState);
+                }
+                return Err(e);
+            }
+        };
 
-        // Statically allocate and map the stack (enclave-encrypted).
         let mut data_frames = Vec::new();
-        for i in 0..stack_pages {
-            let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
-            self.ownership
-                .claim(frame, PageOwner::Enclave(eid))
-                .map_err(|_| EmsError::AccessDenied)?;
-            // Establish integrity MACs by writing zeros through the key.
-            let sys = &mut *ctx.sys;
-            sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
-            table.map(
-                VirtAddr(layout::STACK_BASE.0 + i * PAGE_SIZE),
-                frame,
-                Perms::RW,
-                key,
-                &mut staged,
-                &mut ctx.sys.phys,
-            )?;
-            data_frames.push(frame);
-        }
+        let built: Result<PageTable, EmsError> = 'build: {
+            let table = match PageTable::try_new(&mut staged, &mut ctx.sys.phys) {
+                Ok(t) => t,
+                Err(f) => break 'build Err(f.into()),
+            };
+            // Statically allocate and map the stack (enclave-encrypted).
+            // No UnmapLeaf undos here: the whole table is discarded on
+            // failure, so leaves need not be unpicked one by one.
+            for i in 0..stack_pages {
+                if let Err(e) = txn.step() {
+                    break 'build Err(e);
+                }
+                let frame = match self.pool.take(ctx.os_frames, ctx.sys) {
+                    Ok(f) => f,
+                    Err(e) => break 'build Err(e),
+                };
+                txn.record(UndoOp::ReturnToPool(frame));
+                if self.ownership.claim(frame, PageOwner::Enclave(eid)).is_err() {
+                    break 'build Err(EmsError::AccessDenied);
+                }
+                txn.record(UndoOp::ReleaseOwnership(frame, PageOwner::Enclave(eid)));
+                // Establish integrity MACs by writing zeros through the key.
+                let sys = &mut *ctx.sys;
+                if let Err(f) =
+                    sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])
+                {
+                    break 'build Err(f.into());
+                }
+                if let Err(f) = table.map(
+                    VirtAddr(layout::STACK_BASE.0 + i * PAGE_SIZE),
+                    frame,
+                    Perms::RW,
+                    key,
+                    &mut staged,
+                    &mut ctx.sys.phys,
+                ) {
+                    break 'build Err(f.into());
+                }
+                data_frames.push(frame);
+            }
 
-        // Map the HostApp shared window (plaintext KeyID 0).
-        for i in 0..host_pages {
-            let ppn = Ppn(host_shared_pa / PAGE_SIZE + i);
-            table.map(
-                VirtAddr(layout::HOST_SHARED_BASE.0 + i * PAGE_SIZE),
-                ppn,
-                Perms::RW,
-                KeyId::HOST,
-                &mut staged,
-                &mut ctx.sys.phys,
-            )?;
-        }
+            // Map the HostApp shared window (plaintext KeyID 0). The frames
+            // are the OS's, so nothing to undo beyond discarding the table.
+            for i in 0..host_pages {
+                if let Err(e) = txn.step() {
+                    break 'build Err(e);
+                }
+                let ppn = Ppn(host_shared_pa / PAGE_SIZE + i);
+                if let Err(f) = table.map(
+                    VirtAddr(layout::HOST_SHARED_BASE.0 + i * PAGE_SIZE),
+                    ppn,
+                    Perms::RW,
+                    KeyId::HOST,
+                    &mut staged,
+                    &mut ctx.sys.phys,
+                ) {
+                    break 'build Err(f.into());
+                }
+            }
+            Ok(table)
+        };
 
         let pt_frames = staged.unstage(&mut self.pool, ctx);
-        for f in &pt_frames {
-            self.ownership
-                .claim(*f, PageOwner::EmsPrivate)
-                .map_err(|_| EmsError::AccessDenied)?;
-        }
+        let fail = match built {
+            Ok(table) => {
+                let mut claimed = Vec::new();
+                let mut claim_err = None;
+                for f in &pt_frames {
+                    match self.ownership.claim(*f, PageOwner::EmsPrivate) {
+                        Ok(()) => claimed.push(*f),
+                        Err(_) => {
+                            claim_err = Some(EmsError::AccessDenied);
+                            break;
+                        }
+                    }
+                }
+                match claim_err {
+                    None => {
+                        let mut control =
+                            EnclaveControl::new(eid, table, pt_frames, key, nonce, config);
+                        control.key_nonce = nonce;
+                        control.data_frames = data_frames;
+                        self.enclaves.insert(eid.0, control);
+                        return Ok(eid);
+                    }
+                    Some(e) => {
+                        for f in claimed {
+                            let _ = self.ownership.release(f, PageOwner::EmsPrivate);
+                        }
+                        e
+                    }
+                }
+            }
+            Err(e) => e,
+        };
 
-        let mut control = EnclaveControl::new(eid, table, pt_frames, key, nonce, config);
-        control.key_nonce = nonce;
-        control.data_frames = data_frames;
-        self.enclaves.insert(eid.0, control);
-        Ok(eid)
+        // Failure: roll back stack frames and the KeyID, then discard the
+        // half-built table's frames — nothing references the abandoned root,
+        // so pooling them (zeroed) is safe, unlike the live-table case.
+        let rolled = self.rollback(ctx, txn);
+        for f in pt_frames {
+            let _ = self.pool.give_back(f, ctx.sys);
+        }
+        if rolled.is_err() {
+            return Err(EmsError::BadState);
+        }
+        Err(fail)
     }
 
     fn pool_bitmap_is_enclave(&mut self, ctx: &mut EmsContext<'_>, ppn: Ppn) -> EmsResult<bool> {
@@ -137,7 +213,7 @@ impl Ems {
         if enclave.state != EnclaveState::Building {
             return Err(EmsError::BadState);
         }
-        if dest_va % PAGE_SIZE != 0
+        if !dest_va.is_multiple_of(PAGE_SIZE)
             || len == 0
             || dest_va < layout::CODE_BASE.0
             || dest_va + len > layout::STACK_BASE.0
@@ -150,43 +226,84 @@ impl Ems {
         let perms = perms_from_bits(perm_bits);
         let mut staged =
             StagedFrames::stage(2 + pages.div_ceil(512), &mut self.pool, ctx)?;
+        let mut txn = Txn::begin(self.injector.abort_step());
         let mut added = Vec::new();
+        let mut err: Option<EmsError> = None;
         for i in 0..pages {
-            let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
-            self.ownership
-                .claim(frame, PageOwner::Enclave(EnclaveId(eid)))
-                .map_err(|_| EmsError::AccessDenied)?;
-            // EMS reads the image chunk from CS memory (unidirectional
-            // access) and writes it through the enclave's key.
+            let va = VirtAddr(dest_va + i * PAGE_SIZE);
             let chunk_len = (len - i * PAGE_SIZE).min(PAGE_SIZE) as usize;
-            let mut page_buf = vec![0u8; PAGE_SIZE as usize];
-            ctx.sys.phys.read(PhysAddr(src_pa + i * PAGE_SIZE), &mut page_buf[..chunk_len])?;
-            let sys = &mut *ctx.sys;
-            sys.engine.write(&mut sys.phys, frame.base(), key, &page_buf)?;
-            table.map(
-                VirtAddr(dest_va + i * PAGE_SIZE),
-                frame,
-                perms,
-                key,
-                &mut staged,
-                &mut ctx.sys.phys,
-            )?;
-            added.push((VirtAddr(dest_va + i * PAGE_SIZE), frame, page_buf));
+            let src = PhysAddr(src_pa + i * PAGE_SIZE);
+            match self.eadd_one(ctx, &mut staged, &mut txn, eid, va, src, chunk_len, key, table, perms)
+            {
+                Ok((frame, page_buf)) => added.push((va, frame, page_buf)),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
         }
+        // Branch frames woven into the live table are kept on both paths
+        // (same dangling-PTE argument as EALLOC); only leaves roll back.
         let pt_frames = staged.unstage(&mut self.pool, ctx);
         for f in &pt_frames {
-            self.ownership
-                .claim(*f, PageOwner::EmsPrivate)
-                .map_err(|_| EmsError::AccessDenied)?;
+            if self.ownership.claim(*f, PageOwner::EmsPrivate).is_err() {
+                err.get_or_insert(EmsError::AccessDenied);
+            }
         }
         let enclave = self.enclave_mut(eid)?;
         enclave.pt_frames.extend(pt_frames);
-        for (va, frame, data) in added {
-            enclave.extend_measurement(va, perm_bits, &data);
-            enclave.data_frames.push(frame);
+        match err {
+            None => {
+                // The measurement extends only after every page landed — a
+                // rolled-back EADD must leave the measurement untouched so
+                // the retried request reproduces the same digest.
+                let enclave = self.enclave_mut(eid)?;
+                for (va, frame, data) in added {
+                    enclave.extend_measurement(va, perm_bits, &data);
+                    enclave.data_frames.push(frame);
+                }
+                Ok(())
+            }
+            Some(e) => {
+                if self.rollback(ctx, txn).is_err() {
+                    self.poison(eid);
+                    return Err(EmsError::BadState);
+                }
+                Err(e)
+            }
         }
-        let _ = perm_bits;
-        Ok(())
+    }
+
+    /// One EADD page: take → claim → copy-through-key → map, undo-logged.
+    #[allow(clippy::too_many_arguments)]
+    fn eadd_one(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        staged: &mut StagedFrames,
+        txn: &mut Txn,
+        eid: u64,
+        va: VirtAddr,
+        src: PhysAddr,
+        chunk_len: usize,
+        key: KeyId,
+        table: PageTable,
+        perms: Perms,
+    ) -> EmsResult<(Ppn, Vec<u8>)> {
+        txn.step()?;
+        let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
+        txn.record(UndoOp::ReturnToPool(frame));
+        let owner = PageOwner::Enclave(EnclaveId(eid));
+        self.ownership.claim(frame, owner).map_err(|_| EmsError::AccessDenied)?;
+        txn.record(UndoOp::ReleaseOwnership(frame, owner));
+        // EMS reads the image chunk from CS memory (unidirectional access)
+        // and writes it through the enclave's key.
+        let mut page_buf = vec![0u8; PAGE_SIZE as usize];
+        ctx.sys.phys.read(src, &mut page_buf[..chunk_len])?;
+        let sys = &mut *ctx.sys;
+        sys.engine.write(&mut sys.phys, frame.base(), key, &page_buf)?;
+        table.map(va, frame, perms, key, staged, &mut ctx.sys.phys)?;
+        txn.record(UndoOp::UnmapLeaf(table, va));
+        Ok((frame, page_buf))
     }
 
     /// EMEAS: finalises the measurement and moves the enclave to `Measured`.
@@ -290,46 +407,90 @@ impl Ems {
     /// regions the enclave was attached to are detached; regions it created
     /// are destroyed once no connections remain.
     ///
+    /// Destruction is *resumable* rather than transactional: there is no
+    /// useful state to roll back to (the enclave is going away either way),
+    /// so a mid-destroy abort marks the enclave poisoned and a retried
+    /// EDESTROY simply continues from the first unreclaimed frame. The
+    /// control structure — and the poison mark — go away only at the end.
+    ///
     /// # Errors
     ///
-    /// `NotFound` for unknown enclaves.
+    /// `NotFound` for unknown enclaves; `Aborted` on an injected
+    /// mid-destroy fault (retry to finish the teardown).
     pub fn edestroy(&mut self, ctx: &mut EmsContext<'_>, eid: u64) -> EmsResult<()> {
-        let enclave = self.enclaves.remove(&eid).ok_or(EmsError::NotFound)?;
-        // Detach from any shared regions.
+        // Deliberately NOT `self.enclave()`: EDESTROY is the one primitive a
+        // poisoned enclave still accepts.
+        if !self.enclaves.contains_key(&eid) {
+            return Err(EmsError::NotFound);
+        }
+        // A poisoned enclave's structures may already disagree; reclaim what
+        // can be reclaimed instead of erroring out of the teardown.
+        let tolerant = self.is_poisoned(eid);
+        let mut txn = Txn::begin(self.injector.abort_step());
+        // Detach from any shared regions (idempotent: a resumed destroy
+        // finds the attachments already gone).
         let shm_ids: Vec<u64> = self.shms.keys().copied().collect();
         for sid in shm_ids {
-            let (was_attached, creator, active) = {
-                let shm = self.shms.get_mut(&sid).expect("sid from keys()");
-                let was = shm.attached.remove(&eid).is_some();
-                if was {
-                    shm.active_connections = shm.active_connections.saturating_sub(1);
-                }
-                (was, shm.creator, shm.active_connections)
-            };
-            let _ = was_attached;
+            let Some(shm) = self.shms.get_mut(&sid) else { continue };
+            if shm.attached.remove(&eid).is_some() {
+                shm.active_connections = shm.active_connections.saturating_sub(1);
+            }
+            let (creator, active) = (shm.creator, shm.active_connections);
             if creator == EnclaveId(eid) && active == 0 {
                 self.destroy_shm_internal(ctx, sid)?;
             }
         }
-        // Reclaim data pages.
-        for frame in enclave.data_frames {
-            self.ownership
-                .release(frame, PageOwner::Enclave(EnclaveId(eid)))
-                .map_err(|_| EmsError::AccessDenied)?;
-            self.pool.give_back(frame, ctx.sys)?;
-        }
-        // Reclaim page-table pages.
-        for frame in enclave.pt_frames {
-            self.ownership
-                .release(frame, PageOwner::EmsPrivate)
-                .map_err(|_| EmsError::AccessDenied)?;
-            self.pool.give_back(frame, ctx.sys)?;
-        }
+        // Reclaim data pages, popping each frame only once it is fully
+        // reclaimed so a resumed destroy continues exactly where it stopped.
+        self.reclaim_frames(ctx, &mut txn, eid, false, tolerant)?;
+        // Reclaim page-table pages the same way.
+        self.reclaim_frames(ctx, &mut txn, eid, true, tolerant)?;
+        let Some(enclave) = self.enclaves.remove(&eid) else {
+            return Err(EmsError::NotFound);
+        };
         if let Some(key) = enclave.key {
             ctx.hub.ems_revoke_key(&self.cap, &mut ctx.sys.engine, key);
             self.free_keyid(key);
         }
+        self.unpoison(eid);
         Ok(())
+    }
+
+    /// Incrementally reclaims one of an enclave's frame lists (`pt` selects
+    /// page-table frames over data frames). On an injected abort the enclave
+    /// is poisoned and the list keeps its unreclaimed tail for the retry.
+    fn reclaim_frames(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        txn: &mut Txn,
+        eid: u64,
+        pt: bool,
+        tolerant: bool,
+    ) -> EmsResult<()> {
+        let owner = if pt { PageOwner::EmsPrivate } else { PageOwner::Enclave(EnclaveId(eid)) };
+        loop {
+            let frame = {
+                let Some(e) = self.enclaves.get(&eid) else { return Err(EmsError::NotFound) };
+                let list = if pt { &e.pt_frames } else { &e.data_frames };
+                match list.last() {
+                    Some(f) => *f,
+                    None => return Ok(()),
+                }
+            };
+            if txn.step().is_err() {
+                self.poison(eid);
+                return Err(EmsError::Aborted);
+            }
+            match self.ownership.release(frame, owner) {
+                Ok(()) => self.pool.give_back(frame, ctx.sys)?,
+                Err(_) if tolerant => {} // structures disagree; skip the frame
+                Err(_) => return Err(EmsError::AccessDenied),
+            }
+            if let Some(e) = self.enclaves.get_mut(&eid) {
+                let list = if pt { &mut e.pt_frames } else { &mut e.data_frames };
+                list.pop();
+            }
+        }
     }
 
     /// The perm-bits encoding used across primitives (exposed for the SDK).

@@ -127,7 +127,7 @@ impl MemPool {
         if self.free.is_empty() {
             self.ensure(1, os, sys)?;
         }
-        let frame = self.free.pop().expect("ensure() guarantees a frame");
+        let frame = self.free.pop().ok_or(EmsError::Exhausted)?;
         self.used += 1;
         self.stats.pages_served += 1;
         if self.used > self.threshold {
@@ -183,6 +183,62 @@ impl MemPool {
     /// number and specific pages involved").
     pub fn swap_jitter(&mut self, requested: u64) -> u64 {
         requested + self.rng.gen_range(requested.max(1))
+    }
+
+    /// The pool's free list (read-only; feeds the consistency audit).
+    pub fn free_list(&self) -> &[Ppn] {
+        &self.free
+    }
+
+    /// Pulls a *specific* frame back out of the free list (undo of a
+    /// rolled-back `give_back`).
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::NotFound`] if the frame is not currently pooled.
+    pub(crate) fn retake(&mut self, frame: Ppn) -> EmsResult<()> {
+        let idx = self.free.iter().position(|f| *f == frame).ok_or(EmsError::NotFound)?;
+        self.free.swap_remove(idx);
+        self.used += 1;
+        self.stats.pages_returned = self.stats.pages_returned.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Evicts one random free frame for swap-out: zeroes it and clears its
+    /// bitmap bit. The per-frame sibling of [`MemPool::evict_random`], so a
+    /// transactional EWB can abort between frames.
+    ///
+    /// # Errors
+    ///
+    /// [`EmsError::Exhausted`] when no free frame can be obtained; memory
+    /// faults from zeroing/bitmap updates.
+    pub(crate) fn evict_one(
+        &mut self,
+        os: &mut FrameAllocator,
+        sys: &mut MemorySystem,
+    ) -> EmsResult<Ppn> {
+        self.ensure(1, os, sys)?;
+        let idx = self.rng.gen_range(self.free.len().max(1) as u64) as usize;
+        let frame = if idx < self.free.len() {
+            self.free.swap_remove(idx)
+        } else {
+            return Err(EmsError::Exhausted);
+        };
+        sys.phys.zero_frame(frame)?;
+        sys.bitmap.set(frame, false, &mut sys.phys)?;
+        Ok(frame)
+    }
+
+    /// Undoes [`MemPool::evict_one`]: re-marks the frame as enclave memory
+    /// and puts it back on the free list (it is already zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Memory faults from the bitmap update.
+    pub(crate) fn unevict(&mut self, frame: Ppn, sys: &mut MemorySystem) -> EmsResult<()> {
+        sys.bitmap.set(frame, true, &mut sys.phys)?;
+        self.free.push(frame);
+        Ok(())
     }
 }
 

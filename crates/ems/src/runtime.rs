@@ -13,12 +13,20 @@ use crate::shm::ShmControl;
 use hypertee_crypto::chacha::ChaChaRng;
 use hypertee_fabric::ihub::{EmsCapability, IHub};
 use hypertee_fabric::message::{Primitive, Request, Response, Status};
+use hypertee_fabric::ring::Ring;
+use hypertee_faults::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 use hypertee_mem::addr::{KeyId, Ppn};
 use hypertee_mem::ownership::{EnclaveId, OwnershipTable};
-use hypertee_mem::pagetable::FrameSource;
+use hypertee_mem::pagetable::{FrameSource, PageTable};
 use hypertee_mem::phys::FrameAllocator;
 use hypertee_mem::system::MemorySystem;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Completed Ok responses kept for idempotent resubmission (bounded FIFO).
+const RESPONSE_CACHE_CAP: usize = 256;
+
+/// Capacity of the EMS Rx task queue (§III-C).
+const RX_RING_CAPACITY: usize = 64;
 
 /// Mutable slices of machine state EMS operates on while serving a request.
 ///
@@ -106,6 +114,20 @@ pub struct Ems {
     pub platform_measurement: [u8; 32],
     /// Counters.
     pub stats: EmsStats,
+    /// EMS-site fault injector (disarmed in production).
+    pub(crate) injector: FaultInjector,
+    /// Enclaves whose structures can no longer be trusted (a rollback or a
+    /// mid-destroy abort failed to restore consistency). Only EDESTROY is
+    /// accepted for them.
+    poisoned: BTreeSet<u64>,
+    /// Completed Ok responses, keyed by req_id: a retry of a request whose
+    /// response was lost on the fabric is answered from here instead of
+    /// being re-executed.
+    resp_cache: BTreeMap<u64, Response>,
+    /// Insertion order of `resp_cache` (bounds it to a FIFO window).
+    resp_order: VecDeque<u64>,
+    /// The Rx task queue requests are fetched into before dispatch.
+    rx: Ring<Request>,
 }
 
 impl core::fmt::Debug for Ems {
@@ -150,7 +172,55 @@ impl Ems {
             keyid_limit: u16::MAX,
             platform_measurement,
             stats: EmsStats::default(),
+            injector: FaultInjector::disarmed(),
+            poisoned: BTreeSet::new(),
+            resp_cache: BTreeMap::new(),
+            resp_order: VecDeque::new(),
+            rx: Ring::new(RX_RING_CAPACITY),
         }
+    }
+
+    /// Arms the EMS-resident fault sites (primitive aborts, transient
+    /// exhaustion, core/ring stalls) from one replayable plan.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.injector = plan.injector("ems");
+    }
+
+    /// Faults injected at the EMS sites so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.injector.stats()
+    }
+
+    /// Marks an enclave's structures as untrustworthy. From here on every
+    /// primitive except EDESTROY answers `BadState` for it.
+    pub(crate) fn poison(&mut self, eid: u64) {
+        self.poisoned.insert(eid);
+    }
+
+    /// Clears the poison mark (a completed EDESTROY retry).
+    pub(crate) fn unpoison(&mut self, eid: u64) {
+        self.poisoned.remove(&eid);
+    }
+
+    /// Whether an enclave is poisoned.
+    pub fn is_poisoned(&self, eid: u64) -> bool {
+        self.poisoned.contains(&eid)
+    }
+
+    /// The ownership table (read access for the consistency audit).
+    pub fn ownership(&self) -> &OwnershipTable {
+        &self.ownership
+    }
+
+    /// Page tables of all non-poisoned enclaves, for the consistency audit.
+    /// Poisoned enclaves are mid-destruction wrecks whose tables are
+    /// deliberately excluded — their only legal future is EDESTROY.
+    pub fn audit_tables(&self) -> Vec<(EnclaveId, PageTable)> {
+        self.enclaves
+            .values()
+            .filter(|e| !self.poisoned.contains(&e.id.0))
+            .map(|e| (e.id, e.page_table))
+            .collect()
     }
 
     /// Restricts the KeyID space (tests exercise exhaustion + suspension).
@@ -234,10 +304,16 @@ impl Ems {
     }
 
     pub(crate) fn enclave(&self, eid: u64) -> EmsResult<&EnclaveControl> {
+        if self.poisoned.contains(&eid) {
+            return Err(EmsError::BadState);
+        }
         self.enclaves.get(&eid).ok_or(EmsError::NotFound)
     }
 
     pub(crate) fn enclave_mut(&mut self, eid: u64) -> EmsResult<&mut EnclaveControl> {
+        if self.poisoned.contains(&eid) {
+            return Err(EmsError::BadState);
+        }
         self.enclaves.get_mut(&eid).ok_or(EmsError::NotFound)
     }
 
@@ -245,10 +321,29 @@ impl Ems {
     /// primitives processed. (The multi-core EMS of Fig. 6 is modelled in
     /// `hypertee-sim::queueing`; functionally, service order is FIFO.)
     pub fn service(&mut self, ctx: &mut EmsContext<'_>) -> usize {
-        let mut served = 0;
+        // An injected core stall skips this entire service round; requests
+        // stay queued in the mailbox and are served next round.
+        if self.injector.roll(FaultKind::EmsStall) {
+            return 0;
+        }
+        // Stage ①: move pending requests from the mailbox into the Rx task
+        // queue (§III-C). Fetch only while the ring has room, so nothing is
+        // ever lost between mailbox and ring.
         loop {
-            // Split-borrow dance: fetch needs ctx.hub, handling needs all of ctx.
+            if self.rx.is_full() {
+                break;
+            }
             let Some(req) = ctx.hub.ems_fetch_request(&self.cap) else { break };
+            let _ = self.rx.push(req); // cannot fail: checked not-full above
+        }
+        // An injected ring stall wedges the read port for one pop; queued
+        // requests are retained and drain next round.
+        if self.injector.roll(FaultKind::RingStall) {
+            self.rx.stall(1);
+        }
+        // Stage ②: dispatch everything the ring delivers.
+        let mut served = 0;
+        while let Some(req) = self.rx.pop() {
             let resp = self.handle(ctx, req);
             ctx.hub.ems_push_response(&self.cap, resp);
             served += 1;
@@ -259,16 +354,30 @@ impl Ems {
     /// Executes one primitive request: privilege check, sanity check,
     /// dispatch.
     pub fn handle(&mut self, ctx: &mut EmsContext<'_>, req: Request) -> Response {
+        // ⓪ Idempotent resubmission: a request that already completed but
+        // whose response was lost on the fabric is answered from the cache,
+        // never re-executed (re-running a completed EADD would double-map
+        // and double-measure).
+        if let Some(cached) = self.resp_cache.get(&req.req_id) {
+            return cached.clone();
+        }
         // ① Privilege check (defense in depth: EMCall already blocks
         // cross-privilege calls; EMS re-verifies).
         if req.caller.privilege != req.primitive.required_privilege() {
             self.stats.privilege_rejects += 1;
             return Response::err(req.req_id, Status::PrivilegeMismatch);
         }
+        // Injected transient exhaustion: the pool claims to be empty before
+        // dispatch. Surfaces as a clean `Exhausted` status — the caller
+        // decides whether to try again later.
+        if self.injector.roll(FaultKind::TransientExhausted) {
+            return Response::err(req.req_id, Status::Exhausted);
+        }
         let result = self.dispatch(ctx, &req);
         match result {
             Ok(resp) => {
                 self.stats.served += 1;
+                self.cache_response(resp.clone());
                 resp
             }
             Err(e) => {
@@ -276,6 +385,23 @@ impl Ems {
                     self.stats.sanity_rejects += 1;
                 }
                 Response::err(req.req_id, e.into())
+            }
+        }
+    }
+
+    /// Remembers a completed Ok response for replay on resubmission. Only
+    /// successes are cached — failed primitives had no effects (rolled
+    /// back), so re-executing them is safe and may well succeed.
+    fn cache_response(&mut self, resp: Response) {
+        if resp.req_id == 0 {
+            return; // not a mailbox-assigned id (direct-call tests)
+        }
+        if self.resp_cache.insert(resp.req_id, resp.clone()).is_none() {
+            self.resp_order.push_back(resp.req_id);
+        }
+        while self.resp_order.len() > RESPONSE_CACHE_CAP {
+            if let Some(old) = self.resp_order.pop_front() {
+                self.resp_cache.remove(&old);
             }
         }
     }

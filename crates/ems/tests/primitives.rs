@@ -176,7 +176,7 @@ fn ealloc_efree_roundtrip() {
     assert_eq!(mmu.load_u64(&mut m.sys, va).unwrap(), 0xfeed);
     // Free it back.
     m.with(|ems, ctx| ems.efree(ctx, eid, va.0, 128 * 1024)).unwrap();
-    assert_eq!(m.ems.pool().used_frames() > 0, true);
+    assert!(m.ems.pool().used_frames() > 0);
 }
 
 #[test]

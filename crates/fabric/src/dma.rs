@@ -7,6 +7,7 @@
 //! is implemented as control registers within the on-chip fabric and is
 //! exclusively configurable by EMS."
 
+use hypertee_faults::{FaultInjector, FaultKind, FaultStats};
 use hypertee_mem::addr::PhysAddr;
 
 /// Identifier of a DMA-capable device.
@@ -52,6 +53,9 @@ pub struct DmaWhitelist {
     windows: Vec<(DeviceId, DmaWindow)>,
     /// Accesses discarded because no window covered them.
     pub discarded: u64,
+    /// Legitimate accesses spuriously denied by an injected register flap.
+    pub flapped: u64,
+    injector: FaultInjector,
 }
 
 impl DmaWhitelist {
@@ -71,12 +75,30 @@ impl DmaWhitelist {
         self.windows.retain(|(d, _)| *d != dev);
     }
 
-    /// Checks one DMA access; counts and reports discards.
+    /// Installs an armed fault injector: the whitelist can spuriously deny
+    /// a legitimate access (a register "flap"), which devices handle by
+    /// retrying the transfer.
+    pub fn arm_faults(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// Faults injected at this site so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.injector.stats()
+    }
+
+    /// Checks one DMA access; counts and reports discards. An injected
+    /// whitelist flap denies (and counts) an access the windows would have
+    /// allowed — fail-closed, never fail-open.
     pub fn check(&mut self, dev: DeviceId, addr: PhysAddr, len: u64, write: bool) -> bool {
-        let ok = self
+        let mut ok = self
             .windows
             .iter()
             .any(|(d, w)| *d == dev && w.covers(addr, len, write));
+        if ok && self.injector.roll(FaultKind::DmaFlap) {
+            self.flapped += 1;
+            ok = false;
+        }
         if !ok {
             self.discarded += 1;
         }
@@ -149,6 +171,34 @@ mod tests {
         wl.revoke_all(DeviceId(1));
         assert!(!wl.check(DeviceId(1), PhysAddr(0), 64, false));
         assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn flap_denies_then_retry_succeeds() {
+        use hypertee_faults::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(
+            21,
+            FaultConfig { dma_flap_pm: 200, ..FaultConfig::disabled() },
+        );
+        let mut wl = DmaWhitelist::new();
+        wl.arm_faults(plan.injector("dma"));
+        wl.grant(
+            DeviceId(1),
+            DmaWindow { base: PhysAddr(0x10_000), size: 0x1000, perm: DmaPerm::ReadWrite },
+        );
+        // Drive enough accesses that the flap fires at least once; every
+        // denial is recoverable by simply retrying (bounded here at 12).
+        let mut flaps_seen = 0;
+        for _ in 0..200 {
+            let mut tries = 0;
+            while !wl.check(DeviceId(1), PhysAddr(0x10_000), 64, true) {
+                tries += 1;
+                assert!(tries < 12, "a legitimate access must eventually pass");
+            }
+            flaps_seen = wl.flapped;
+        }
+        assert!(flaps_seen > 0, "flap should have fired under a 20% rate");
+        assert_eq!(wl.flapped, wl.discarded, "only injected denials occurred");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::dma::{DeviceId, DmaWhitelist, DmaWindow};
 use crate::iommu::{Iommu, IommuEntry, IoVpn};
 use crate::mailbox::Mailbox;
 use crate::message::{Request, Response};
+use hypertee_faults::{FaultPlan, FaultStats};
 use hypertee_mem::addr::KeyId;
 use hypertee_mem::mktme::MktmeEngine;
 use hypertee_mem::phys::PhysMemory;
@@ -37,6 +38,21 @@ impl IHub {
             IHub { mailbox: Mailbox::new(), dma: DmaWhitelist::new(), iommu: Iommu::new(64) },
             EmsCapability { _private: () },
         )
+    }
+
+    /// Arms fault injection on the fabric-resident sites (mailbox and DMA
+    /// whitelist) from one replayable plan. The EMS-side sites derive their
+    /// own injectors from the same plan.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.mailbox.arm_faults(plan.injector("mailbox"));
+        self.dma.arm_faults(plan.injector("dma"));
+    }
+
+    /// Aggregated faults injected at the fabric sites so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.mailbox.fault_stats().clone();
+        stats.merge(self.dma.fault_stats());
+        stats
     }
 
     // ---- EMS-only operations (require the capability) ----------------------

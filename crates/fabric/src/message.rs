@@ -144,6 +144,33 @@ pub enum Status {
     Exhausted,
     /// The referenced object does not exist.
     NotFound,
+    /// The object is in the wrong life-cycle state for this primitive
+    /// (e.g. entering an unmeasured enclave, or any primitive other than
+    /// EDESTROY on a poisoned enclave).
+    BadState,
+    /// A memory-subsystem fault surfaced while executing the primitive
+    /// (page fault, bitmap violation, integrity violation, bus error).
+    MemFault,
+    /// The primitive was aborted mid-flight and its partial effects were
+    /// rolled back; the caller may retry the identical request.
+    Aborted,
+}
+
+impl Status {
+    /// Stable numeric code (wire encoding; feeds the response checksum).
+    pub fn code(self) -> u64 {
+        match self {
+            Status::Ok => 0,
+            Status::InvalidArgument => 1,
+            Status::PrivilegeMismatch => 2,
+            Status::AccessDenied => 3,
+            Status::Exhausted => 4,
+            Status::NotFound => 5,
+            Status::BadState => 6,
+            Status::MemFault => 7,
+            Status::Aborted => 8,
+        }
+    }
 }
 
 /// A primitive response packet.
@@ -157,22 +184,63 @@ pub struct Response {
     pub vals: Vec<u64>,
     /// Bulk return data (e.g. attestation quotes, sealed blobs).
     pub payload: Vec<u8>,
+    /// Integrity checksum over the other fields, sealed at construction.
+    /// A packet corrupted on the fabric fails [`Response::intact`] and is
+    /// discarded by the mailbox like a lost response (the retry path
+    /// recovers it).
+    pub crc: u64,
 }
 
 impl Response {
     /// Convenience constructor for success.
     pub fn ok(req_id: u64, vals: Vec<u64>) -> Response {
-        Response { req_id, status: Status::Ok, vals, payload: Vec::new() }
+        Response { req_id, status: Status::Ok, vals, payload: Vec::new(), crc: 0 }.seal()
     }
 
     /// Success with bulk data attached.
     pub fn ok_with_payload(req_id: u64, vals: Vec<u64>, payload: Vec<u8>) -> Response {
-        Response { req_id, status: Status::Ok, vals, payload }
+        Response { req_id, status: Status::Ok, vals, payload, crc: 0 }.seal()
     }
 
     /// Convenience constructor for failure.
     pub fn err(req_id: u64, status: Status) -> Response {
-        Response { req_id, status, vals: Vec::new(), payload: Vec::new() }
+        Response { req_id, status, vals: Vec::new(), payload: Vec::new(), crc: 0 }.seal()
+    }
+
+    fn checksum(&self) -> u64 {
+        // FNV-1a over the wire image: req_id, status code, vals, payload.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in self.req_id.to_le_bytes() {
+            eat(b);
+        }
+        for b in self.status.code().to_le_bytes() {
+            eat(b);
+        }
+        for v in &self.vals {
+            for b in v.to_le_bytes() {
+                eat(b);
+            }
+        }
+        for b in &self.payload {
+            eat(*b);
+        }
+        h
+    }
+
+    /// Recomputes and installs the checksum; returns the sealed packet.
+    pub fn seal(mut self) -> Response {
+        self.crc = self.checksum();
+        self
+    }
+
+    /// Whether the packet matches its checksum (i.e. was not corrupted in
+    /// flight).
+    pub fn intact(&self) -> bool {
+        self.crc == self.checksum()
     }
 }
 
@@ -211,5 +279,43 @@ mod tests {
         assert_eq!(ok.req_id, 7);
         let err = Response::err(8, Status::AccessDenied);
         assert!(err.vals.is_empty());
+    }
+
+    #[test]
+    fn checksum_catches_any_field_tamper() {
+        let sealed = Response::ok_with_payload(9, vec![3, 4], vec![0xaa, 0xbb]);
+        assert!(sealed.intact());
+        let mut t = sealed.clone();
+        t.vals[0] ^= 1;
+        assert!(!t.intact());
+        let mut t = sealed.clone();
+        t.payload[1] ^= 0x80;
+        assert!(!t.intact());
+        let mut t = sealed.clone();
+        t.status = Status::Aborted;
+        assert!(!t.intact());
+        let mut t = sealed;
+        t.req_id += 1;
+        assert!(!t.intact());
+    }
+
+    #[test]
+    fn status_codes_are_distinct() {
+        let all = [
+            Status::Ok,
+            Status::InvalidArgument,
+            Status::PrivilegeMismatch,
+            Status::AccessDenied,
+            Status::Exhausted,
+            Status::NotFound,
+            Status::BadState,
+            Status::MemFault,
+            Status::Aborted,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.code(), b.code());
+            }
+        }
     }
 }

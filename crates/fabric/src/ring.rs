@@ -13,21 +13,21 @@ pub struct Ring<T> {
     head: usize,
     tail: usize,
     len: usize,
+    /// Remaining pops the queue will refuse (injected hardware stall).
+    stalled: u32,
 }
 
 impl<T> Ring<T> {
-    /// Creates a ring with `capacity` slots.
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero capacity.
+    /// Creates a ring with `capacity` slots. A zero capacity is a
+    /// configuration error, not a crash: it is clamped to one slot so the
+    /// request path can never panic on a malformed ring size.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "ring capacity must be positive");
+        let capacity = capacity.max(1);
         let mut slots = Vec::with_capacity(capacity);
         for _ in 0..capacity {
             slots.push(None);
         }
-        Ring { slots, head: 0, tail: 0, len: 0 }
+        Ring { slots, head: 0, tail: 0, len: 0, stalled: 0 }
     }
 
     /// Capacity in slots.
@@ -62,8 +62,14 @@ impl<T> Ring<T> {
         Ok(())
     }
 
-    /// Dequeues the oldest item.
+    /// Dequeues the oldest item. A stalled ring refuses to deliver until
+    /// the stall drains (one unit per pop attempt), modelling a queue whose
+    /// read port is transiently wedged; items are retained, never lost.
     pub fn pop(&mut self) -> Option<T> {
+        if self.stalled > 0 {
+            self.stalled -= 1;
+            return None;
+        }
         if self.is_empty() {
             return None;
         }
@@ -71,6 +77,17 @@ impl<T> Ring<T> {
         self.head = (self.head + 1) % self.capacity();
         self.len -= 1;
         item
+    }
+
+    /// Injects a stall: the next `pops` pop attempts return `None` even if
+    /// items are queued.
+    pub fn stall(&mut self, pops: u32) {
+        self.stalled = self.stalled.saturating_add(pops);
+    }
+
+    /// Whether the ring is currently refusing pops.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled > 0
     }
 }
 
@@ -115,8 +132,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        Ring::<u8>::new(0);
+    fn zero_capacity_is_clamped_not_a_panic() {
+        let mut r = Ring::<u8>::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(9).unwrap();
+        assert_eq!(r.push(10), Err(10));
+        assert_eq!(r.pop(), Some(9));
+    }
+
+    #[test]
+    fn stall_withholds_then_delivers() {
+        let mut r = Ring::new(4);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        r.stall(2);
+        assert!(r.is_stalled());
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.pop(), None);
+        assert!(!r.is_stalled());
+        // Nothing was lost.
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), Some(2));
     }
 }

@@ -47,6 +47,14 @@ impl EnclaveBitmap {
         Ok(bm)
     }
 
+    /// Whether `ppn` backs the bitmap region itself (these frames are
+    /// enclave-marked by `install`'s self-protection, not by the pool).
+    pub fn is_self_frame(&self, ppn: Ppn) -> bool {
+        let base = self.bm_base.ppn().0;
+        let frames = self.region_bytes() / PAGE_SIZE;
+        ppn.0 >= base && ppn.0 < base + frames
+    }
+
     /// Size of the bitmap region in bytes, rounded up to whole pages.
     pub fn region_bytes(&self) -> u64 {
         let bits = self.covered_frames;

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod audit;
 pub mod bitmap;
 pub mod mktme;
 pub mod ownership;

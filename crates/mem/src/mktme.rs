@@ -133,7 +133,7 @@ impl MktmeEngine {
         while written < data.len() {
             let line_base = addr & !(LINE_SIZE - 1);
             let off = (addr - line_base) as usize;
-            let take = ((LINE_SIZE as usize - off).min(data.len() - written)) as usize;
+            let take = (LINE_SIZE as usize - off).min(data.len() - written);
             // Fetch the current line ciphertext and decrypt it.
             let mut line = [0u8; LINE_SIZE as usize];
             mem.read(PhysAddr(line_base), &mut line)?;
@@ -182,7 +182,7 @@ impl MktmeEngine {
         while done < buf.len() {
             let line_base = addr & !(LINE_SIZE - 1);
             let off = (addr - line_base) as usize;
-            let take = ((LINE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            let take = (LINE_SIZE as usize - off).min(buf.len() - done);
             let mut line = [0u8; LINE_SIZE as usize];
             mem.read(PhysAddr(line_base), &mut line)?;
             Self::keystream(&slot, line_base, &mut line);

@@ -146,6 +146,11 @@ impl OwnershipTable {
             .collect()
     }
 
+    /// Iterates all `(frame, owner)` entries (feeds the consistency audit).
+    pub fn iter(&self) -> impl Iterator<Item = (Ppn, PageOwner)> + '_ {
+        self.entries.iter().map(|(&p, &o)| (Ppn(p), o))
+    }
+
     /// Number of owned pages.
     pub fn len(&self) -> usize {
         self.entries.len()

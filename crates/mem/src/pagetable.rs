@@ -192,9 +192,20 @@ impl PageTable {
     ///
     /// Panics when the frame source is exhausted.
     pub fn new(frames: &mut dyn FrameSource, mem: &mut PhysMemory) -> PageTable {
-        let root = frames.alloc_frame().expect("no frame for page-table root");
-        mem.zero_frame(root).expect("root frame in range");
-        PageTable { root }
+        PageTable::try_new(frames, mem).expect("no frame for page-table root")
+    }
+
+    /// Fallible sibling of [`PageTable::new`] for request-path callers that
+    /// must never panic: allocation failure surfaces as a fault instead.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] when the frame source is exhausted, or the
+    /// fault from zeroing an out-of-range root frame.
+    pub fn try_new(frames: &mut dyn FrameSource, mem: &mut PhysMemory) -> Result<PageTable, MemFault> {
+        let root = frames.alloc_frame().ok_or(MemFault::BusError { pa: 0 })?;
+        mem.zero_frame(root)?;
+        Ok(PageTable { root })
     }
 
     fn pte_addr(table: Ppn, index: usize) -> PhysAddr {
@@ -219,8 +230,8 @@ impl PageTable {
     ) -> Result<(), MemFault> {
         let idx = va.sv39_indices();
         let mut table = self.root;
-        for level in 0..2 {
-            let addr = Self::pte_addr(table, idx[level]);
+        for &index in idx.iter().take(2) {
+            let addr = Self::pte_addr(table, index);
             let pte = Pte(mem.read_u64(addr)?);
             if pte.valid() {
                 if pte.is_leaf() {
@@ -262,8 +273,8 @@ impl PageTable {
     ) -> Result<(), MemFault> {
         let idx = va.sv39_indices();
         let mut table = self.root;
-        for level in 0..2 {
-            let pte = Pte(mem.read_u64(Self::pte_addr(table, idx[level]))?);
+        for &index in idx.iter().take(2) {
+            let pte = Pte(mem.read_u64(Self::pte_addr(table, index))?);
             if !pte.valid() || pte.is_leaf() {
                 return Err(MemFault::PageFault { va: va.0 });
             }
@@ -301,8 +312,8 @@ impl PageTable {
     fn leaf_slot(&self, va: VirtAddr, mem: &mut PhysMemory) -> Result<(PhysAddr, Pte), MemFault> {
         let idx = va.sv39_indices();
         let mut table = self.root;
-        for level in 0..2 {
-            let pte = Pte(mem.read_u64(Self::pte_addr(table, idx[level]))?);
+        for &index in idx.iter().take(2) {
+            let pte = Pte(mem.read_u64(Self::pte_addr(table, index))?);
             if !pte.valid() || pte.is_leaf() {
                 return Err(MemFault::PageFault { va: va.0 });
             }

@@ -56,7 +56,7 @@ impl PhysMemory {
         while done < buf.len() {
             let ppn = addr / PAGE_SIZE;
             let off = (addr % PAGE_SIZE) as usize;
-            let take = ((PAGE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            let take = (PAGE_SIZE as usize - off).min(buf.len() - done);
             match self.frames.get(&ppn) {
                 Some(frame) => buf[done..done + take].copy_from_slice(&frame[off..off + take]),
                 None => buf[done..done + take].fill(0),
@@ -80,7 +80,7 @@ impl PhysMemory {
         while done < buf.len() {
             let ppn = addr / PAGE_SIZE;
             let off = (addr % PAGE_SIZE) as usize;
-            let take = ((PAGE_SIZE as usize - off).min(buf.len() - done)) as usize;
+            let take = (PAGE_SIZE as usize - off).min(buf.len() - done);
             let frame = self.frame_mut(ppn);
             frame[off..off + take].copy_from_slice(&buf[done..done + take]);
             addr += take as u64;

@@ -131,7 +131,7 @@ mod tests {
         let mut stats = PtwStats::default();
         let err = translate(
             &pt,
-            VirtAddr(0xdead_000),
+            VirtAddr(0x0dea_d000),
             AccessKind::Read,
             false,
             &bitmap,

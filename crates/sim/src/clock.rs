@@ -4,12 +4,10 @@
 //! 2.5GHz and 750MHz respectively." All timing in the simulator is expressed
 //! in *CS cycles*; EMS work is converted through the domain ratio.
 
-use serde::{Deserialize, Serialize};
 
 /// A duration or timestamp in CS-core cycles.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, )]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycles(pub u64);
 
 impl Cycles {
@@ -59,7 +57,8 @@ impl core::fmt::Display for Cycles {
 }
 
 /// The two clock domains of the SoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClockDomains {
     /// CS core frequency in GHz (paper: 2.5).
     pub cs_ghz: f64,

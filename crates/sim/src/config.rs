@@ -1,9 +1,9 @@
 //! Core and SoC configurations, transcribed from Table III of the paper.
 
-use serde::{Deserialize, Serialize};
 
 /// Pipeline organisation of a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PipelineKind {
     /// In-order single-issue pipeline (Rocket-class).
     InOrder,
@@ -12,7 +12,8 @@ pub enum PipelineKind {
 }
 
 /// Branch-predictor class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BranchPredictor {
     /// GShare predictor (weak EMS core).
     GShare,
@@ -21,7 +22,8 @@ pub enum BranchPredictor {
 }
 
 /// A core configuration row from Table III.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreConfig {
     /// Human-readable name ("CS", "EMS-weak", ...).
     pub name: String,
@@ -145,7 +147,8 @@ impl CoreConfig {
 }
 
 /// EMS cluster choice (count × core class), as explored in Fig. 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EmsCluster {
     /// Number of EMS cores.
     pub cores: u32,
@@ -176,7 +179,8 @@ impl EmsCluster {
 }
 
 /// Whole-SoC configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocConfig {
     /// Number of CS cores.
     pub cs_cores: u32,

@@ -7,10 +7,10 @@
 //! values represent amortised/overlapped costs.
 
 use crate::clock::ClockDomains;
-use serde::{Deserialize, Serialize};
 
 /// Cycle-cost calibration table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyBook {
     /// Clock domains used for EMS→CS conversions.
     pub clocks: ClockDomains,
@@ -50,6 +50,10 @@ pub struct LatencyBook {
     /// EMCall response polling including the timing-obfuscation delay the
     /// paper adds against side-channel observation (§III-C).
     pub emcall_poll: f64,
+    /// Base back-off before the first retry of a lost or aborted EMCall;
+    /// attempt *n* waits `retry_backoff * 2^(n-1)` CS cycles. Only charged on
+    /// the recovery path, so fault-free timing figures are unaffected.
+    pub retry_backoff: f64,
 
     // ---- Enclave memory management ----------------------------------------
     /// Host `malloc` fixed cost (syscall + allocator metadata). Anchor:
@@ -115,6 +119,7 @@ impl Default for LatencyBook {
             ems_notify: 2600.0,
             ems_dispatch_ems_cycles: 1200.0,
             emcall_poll: 1370.0,
+            retry_backoff: 4_000.0,
             host_malloc_base: 6459.0,
             host_page_cost: 600.0,
             ealloc_base_ems_cycles: 2782.0,

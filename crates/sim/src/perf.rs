@@ -9,10 +9,10 @@
 
 use crate::config::CoreConfig;
 use crate::latency::LatencyBook;
-use serde::{Deserialize, Serialize};
 
 /// Description of one benchmark workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadProfile {
     /// Benchmark name as the paper prints it.
     pub name: String,

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build, full test suite, and (when available)
+# clippy with warnings denied. Run from anywhere; operates on the repo root.
+#
+#   ./scripts/verify.sh          # build + test + clippy
+#   SKIP_CLIPPY=1 ./scripts/verify.sh
+#
+# Everything runs --offline: the workspace has no external registry
+# dependencies by policy (see DESIGN.md §6), so a network-less container
+# must pass identically.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test --offline --workspace -q
+
+if [ "${SKIP_CLIPPY:-0}" != "1" ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy -D warnings (offline)"
+        cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy not installed; skipping lint (set SKIP_CLIPPY=1 to silence)"
+    fi
+fi
+
+echo "==> verify OK"

@@ -11,6 +11,7 @@ pub use hypertee_crypto as crypto;
 pub use hypertee_emcall as emcall;
 pub use hypertee_ems as ems;
 pub use hypertee_fabric as fabric;
+pub use hypertee_faults as faults;
 pub use hypertee_mem as mem;
 pub use hypertee_sim as sim;
 pub use hypertee_workloads as workloads;

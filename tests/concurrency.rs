@@ -6,7 +6,7 @@
 
 use hypertee_repro::hypertee::machine::Machine;
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 #[test]
@@ -45,11 +45,11 @@ fn concurrent_tenants_stress() {
         handles.push(std::thread::spawn(move || {
             let image = format!("tenant {tenant} image");
             let enclave = {
-                let mut m = machine.lock();
+                let mut m = machine.lock().unwrap();
                 m.create_enclave(tenant, &manifest, image.as_bytes()).unwrap()
             };
             for round in 0..5u64 {
-                let mut m = machine.lock();
+                let mut m = machine.lock().unwrap();
                 m.enter(tenant, enclave).unwrap();
                 let va = m.ealloc(tenant, 8 * 1024).unwrap();
                 let marker = (tenant as u64) << 32 | round;
@@ -59,7 +59,7 @@ fn concurrent_tenants_stress() {
                 assert_eq!(u64::from_le_bytes(buf), marker, "tenant isolation broken");
                 m.exit(tenant).unwrap();
             }
-            let mut m = machine.lock();
+            let mut m = machine.lock().unwrap();
             m.enter(tenant, enclave).unwrap();
             let quote = m.attest(tenant, enclave, image.as_bytes()).unwrap();
             assert!(quote.verify(&m.ek_public()));
@@ -70,7 +70,7 @@ fn concurrent_tenants_stress() {
     for h in handles {
         h.join().expect("tenant thread panicked");
     }
-    let m = machine.lock();
+    let m = machine.lock().unwrap();
     assert_eq!(m.ems.enclave_count(), 0, "all tenants cleaned up");
     assert_eq!(m.emcall.stats.blocked, 0);
 }

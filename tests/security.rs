@@ -5,7 +5,7 @@ use hypertee_repro::hypertee::attacks;
 use hypertee_repro::hypertee::machine::Machine;
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
 use hypertee_repro::hypertee::sdk::ShmPerm;
-use hypertee_repro::mem::addr::{KeyId, Ppn, VirtAddr};
+use hypertee_repro::mem::addr::{KeyId, VirtAddr};
 use hypertee_repro::mem::pagetable::{PageTable, Perms};
 use hypertee_repro::mem::MemFault;
 

@@ -5,7 +5,6 @@ use hypertee_repro::crypto::chacha::ChaChaRng;
 use hypertee_repro::ems::attest::SigmaInitiator;
 use hypertee_repro::hypertee::machine::{Machine, MachineError};
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
-use hypertee_repro::hypertee::sdk::ShmPerm;
 use hypertee_repro::mem::addr::VirtAddr;
 use hypertee_repro::sim::config::SocConfig;
 use hypertee_repro::workloads::memstream;
