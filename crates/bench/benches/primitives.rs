@@ -36,7 +36,9 @@ fn main() {
     {
         let mut m = Machine::boot_default();
         bench("primitives/create_destroy_enclave", 5, 0, || {
-            let e = m.create_enclave(0, &manifest(), b"short-lived enclave").unwrap();
+            let e = m
+                .create_enclave(0, &manifest(), b"short-lived enclave")
+                .unwrap();
             m.destroy(0, e).unwrap();
         });
     }

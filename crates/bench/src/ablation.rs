@@ -103,7 +103,11 @@ pub fn swap_jitter_ablation() -> AblationRow {
 pub fn polling_ablation() -> AblationRow {
     let mut m = Machine::boot_default();
     let e = m
-        .create_enclave(0, &hypertee::manifest::EnclaveManifest::default(), b"poller")
+        .create_enclave(
+            0,
+            &hypertee::manifest::EnclaveManifest::default(),
+            b"poller",
+        )
         .unwrap();
     m.enter(0, e).unwrap();
     let mut distinct = std::collections::BTreeSet::new();

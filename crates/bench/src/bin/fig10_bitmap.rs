@@ -5,7 +5,10 @@ use hypertee_bench::{average, fig10, pct};
 
 fn main() {
     println!("Fig. 10 — enclave-memory-isolation (bitmap) overhead on SPEC CPU2017");
-    println!("{:<12}{:>12}{:>16}", "benchmark", "overhead", "TLB miss rate");
+    println!(
+        "{:<12}{:>12}{:>16}",
+        "benchmark", "overhead", "TLB miss rate"
+    );
     let rows = fig10();
     for r in &rows {
         println!(
@@ -15,6 +18,10 @@ fn main() {
             format!("{:.2}%", r.tlb_miss_rate * 100.0)
         );
     }
-    println!("{:<12}{:>12}", "average", pct(average(rows.iter().map(|r| r.overhead))));
+    println!(
+        "{:<12}{:>12}",
+        "average",
+        pct(average(rows.iter().map(|r| r.overhead)))
+    );
     println!("\npaper: 1.9% average; xalancbmk 4.6% (TLB miss rate 0.8%)");
 }

@@ -6,7 +6,10 @@ use hypertee_bench::{fig12, pct};
 fn main() {
     println!("Fig. 12 — enclave communication: conventional (software enc/dec)");
     println!("vs HyperTEE (protected shared enclave memory)\n");
-    println!("{:<22}{:>22}{:>12}", "workload", "conv. crypto share", "speedup");
+    println!(
+        "{:<22}{:>22}{:>12}",
+        "workload", "conv. crypto share", "speedup"
+    );
     for r in fig12() {
         println!(
             "{:<22}{:>22}{:>12}",

@@ -5,10 +5,19 @@ use hypertee_bench::{average, fig7, pct};
 
 fn main() {
     println!("Fig. 7 — enclave overhead vs EMS core configuration");
-    println!("{:<12}{:>10}{:>10}{:>10}", "workload", "weak", "medium", "strong");
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}",
+        "workload", "weak", "medium", "strong"
+    );
     let rows = fig7();
     for r in &rows {
-        println!("{:<12}{:>10}{:>10}{:>10}", r.name, pct(r.weak), pct(r.medium), pct(r.strong));
+        println!(
+            "{:<12}{:>10}{:>10}{:>10}",
+            r.name,
+            pct(r.weak),
+            pct(r.medium),
+            pct(r.strong)
+        );
     }
     println!(
         "{:<12}{:>10}{:>10}{:>10}",

@@ -35,7 +35,10 @@ fn live_measurement() {
     use hypertee::manifest::EnclaveManifest;
 
     println!("\nLive re-measurement (functional machine, simulated clock):");
-    println!("{:<10}{:>18}{:>16}", "size", "live EALLOC (cyc)", "model (cyc)");
+    println!(
+        "{:<10}{:>18}{:>16}",
+        "size", "live EALLOC (cyc)", "model (cyc)"
+    );
     let mut m = Machine::boot_default();
     let manifest = EnclaveManifest::parse("heap = 64M").unwrap();
     let e = m.create_enclave(0, &manifest, b"fig8a live").unwrap();

@@ -4,7 +4,10 @@ use hypertee_bench::{average, fig8b, pct};
 
 fn main() {
     println!("Fig. 8(b) — MemStream latency, Host-Native vs Enclave-M_encrypt");
-    println!("{:<10}{:>14}{:>16}{:>12}", "size", "native (cyc)", "encrypted (cyc)", "overhead");
+    println!(
+        "{:<10}{:>14}{:>16}{:>12}",
+        "size", "native (cyc)", "encrypted (cyc)", "overhead"
+    );
     let rows = fig8b();
     for r in &rows {
         println!(
@@ -15,6 +18,9 @@ fn main() {
             pct(r.overhead())
         );
     }
-    println!("average overhead: {}", pct(average(rows.iter().map(|r| r.overhead()))));
+    println!(
+        "average overhead: {}",
+        pct(average(rows.iter().map(|r| r.overhead())))
+    );
     println!("\npaper: 3.1% average latency overhead");
 }

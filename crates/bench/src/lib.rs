@@ -57,8 +57,9 @@ pub fn fig6(allocs: u32) -> Vec<SloCurve> {
 /// [`fig6`] with topology-accurate mesh transmission instead of the flat
 /// fabric constant.
 pub fn fig6_with_mesh(allocs: u32, mesh: bool) -> Vec<SloCurve> {
-    let multiples: Vec<f64> =
-        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let multiples: Vec<f64> = vec![
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    ];
     let ems_options: Vec<(&str, EmsCluster)> = vec![
         ("1 in-order", EmsCluster::single_inorder()),
         ("2 in-order", EmsCluster::dual_inorder()),
@@ -106,8 +107,11 @@ pub fn enclave_workloads() -> Vec<hypertee_sim::perf::WorkloadProfile> {
 /// Fig. 7: enclave overhead for the three EMS core configurations.
 pub fn fig7() -> Vec<Fig7Row> {
     let book = LatencyBook::default();
-    let cores =
-        [CoreConfig::ems_weak(), CoreConfig::ems_medium(), CoreConfig::ems_strong()];
+    let cores = [
+        CoreConfig::ems_weak(),
+        CoreConfig::ems_medium(),
+        CoreConfig::ems_strong(),
+    ];
     enclave_workloads()
         .iter()
         .map(|p| {
@@ -360,7 +364,10 @@ pub struct Table6Row {
 pub fn table6() -> Vec<Table6Row> {
     table6_policies()
         .into_iter()
-        .map(|p| Table6Row { name: p.name.to_string(), cells: p.row() })
+        .map(|p| Table6Row {
+            name: p.name.to_string(),
+            cells: p.row(),
+        })
         .collect()
 }
 
@@ -369,6 +376,217 @@ pub fn table6() -> Vec<Table6Row> {
 pub fn empirical_attacks() -> Vec<AttackReport> {
     let mut machine = Machine::boot_default();
     attacks::run_all(&mut machine)
+}
+
+/// One live Fig. 6 measurement: the same (CS, EMS) point measured twice —
+/// through the real machine's async submit/pump pipeline (every EALLOC goes
+/// through the EMCall gate, the mailbox, and the multi-core EMS scheduler
+/// onto real page tables) and through the analytic closed-loop queueing
+/// model of `hypertee-sim::queueing`.
+#[derive(Debug, Clone)]
+pub struct LiveSlo {
+    /// "{cs}CS / {label}" configuration.
+    pub label: String,
+    /// CS core count.
+    pub cs_cores: u32,
+    /// Live pipeline median EALLOC latency (CS cycles).
+    pub live_p50: f64,
+    /// Live pipeline 99th-percentile EALLOC latency (CS cycles).
+    pub live_p99: f64,
+    /// Analytic model 99th-percentile latency (CS cycles).
+    pub analytic_p99: f64,
+    /// The non-enclave (host malloc) baseline both are normalised against.
+    pub baseline: f64,
+    /// Live SLO curve: (multiple of baseline, fraction resolved within).
+    pub live_curve: Vec<(f64, f64)>,
+    /// Analytic SLO curve over the same multiples.
+    pub analytic_curve: Vec<(f64, f64)>,
+    /// Pipeline counters at the end of the run.
+    pub stats: hypertee::pipeline::PipelineStats,
+}
+
+/// The enclave heap VA window EALLOCs bump through (EFREE never rewinds the
+/// cursor): `HOST_SHARED_BASE - HEAP_BASE`. Once a workload's allocations
+/// have walked the whole window the enclave must be rotated (destroyed and
+/// recreated) — which is also faithful to the paper workload's "necessary
+/// enclave creation primitives".
+const HEAP_VA_WINDOW: u64 = 256 * 1024 * 1024;
+
+/// Fig. 6 `--live`: replays the paper workload (per-hart enclave creation +
+/// closed-loop EALLOC(2 MiB)) through the machine's asynchronous pipeline.
+/// Every hart keeps one request outstanding (alternating EALLOC/EFREE so
+/// physical memory stays bounded), so up to `cs_cores` requests contend for
+/// the EMS cluster concurrently; [`hypertee::machine::Machine::pump`]
+/// services them through the randomized multi-core scheduler and charges
+/// queueing delay to the per-hart clocks that the sampled latencies read.
+///
+/// # Panics
+///
+/// Panics when the machine rejects the workload (enclave creation or an
+/// EALLOC/EFREE failing), which indicates a machine bug, not a measurement.
+pub fn fig6_live(cs_cores: u32, ems: EmsCluster, allocs: u32, multiples: &[f64]) -> LiveSlo {
+    fig6_live_sized(cs_cores, ems, allocs, 2 * 1024 * 1024, multiples)
+}
+
+/// [`fig6_live`] with a custom allocation size. The paper point is 2 MiB;
+/// smaller sizes keep the functional page-table work cheap for tests while
+/// preserving the queueing behaviour (service time scales with the pages
+/// actually mapped, exactly as the analytic model's service law does).
+///
+/// # Panics
+///
+/// As [`fig6_live`].
+pub fn fig6_live_sized(
+    cs_cores: u32,
+    ems: EmsCluster,
+    allocs: u32,
+    bytes: u64,
+    multiples: &[f64],
+) -> LiveSlo {
+    use hypertee::machine::EnclaveHandle;
+    use hypertee::pipeline::PendingCall;
+    use hypertee_fabric::message::Primitive;
+    use hypertee_sim::config::SocConfig;
+    use hypertee_sim::stats::Samples;
+
+    let analytic = SloExperiment {
+        total_allocs: allocs,
+        ..SloExperiment::paper(cs_cores, ems.clone())
+    };
+    let label = format!(
+        "{} CS / {} {} EMS",
+        cs_cores,
+        ems.cores,
+        match ems.core.pipeline {
+            hypertee_sim::config::PipelineKind::InOrder => "in-order",
+            hypertee_sim::config::PipelineKind::OutOfOrder => "OoO",
+        }
+    );
+
+    let config = SocConfig {
+        cs_cores,
+        ems,
+        crypto_engine: true,
+        phys_mem_bytes: 256 * 1024 * 1024 + u64::from(cs_cores) * 16 * 1024 * 1024,
+    };
+    let mut m = Machine::boot(config, 0x4859_5045).expect("pristine firmware boots");
+    let manifest =
+        hypertee::manifest::EnclaveManifest::parse("heap = 256M\nstack = 32K\nhost_shared = 16K")
+            .expect("static manifest parses");
+    let image = b"fig6 live workload image";
+
+    /// What a hart's outstanding call is doing.
+    enum Op {
+        Alloc,
+        Free,
+    }
+    struct HartLoop {
+        enclave: EnclaveHandle,
+        eid: u64,
+        pending: Option<(PendingCall, Op)>,
+        allocs_done: u32,
+        allocs_in_enclave: u32,
+    }
+
+    let allocs_per_enclave = (HEAP_VA_WINDOW / bytes.max(1)).max(1) as u32;
+    let per_hart = (allocs / cs_cores).max(1);
+    let harts = cs_cores as usize;
+    let mut loops: Vec<HartLoop> = (0..harts)
+        .map(|h| {
+            let e = m
+                .create_enclave(h, &manifest, image)
+                .expect("enclave creation");
+            m.enter(h, e).expect("enter");
+            HartLoop {
+                enclave: e,
+                eid: e.0,
+                pending: None,
+                allocs_done: 0,
+                allocs_in_enclave: 0,
+            }
+        })
+        .collect();
+
+    let mut samples = Samples::new();
+    loop {
+        let mut idle = true;
+        for (h, hl) in loops.iter_mut().enumerate() {
+            if hl.pending.is_some() {
+                idle = false;
+                continue;
+            }
+            if hl.allocs_done >= per_hart {
+                continue;
+            }
+            if hl.allocs_in_enclave >= allocs_per_enclave {
+                // Heap VA window exhausted: rotate the enclave (synchronous
+                // lifecycle primitives; the pipeline keeps servicing the
+                // other harts' outstanding requests while these pump).
+                let old = hl.enclave;
+                m.exit(h).expect("exit for rotation");
+                m.destroy(h, old).expect("destroy for rotation");
+                let e = m
+                    .create_enclave(h, &manifest, image)
+                    .expect("rotated enclave");
+                m.enter(h, e).expect("re-enter");
+                hl.enclave = e;
+                hl.eid = e.0;
+                hl.allocs_in_enclave = 0;
+            }
+            let call = m
+                .submit(h, Primitive::Ealloc, vec![hl.eid, bytes], vec![])
+                .expect("EALLOC submit");
+            hl.pending = Some((call, Op::Alloc));
+            idle = false;
+        }
+        if idle {
+            break;
+        }
+        m.pump();
+        for done in m.drain_completions() {
+            let h = done.hart_id;
+            let Some((call, op)) = loops[h].pending.take() else {
+                continue;
+            };
+            assert_eq!(call, done.call, "one outstanding call per hart");
+            let resp = done.result.expect("fault-free workload completes");
+            match op {
+                Op::Alloc => {
+                    samples.push(done.latency.0 as f64);
+                    loops[h].allocs_done += 1;
+                    loops[h].allocs_in_enclave += 1;
+                    // Free it right back so physical memory stays bounded;
+                    // the EFREE round trip is part of the closed loop but
+                    // not of the sampled allocation latency.
+                    let va = resp.mapped_va().expect("EALLOC maps");
+                    let call = m
+                        .submit(h, Primitive::Efree, vec![loops[h].eid, va, bytes], vec![])
+                        .expect("EFREE submit");
+                    loops[h].pending = Some((call, Op::Free));
+                }
+                Op::Free => {}
+            }
+        }
+    }
+    let stats = m.pipeline_stats();
+
+    let baseline = analytic.baseline_latency();
+    let live_curve: Vec<(f64, f64)> = multiples
+        .iter()
+        .map(|&x| (x, samples.fraction_within(x * baseline)))
+        .collect();
+    let mut analytic_samples = analytic.run();
+    LiveSlo {
+        label,
+        cs_cores,
+        live_p50: samples.percentile(0.50),
+        live_p99: samples.percentile(0.99),
+        analytic_p99: analytic_samples.percentile(0.99),
+        baseline,
+        live_curve,
+        analytic_curve: analytic.slo_curve(multiples),
+        stats,
+    }
 }
 
 /// Formats a ratio as a percentage string.
@@ -419,8 +637,16 @@ mod tests {
         let last = rows.last().unwrap();
         assert_eq!(first.bytes, 128 * 1024);
         assert_eq!(last.bytes, 2 * 1024 * 1024);
-        assert!((first.overhead() - 0.497).abs() < 0.05, "{}", first.overhead());
-        assert!((last.overhead() - 0.063).abs() < 0.015, "{}", last.overhead());
+        assert!(
+            (first.overhead() - 0.497).abs() < 0.05,
+            "{}",
+            first.overhead()
+        );
+        assert!(
+            (last.overhead() - 0.063).abs() < 0.015,
+            "{}",
+            last.overhead()
+        );
         // Monotonically amortising.
         for w in rows.windows(2) {
             assert!(w[0].overhead() > w[1].overhead());
@@ -495,6 +721,45 @@ mod tests {
         assert!(ht.cells.iter().all(|c| *c == Defense::Yes));
         let sgx = rows.iter().find(|r| r.name == "SGX").unwrap();
         assert!(sgx.cells.iter().all(|c| *c == Defense::No));
+    }
+
+    // The live tests use 16 KiB allocations: the functional page-table work
+    // stays cheap in debug builds while the queueing behaviour (what Fig. 6
+    // is about) is unchanged in shape. The release binary's --live mode
+    // runs the paper-size 2 MiB workload.
+    #[test]
+    fn fig6_live_single_core_queueing_grows_with_cs() {
+        let multiples = [1.0, 4.0, 16.0, 64.0];
+        let kib16 = 16 * 1024;
+        let small = fig6_live_sized(2, EmsCluster::single_inorder(), 24, kib16, &multiples);
+        assert_eq!(small.stats.timeouts, 0, "{:?}", small.stats);
+        assert_eq!(small.stats.retries, 0, "fault-free run must not retry");
+        assert!(
+            small.stats.in_flight_hwm >= 2,
+            "harts must overlap: {:?}",
+            small.stats
+        );
+        let big = fig6_live_sized(8, EmsCluster::single_inorder(), 64, kib16, &multiples);
+        assert!(
+            big.live_p99 > small.live_p99,
+            "one EMS core must queue harder under more CS cores: {} vs {}",
+            big.live_p99,
+            small.live_p99
+        );
+    }
+
+    #[test]
+    fn fig6_live_multi_core_ems_improves_p99() {
+        let multiples = [1.0, 4.0, 16.0, 64.0];
+        let kib16 = 16 * 1024;
+        let single = fig6_live_sized(8, EmsCluster::single_inorder(), 64, kib16, &multiples);
+        let quad = fig6_live_sized(8, EmsCluster::quad_ooo(), 64, kib16, &multiples);
+        assert!(
+            quad.live_p99 < single.live_p99,
+            "a quad OoO cluster must beat one in-order core: {} vs {}",
+            quad.live_p99,
+            single.live_p99
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ pub fn allocation_channel_insecure(machine: &mut Machine, secret: &[bool]) -> At
     }
     machine.exit(0).expect("exit victim");
     machine.destroy(0, victim).expect("destroy victim");
-    score("allocation channel vs OS-performed allocation (SGX-like)", secret, &guesses)
+    score(
+        "allocation channel vs OS-performed allocation (SGX-like)",
+        secret,
+        &guesses,
+    )
 }
 
 /// **Attack ②: page-table-management controlled channel** (§IV-A).
@@ -98,7 +102,9 @@ pub fn page_table_channel(machine: &mut Machine) -> AttackReport {
     machine.enter(0, victim).expect("enter victim");
     // Victim touches its memory (creating A/D state in its own table).
     let va = machine.ealloc(0, 64 * 1024).expect("victim allocation");
-    machine.enclave_store(0, va, b"secret access pattern").expect("victim store");
+    machine
+        .enclave_store(0, va, b"secret access pattern")
+        .expect("victim store");
     machine.exit(0).expect("exit victim");
 
     // The attacker sweeps physical memory, mapping frames into its own
@@ -164,7 +170,10 @@ pub fn page_table_channel_insecure(machine: &mut Machine, secret: &[bool]) -> At
         // Attacker pre-clears the A bit (it owns the table).
         machine
             .host_table
-            .clear_ad(VirtAddr(base_va.0 + i as u64 * PAGE_SIZE), &mut machine.sys.phys)
+            .clear_ad(
+                VirtAddr(base_va.0 + i as u64 * PAGE_SIZE),
+                &mut machine.sys.phys,
+            )
             .expect("attacker clears A/D");
         // Also flush the victim's TLB (the OS can shoot it down).
         machine.harts[0].mmu.tlb.flush_all();
@@ -179,11 +188,18 @@ pub fn page_table_channel_insecure(machine: &mut Machine, secret: &[bool]) -> At
     for i in 0..secret.len() {
         let pte = machine
             .host_table
-            .inspect(VirtAddr(base_va.0 + i as u64 * PAGE_SIZE), &mut machine.sys.phys)
+            .inspect(
+                VirtAddr(base_va.0 + i as u64 * PAGE_SIZE),
+                &mut machine.sys.phys,
+            )
             .expect("attacker reads PTE");
         guesses.push(pte.accessed());
     }
-    score("page-table channel vs OS-owned tables (SGX-like)", secret, &guesses)
+    score(
+        "page-table channel vs OS-owned tables (SGX-like)",
+        secret,
+        &guesses,
+    )
 }
 
 /// **Attack ③: swapping-based controlled channel** (§IV-A).
@@ -198,7 +214,9 @@ pub fn swap_channel(machine: &mut Machine) -> AttackReport {
         .expect("victim creation");
     machine.enter(0, victim).expect("enter victim");
     let va = machine.ealloc(0, 256 * 1024).expect("victim working set");
-    machine.enclave_store(0, va, &[0xAAu8; 32]).expect("warm up");
+    machine
+        .enclave_store(0, va, &[0xAAu8; 32])
+        .expect("warm up");
     machine.exit(0).expect("park victim");
 
     // Attacker: repeated swap requests while recording what comes back.
@@ -250,9 +268,13 @@ pub fn shm_bruteforce(machine: &mut Machine) -> AttackReport {
         .create_enclave(1, &small_manifest(), b"malicious enclave")
         .expect("attacker");
     machine.enter(0, sender).expect("enter sender");
-    let shmid = machine.shmget(0, 16 * 1024, ShmPerm::ReadWrite, false).expect("shmget");
+    let shmid = machine
+        .shmget(0, 16 * 1024, ShmPerm::ReadWrite, false)
+        .expect("shmget");
     let s_va = machine.shmat(0, shmid, sender).expect("sender attach");
-    machine.enclave_store(0, s_va, b"confidential broadcast").expect("sender write");
+    machine
+        .enclave_store(0, s_va, b"confidential broadcast")
+        .expect("sender write");
     machine.exit(0).expect("exit sender");
 
     machine.enter(1, attacker).expect("enter attacker");
@@ -281,7 +303,9 @@ pub fn dma_attack(machine: &mut Machine) -> AttackReport {
         .expect("victim");
     machine.enter(0, victim).expect("enter");
     let va = machine.ealloc(0, 4096).expect("alloc");
-    machine.enclave_store(0, va, b"enclave secret").expect("store");
+    machine
+        .enclave_store(0, va, b"enclave secret")
+        .expect("store");
     machine.exit(0).expect("exit");
 
     // The attacker knows (worst case) the physical frame and points a rogue
@@ -370,7 +394,11 @@ pub fn attacker_view_digest(machine: &mut Machine) -> [u8; 32] {
             continue;
         }
         h.update(&[0]);
-        machine.sys.phys.read(Ppn(frame).base(), &mut page).expect("in range");
+        machine
+            .sys
+            .phys
+            .read(Ppn(frame).base(), &mut page)
+            .expect("in range");
         h.update(&page);
     }
     h.finalize()
@@ -432,7 +460,10 @@ fn score(name: &'static str, secret: &[bool], guesses: &[bool]) -> AttackReport 
 /// A balanced pseudo-random secret for channel experiments.
 pub fn test_secret(bits: usize, seed: u64) -> Vec<bool> {
     let mut rng = hypertee_crypto::chacha::ChaChaRng::from_u64(seed);
-    let mut v: Vec<bool> = (0..bits / 2).map(|_| true).chain((0..bits - bits / 2).map(|_| false)).collect();
+    let mut v: Vec<bool> = (0..bits / 2)
+        .map(|_| true)
+        .chain((0..bits - bits / 2).map(|_| false))
+        .collect();
     rng.shuffle(&mut v);
     v
 }

@@ -236,7 +236,11 @@ mod tests {
     use super::*;
 
     fn row_of(name: &str) -> [Defense; 5] {
-        table6_policies().into_iter().find(|p| p.name == name).unwrap().row()
+        table6_policies()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap()
+            .row()
     }
 
     #[test]

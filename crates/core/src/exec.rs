@@ -62,7 +62,9 @@ impl Machine {
         hart_id: usize,
         max_steps: u64,
     ) -> MachineResult<RunOutcome> {
-        self.harts[hart_id].current_enclave.ok_or(MachineError::WrongMode)?;
+        self.harts[hart_id]
+            .current_enclave
+            .ok_or(MachineError::WrongMode)?;
         // Restore the architectural state EMCall saved at the last context
         // switch (fresh entries were initialised by `enter`).
         let mut cpu = Cpu::new(VirtAddr(self.harts[hart_id].pc));
@@ -132,7 +134,9 @@ impl Machine {
                         .route_exception(&self.harts[hart_id], Exception::Misaligned { va: pa });
                     debug_assert_eq!(record.route, ExceptionRoute::Ems);
                     // Misaligned accesses are fatal to the task in this ABI.
-                    return Ok(RunOutcome::Fault { trap: Trap::Mem(fault) });
+                    return Ok(RunOutcome::Fault {
+                        trap: Trap::Mem(fault),
+                    });
                 }
                 Err(Trap::Illegal(word)) => {
                     // Illegal instructions route to the CS OS (§III-B),
@@ -141,7 +145,9 @@ impl Machine {
                         .emcall
                         .route_exception(&self.harts[hart_id], Exception::IllegalInstruction);
                     debug_assert_eq!(record.route, ExceptionRoute::CsOs);
-                    return Ok(RunOutcome::Fault { trap: Trap::Illegal(word) });
+                    return Ok(RunOutcome::Fault {
+                        trap: Trap::Illegal(word),
+                    });
                 }
                 Err(trap) => return Ok(RunOutcome::Fault { trap }),
             }
@@ -170,7 +176,10 @@ impl Machine {
     ) -> MachineResult<(RunOutcome, u64)> {
         assert!(quantum > 0, "quantum must be positive");
         let handle = crate::machine::EnclaveHandle(
-            self.harts[hart_id].current_enclave.ok_or(MachineError::WrongMode)?.0,
+            self.harts[hart_id]
+                .current_enclave
+                .ok_or(MachineError::WrongMode)?
+                .0,
         );
         let mut preemptions = 0u64;
         let mut remaining = max_steps;
@@ -183,10 +192,9 @@ impl Machine {
                     // Timer interrupt: EMCall routes it to the CS OS, which
                     // schedules, then the enclave resumes — TLB flushed on
                     // both transitions (§IV-B).
-                    let record = self.emcall.route_exception(
-                        &self.harts[hart_id],
-                        hypertee_emcall::Exception::Timer,
-                    );
+                    let record = self
+                        .emcall
+                        .route_exception(&self.harts[hart_id], hypertee_emcall::Exception::Timer);
                     debug_assert_eq!(record.route, ExceptionRoute::CsOs);
                     self.exit(hart_id)?;
                     self.resume(hart_id, handle)?;
@@ -204,9 +212,10 @@ impl Machine {
             .current_enclave
             .ok_or(MachineError::WrongMode)?
             .0;
-        let (cursor, max) = self.ems.enclave_heap_info(eid).map_err(|e| {
-            crate::machine::MachineError::Primitive(e.into())
-        })?;
+        let (cursor, max) = self
+            .ems
+            .enclave_heap_info(eid)
+            .map_err(|e| crate::machine::MachineError::Primitive(e.into()))?;
         let heap_end = layout::HEAP_BASE.0 + max;
         if va < layout::HEAP_BASE.0 || va >= heap_end || va < cursor {
             return Ok(false); // Not a demand-pageable address.
@@ -244,7 +253,13 @@ mod tests {
         let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
         m.enter(0, e).unwrap();
         let outcome = m.run_enclave_program(0, 1000).unwrap();
-        assert_eq!(outcome, RunOutcome::Exited { code: 42, retired: 5 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited {
+                code: 42,
+                retired: 5
+            }
+        );
     }
 
     #[test]
@@ -281,7 +296,7 @@ mod tests {
         a.addi(5, 10, 0); // save base
         a.li(6, 0xabcd);
         a.sd(6, 0, 5); // store at base
-        // Touch 4 pages past the end (demand paged).
+                       // Touch 4 pages past the end (demand paged).
         a.li(7, 8192 + 4 * 4096);
         a.add(7, 5, 7);
         a.sd(6, 0, 7);
@@ -299,7 +314,10 @@ mod tests {
             matches!(outcome, RunOutcome::Exited { code, .. } if code == 2 * 0xabcd),
             "{outcome:?}"
         );
-        assert!(m.emcall.stats.to_ems > before, "a page fault was routed to EMS");
+        assert!(
+            m.emcall.stats.to_ems > before,
+            "a page fault was routed to EMS"
+        );
     }
 
     #[test]
@@ -330,7 +348,10 @@ mod tests {
         m.host_window_write(e, 0, &777u64.to_le_bytes()).unwrap();
         m.enter(0, e).unwrap();
         let outcome = m.run_enclave_program(0, 1000).unwrap();
-        assert!(matches!(outcome, RunOutcome::Exited { code: 777, .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, RunOutcome::Exited { code: 777, .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -341,7 +362,12 @@ mod tests {
         m.enter(0, e).unwrap();
         let before = m.emcall.stats.to_cs;
         let outcome = m.run_enclave_program(0, 10).unwrap();
-        assert!(matches!(outcome, RunOutcome::Fault { trap: Trap::Illegal(0) }));
+        assert!(matches!(
+            outcome,
+            RunOutcome::Fault {
+                trap: Trap::Illegal(0)
+            }
+        ));
         assert_eq!(m.emcall.stats.to_cs, before + 1);
     }
 
@@ -355,6 +381,9 @@ mod tests {
         let mut m = Machine::boot_default();
         let e = m.create_enclave(0, &manifest(), &a.assemble()).unwrap();
         m.enter(0, e).unwrap();
-        assert_eq!(m.run_enclave_program(0, 100).unwrap(), RunOutcome::StepLimit);
+        assert_eq!(
+            m.run_enclave_program(0, 100).unwrap(),
+            RunOutcome::StepLimit
+        );
     }
 }

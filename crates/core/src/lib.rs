@@ -37,6 +37,7 @@ pub mod baselines;
 pub mod exec;
 pub mod machine;
 pub mod manifest;
+pub mod pipeline;
 pub mod sdk;
 
 pub use machine::Machine;

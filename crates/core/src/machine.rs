@@ -109,7 +109,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { poll_budget: 32, max_retries: 6 }
+        RetryPolicy {
+            poll_budget: 32,
+            max_retries: 6,
+        }
     }
 }
 
@@ -137,9 +140,14 @@ pub struct Machine {
     pub book: LatencyBook,
     /// Poll/retry budget for primitive round trips under faults.
     pub retry: RetryPolicy,
-    /// Simulated-time clock: every primitive round trip charges its
-    /// modelled cost here, so functional runs also report SoC time.
+    /// Simulated-time clock: the max-merge over the per-hart clocks, so
+    /// functional runs also report SoC (wall) time.
     pub clock: Cycles,
+    /// Per-hart simulated clocks: each hart accrues its own request
+    /// latencies, so concurrent submissions overlap instead of serializing.
+    pub(crate) hart_clock: Vec<Cycles>,
+    /// Async request pipeline state (see [`crate::pipeline`]).
+    pub(crate) pipeline: crate::pipeline::Pipeline,
     pub(crate) enclaves: BTreeMap<u64, EnclaveInfo>,
     pub(crate) next_host_va: u64,
 }
@@ -201,6 +209,8 @@ impl Machine {
         let mut os = FrameAllocator::new(Ppn(64), Ppn(total));
         let host_table = PageTable::new(&mut os, &mut sys.phys);
         let tlb_entries = 32;
+        let cs_cores = config.cs_cores as usize;
+        let ems_cores = config.ems.cores;
         let mut harts = Vec::new();
         for i in 0..config.cs_cores {
             let mut h = HartState::new(i, tlb_entries);
@@ -220,6 +230,8 @@ impl Machine {
             book: LatencyBook::default(),
             retry: RetryPolicy::default(),
             clock: Cycles::ZERO,
+            hart_clock: vec![Cycles::ZERO; cs_cores],
+            pipeline: crate::pipeline::Pipeline::new(ems_cores, seed),
             enclaves: BTreeMap::new(),
             next_host_va: 0x7000_0000,
         })
@@ -268,13 +280,14 @@ impl Machine {
         )
     }
 
-    /// Invokes one enclave primitive from `hart_id`: EMCall gate → mailbox →
-    /// EMS → polled response, with bounded recovery. If the response does
-    /// not arrive within [`RetryPolicy::poll_budget`] polls (dropped or
-    /// corrupted packet) or comes back [`Status::Aborted`] (injected
-    /// mid-primitive fault, already rolled back on EMS), the request is
-    /// resubmitted under the same `req_id` after an exponential back-off —
-    /// the EMS response cache makes replayed completions idempotent.
+    /// Invokes one enclave primitive from `hart_id` synchronously: a thin
+    /// wrapper over the asynchronous pipeline ([`Machine::submit`] followed
+    /// by [`Machine::pump`] until the call completes). Recovery semantics
+    /// are the pipeline's: a response lost past [`RetryPolicy::poll_budget`]
+    /// polls is resubmitted under the same `req_id` (the EMS response cache
+    /// makes replays idempotent), an [`Status::Aborted`] response triggers a
+    /// fresh submission, both after an exponential back-off charged to the
+    /// hart's clock.
     ///
     /// # Errors
     ///
@@ -289,118 +302,13 @@ impl Machine {
         args: Vec<u64>,
         payload: Vec<u8>,
     ) -> MachineResult<Response> {
-        let mut ticket = {
-            let hart = &self.harts[hart_id];
-            self.emcall.submit(hart, &mut self.hub, primitive, args.clone(), payload.clone())?
-        };
-        let mut attempt: u32 = 0;
+        let call = self.submit(hart_id, primitive, args, payload)?;
         loop {
-            let mut polls: u32 = 0;
-            // A collected response consumes the ticket (one request, one
-            // collector); a blown poll budget carries it out for resubmission.
-            let outcome = loop {
-                self.pump_ems();
-                match self.emcall.poll(&mut self.hub, ticket) {
-                    Ok(resp) => break Ok(resp),
-                    Err(t) => {
-                        polls += 1;
-                        if polls >= self.retry.poll_budget {
-                            break Err(t);
-                        }
-                        ticket = t;
-                    }
-                }
-            };
-            attempt += 1;
-            let backoff = self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16));
-            match outcome {
-                Ok(resp) if resp.status == Status::Ok => {
-                    self.charge_primitive(primitive, &resp);
-                    return Ok(resp);
-                }
-                Ok(resp) if resp.status != Status::Aborted => {
-                    self.charge_primitive(primitive, &resp);
-                    return Err(MachineError::Primitive(resp.status));
-                }
-                Ok(_aborted) => {
-                    // Aborted mid-primitive: EMS rolled back and cached
-                    // nothing, so a fresh submission is safe. The abort
-                    // response itself still crossed the fabric.
-                    if attempt > self.retry.max_retries {
-                        return Err(MachineError::Timeout);
-                    }
-                    self.clock +=
-                        Cycles((self.book.mailbox_round_trip() + backoff).round() as u64);
-                    let hart = &self.harts[hart_id];
-                    ticket = self.emcall.submit(
-                        hart,
-                        &mut self.hub,
-                        primitive,
-                        args.clone(),
-                        payload.clone(),
-                    )?;
-                }
-                Err(t) => {
-                    // Round trip lost (dropped/corrupted packet): resubmit
-                    // under the same req_id — if EMS in fact completed the
-                    // request, its response cache replays the completion
-                    // instead of re-executing the primitive.
-                    if attempt > self.retry.max_retries {
-                        return Err(MachineError::Timeout);
-                    }
-                    self.clock += Cycles(
-                        (f64::from(polls) * self.book.emcall_poll + backoff).round() as u64,
-                    );
-                    let hart = &self.harts[hart_id];
-                    self.emcall.resubmit(
-                        hart,
-                        &mut self.hub,
-                        &t,
-                        primitive,
-                        args.clone(),
-                        payload.clone(),
-                    )?;
-                    ticket = t;
-                }
+            self.pump();
+            if let Some(done) = self.take_completion(call) {
+                return done.result;
             }
         }
-    }
-
-    /// Charges the modelled cycle cost of one completed primitive to the
-    /// machine clock: the fixed mailbox round trip plus the EMS service
-    /// time implied by the response (e.g. pages actually mapped by EALLOC).
-    fn charge_primitive(&mut self, primitive: Primitive, resp: &Response) {
-        let book = &self.book;
-        let mut cycles = book.mailbox_round_trip();
-        if resp.status == Status::Ok {
-            let engine = self.config.crypto_engine;
-            cycles += match primitive {
-                Primitive::Ealloc => {
-                    let pages = resp.vals.get(1).copied().unwrap_or(0) as f64;
-                    book.ems_cycles(book.ealloc_base_ems_cycles)
-                        + pages * (book.host_page_cost + book.ealloc_page_extra)
-                }
-                Primitive::Efree | Primitive::Eshmdt => {
-                    book.ems_cycles(book.ealloc_base_ems_cycles)
-                }
-                Primitive::Ewb => {
-                    let count = resp.vals.first().copied().unwrap_or(0) as f64;
-                    count * (book.host_page_cost + book.ealloc_page_extra)
-                }
-                Primitive::Ecreate | Primitive::Edestroy => book.lifecycle_fixed / 2.0,
-                Primitive::Eadd => 0.0, // charged per byte by the SDK wrapper
-                Primitive::Emeas => 0.0, // likewise (needs the image size)
-                Primitive::Eenter | Primitive::Eresume | Primitive::Eexit => book.ctx_switch,
-                Primitive::Eshmget | Primitive::Eshmat => {
-                    book.ems_cycles(book.ealloc_base_ems_cycles)
-                }
-                Primitive::Eshmshr | Primitive::Eshmdes => {
-                    book.ems_cycles(book.ems_dispatch_ems_cycles)
-                }
-                Primitive::Eattest => book.sign_cost(engine),
-            };
-        }
-        self.clock += Cycles(cycles.round() as u64);
     }
 
     /// The platform's endorsement public key (pinned by remote verifiers).
@@ -410,7 +318,10 @@ impl Machine {
 
     /// SDK bookkeeping for a handle.
     pub fn enclave_info(&self, handle: EnclaveHandle) -> MachineResult<EnclaveInfo> {
-        self.enclaves.get(&handle.0).copied().ok_or(MachineError::UnknownEnclave)
+        self.enclaves
+            .get(&handle.0)
+            .copied()
+            .ok_or(MachineError::UnknownEnclave)
     }
 
     /// Maps `n` fresh OS frames into the host address space read-write and
@@ -420,7 +331,10 @@ impl Machine {
     ///
     /// [`MachineError::OutOfMemory`] when frames run out.
     pub fn map_host_region(&mut self, n: u64) -> MachineResult<(VirtAddr, Ppn)> {
-        let base_ppn = self.os.alloc_contiguous(n).ok_or(MachineError::OutOfMemory)?;
+        let base_ppn = self
+            .os
+            .alloc_contiguous(n)
+            .ok_or(MachineError::OutOfMemory)?;
         let base_va = VirtAddr(self.next_host_va);
         self.next_host_va += n * PAGE_SIZE;
         for i in 0..n {
@@ -498,11 +412,14 @@ mod tests {
     #[test]
     fn boot_with_tampered_firmware_fails() {
         // Direct chain check: a modified EMCall image is refused.
-        let (flash, mut eeprom, _) =
-            provision_flash(&firmware::FLASH_KEY, firmware::EMS_RUNTIME);
+        let (flash, mut eeprom, _) = provision_flash(&firmware::FLASH_KEY, firmware::EMS_RUNTIME);
         eeprom.emcall_hash = hypertee_crypto::sha256::sha256(firmware::EMCALL);
-        let result =
-            secure_boot(&firmware::FLASH_KEY, &flash, &eeprom, b"evil EMCall firmware");
+        let result = secure_boot(
+            &firmware::FLASH_KEY,
+            &flash,
+            &eeprom,
+            b"evil EMCall firmware",
+        );
         assert!(result.is_err());
     }
 

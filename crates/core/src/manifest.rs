@@ -116,7 +116,11 @@ impl EnclaveManifest {
                     m.host_shared_bytes =
                         parse_size(value).ok_or(ManifestError::BadSize { line })?
                 }
-                other => return Err(ManifestError::UnknownKey { key: other.to_string() }),
+                other => {
+                    return Err(ManifestError::UnknownKey {
+                        key: other.to_string(),
+                    })
+                }
             }
         }
         Ok(m)
@@ -171,7 +175,9 @@ host_shared = 1M
         );
         assert_eq!(
             EnclaveManifest::parse("color = red"),
-            Err(ManifestError::UnknownKey { key: "color".into() })
+            Err(ManifestError::UnknownKey {
+                key: "color".into()
+            })
         );
     }
 

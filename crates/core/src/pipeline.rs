@@ -1,0 +1,522 @@
+//! The asynchronous request pipeline: submit / pump / complete.
+//!
+//! [`crate::machine::Machine::invoke`] used to be a synchronous monolith —
+//! submit, spin-poll, retry — which meant the whole SoC could only ever
+//! have one primitive in flight, and the multi-core EMS scheduler was dead
+//! weight. This module decouples the path into a per-request state machine:
+//!
+//! * [`Machine::submit`] passes the request through the EMCall gate and
+//!   records an in-flight entry (ticket, attempt/poll counters, issue
+//!   timestamp) — the hart is immediately free to submit more;
+//! * [`Machine::pump`] advances the whole SoC one scheduling round: up to
+//!   `EmsCluster::cores` requests are serviced through
+//!   [`EmsScheduler::plan`], responses are delivered to their submitting
+//!   harts, lost/aborted round trips are retried with exponential back-off,
+//!   and cycle costs land on **per-hart clocks** (max-merged into the
+//!   machine clock) so concurrent latency is modelled instead of
+//!   serialized;
+//! * [`Machine::take_completion`] / [`Machine::drain_completions`] collect
+//!   finished calls.
+//!
+//! `invoke` survives as a thin submit + pump-to-completion wrapper, so the
+//! synchronous SDK keeps working unchanged on top of the pipeline.
+
+use crate::machine::{Machine, MachineError, MachineResult};
+use hypertee_ems::runtime::EmsContext;
+use hypertee_ems::scheduler::{EmsScheduler, ServiceRecord};
+use hypertee_fabric::message::{Primitive, Response, Status};
+use hypertee_sim::clock::Cycles;
+use hypertee_sim::config::CoreConfig;
+use std::collections::BTreeMap;
+
+/// Handle to a submitted-but-not-yet-completed primitive call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PendingCall {
+    /// Machine-unique call identifier.
+    pub id: u64,
+    /// The CS hart the call was submitted from.
+    pub hart_id: usize,
+}
+
+/// A finished pipeline call, ready for collection.
+#[derive(Debug)]
+pub struct Completion {
+    /// The handle returned by [`Machine::submit`].
+    pub call: PendingCall,
+    /// The submitting hart.
+    pub hart_id: usize,
+    /// The outcome, exactly as `invoke` would have returned it.
+    pub result: MachineResult<Response>,
+    /// Modelled response latency on the submitting hart's clock, from
+    /// submission to collection (includes queueing, retries, back-off).
+    pub latency: Cycles,
+}
+
+/// Pipeline observability counters, reachable via
+/// [`Machine::pipeline_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Calls accepted by [`Machine::submit`].
+    pub submitted: u64,
+    /// Calls finished (collectable or collected).
+    pub completed: u64,
+    /// Calls currently in flight.
+    pub in_flight: usize,
+    /// High-water mark of simultaneously in-flight calls.
+    pub in_flight_hwm: usize,
+    /// Requests serviced per EMS core (scheduler placement).
+    pub serviced_per_core: Vec<u64>,
+    /// High-water mark of the request backlog (mailbox + EMS Rx ring)
+    /// observed at pump time.
+    pub queue_depth_hwm: usize,
+    /// Resubmissions and abort-restarts driven by the pipeline.
+    pub retries: u64,
+    /// Calls that exhausted the retry budget.
+    pub timeouts: u64,
+    /// Stale duplicate responses currently quarantined in the mailbox.
+    pub stale_duplicates: usize,
+}
+
+/// One in-flight request's state machine.
+#[derive(Debug)]
+struct InFlight {
+    call: PendingCall,
+    req_id: u64,
+    primitive: Primitive,
+    args: Vec<u64>,
+    payload: Vec<u8>,
+    /// Completed poll-budget cycles (mirrors `invoke`'s attempt counter).
+    attempt: u32,
+    /// Misses since the request was seen serviced by EMS.
+    polls: u32,
+    /// Pump rounds since (re)submission without being serviced — catches
+    /// requests dropped before ever reaching EMS.
+    age: u32,
+    /// Hart clock at first submission (latency base).
+    issued_at: Cycles,
+    /// Earliest time the current submission can reach the EMS (half the
+    /// mailbox round trip after the hart clock at submission).
+    arrive: Cycles,
+    /// Whether EMS serviced the current submission (a response exists or
+    /// existed; a miss past the poll budget then means it was lost).
+    serviced: bool,
+}
+
+/// Pipeline state owned by the machine.
+#[derive(Debug)]
+pub(crate) struct Pipeline {
+    next_call: u64,
+    in_flight: BTreeMap<u64, InFlight>,
+    completed: BTreeMap<u64, Completion>,
+    scheduler: EmsScheduler,
+    /// Absolute time each EMS core is busy until (hart-clock timeline).
+    ems_busy_until: Vec<Cycles>,
+    /// EMS-side completion time per serviced req_id.
+    service_done: BTreeMap<u64, Cycles>,
+    submitted: u64,
+    completed_count: u64,
+    in_flight_hwm: usize,
+    serviced_per_core: Vec<u64>,
+    queue_depth_hwm: usize,
+    retries: u64,
+    timeouts: u64,
+}
+
+impl Pipeline {
+    pub(crate) fn new(ems_cores: u32, seed: u64) -> Pipeline {
+        Pipeline {
+            next_call: 0,
+            in_flight: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            scheduler: EmsScheduler::new(ems_cores, seed ^ 0x7363_6865_6475_6c65),
+            ems_busy_until: vec![Cycles::ZERO; ems_cores as usize],
+            service_done: BTreeMap::new(),
+            submitted: 0,
+            completed_count: 0,
+            in_flight_hwm: 0,
+            serviced_per_core: vec![0; ems_cores as usize],
+            queue_depth_hwm: 0,
+            retries: 0,
+            timeouts: 0,
+        }
+    }
+}
+
+impl Machine {
+    /// Half the fixed mailbox round trip: the request (or response) leg of
+    /// the CS ↔ EMS transmission.
+    fn half_round_trip(&self) -> Cycles {
+        Cycles((self.book.mailbox_round_trip() / 2.0).round() as u64)
+    }
+
+    /// EMS service time (in CS cycles) implied by a completed primitive's
+    /// response — the Fig. 8(a)-calibrated cost the EMS core was busy for,
+    /// scaled by the configured core's management IPC relative to the
+    /// medium core the `LatencyBook` is calibrated against. Failed
+    /// primitives bail out in the sanity checks and cost (to first order)
+    /// nothing beyond the round trip.
+    fn primitive_service_cycles(&self, primitive: Primitive, resp: &Response) -> f64 {
+        if resp.status != Status::Ok {
+            return 0.0;
+        }
+        let book = &self.book;
+        let engine = self.config.crypto_engine;
+        let base = match primitive {
+            Primitive::Ealloc => {
+                let pages = resp.pages_mapped().unwrap_or(0) as f64;
+                book.ems_cycles(book.ealloc_base_ems_cycles)
+                    + pages * (book.host_page_cost + book.ealloc_page_extra)
+            }
+            Primitive::Efree | Primitive::Eshmdt => book.ems_cycles(book.ealloc_base_ems_cycles),
+            Primitive::Ewb => {
+                let count = resp.pages_written_back().unwrap_or(0) as f64;
+                count * (book.host_page_cost + book.ealloc_page_extra)
+            }
+            Primitive::Ecreate | Primitive::Edestroy => book.lifecycle_fixed / 2.0,
+            Primitive::Eadd => 0.0,  // charged per byte by the SDK wrapper
+            Primitive::Emeas => 0.0, // likewise (needs the image size)
+            Primitive::Eenter | Primitive::Eresume | Primitive::Eexit => book.ctx_switch,
+            Primitive::Eshmget | Primitive::Eshmat => book.ems_cycles(book.ealloc_base_ems_cycles),
+            Primitive::Eshmshr | Primitive::Eshmdes => {
+                book.ems_cycles(book.ems_dispatch_ems_cycles)
+            }
+            Primitive::Eattest => book.sign_cost(engine),
+        };
+        let medium_ipc = CoreConfig::ems_medium().management_ipc();
+        base * (medium_ipc / self.config.ems.core.management_ipc())
+    }
+
+    /// Adds `cycles` to a hart's clock and max-merges into the machine
+    /// clock.
+    pub(crate) fn charge_hart(&mut self, hart_id: usize, cycles: Cycles) {
+        self.hart_clock[hart_id] += cycles;
+        if self.hart_clock[hart_id] > self.clock {
+            self.clock = self.hart_clock[hart_id];
+        }
+    }
+
+    /// Raises a hart's clock to an absolute timestamp (never backwards) and
+    /// max-merges into the machine clock.
+    fn raise_hart(&mut self, hart_id: usize, to: Cycles) {
+        if to > self.hart_clock[hart_id] {
+            self.hart_clock[hart_id] = to;
+        }
+        if self.hart_clock[hart_id] > self.clock {
+            self.clock = self.hart_clock[hart_id];
+        }
+    }
+
+    /// A hart's own simulated clock (the machine clock is the max-merge
+    /// over all harts).
+    pub fn hart_clock(&self, hart_id: usize) -> Cycles {
+        self.hart_clock[hart_id]
+    }
+
+    /// Submits one primitive from `hart_id` into the pipeline and returns a
+    /// handle. The hart may hold any number of calls in flight; responses
+    /// are bound to the submitting hart through EMCall's per-hart ticket
+    /// table. Drive the machine with [`Machine::pump`] and collect with
+    /// [`Machine::take_completion`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Gate`] when EMCall blocks the request.
+    pub fn submit(
+        &mut self,
+        hart_id: usize,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> MachineResult<PendingCall> {
+        let req_id = {
+            let hart = &self.harts[hart_id];
+            self.emcall.submit_tracked(
+                hart,
+                &mut self.hub,
+                primitive,
+                args.clone(),
+                payload.clone(),
+            )?
+        };
+        let call = PendingCall {
+            id: self.pipeline.next_call,
+            hart_id,
+        };
+        self.pipeline.next_call += 1;
+        let issued_at = self.hart_clock[hart_id];
+        let arrive = issued_at + self.half_round_trip();
+        self.pipeline.in_flight.insert(
+            call.id,
+            InFlight {
+                call,
+                req_id,
+                primitive,
+                args,
+                payload,
+                attempt: 0,
+                polls: 0,
+                age: 0,
+                issued_at,
+                arrive,
+                serviced: false,
+            },
+        );
+        self.pipeline.submitted += 1;
+        let depth = self.pipeline.in_flight.len();
+        if depth > self.pipeline.in_flight_hwm {
+            self.pipeline.in_flight_hwm = depth;
+        }
+        Ok(call)
+    }
+
+    /// Advances the whole SoC one scheduling round: services up to
+    /// `EmsCluster::cores` pending requests through the randomized
+    /// multi-core scheduler, models their queueing on the per-core busy
+    /// timelines, polls every in-flight call, delivers completions, and
+    /// drives the retry/back-off state machines. Returns the number of
+    /// calls completed this round.
+    pub fn pump(&mut self) -> usize {
+        // Observability: request backlog before this round services any.
+        let backlog = self.hub.mailbox.pending_requests() + self.ems.rx_backlog();
+        if backlog > self.pipeline.queue_depth_hwm {
+            self.pipeline.queue_depth_hwm = backlog;
+        }
+
+        // One scheduling round of the EMS cluster.
+        let cores = self.pipeline.ems_busy_until.len();
+        let records = {
+            let mut ctx = EmsContext {
+                sys: &mut self.sys,
+                hub: &mut self.hub,
+                os_frames: &mut self.os,
+            };
+            self.ems
+                .service_round(&mut ctx, &mut self.pipeline.scheduler, cores)
+        };
+        self.apply_service_timing(&records);
+
+        // Poll every in-flight call (oldest first), delivering completions
+        // and driving retries.
+        let ids: Vec<u64> = self.pipeline.in_flight.keys().copied().collect();
+        let mut delivered = 0;
+        for id in ids {
+            if self.step_call(id) {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Folds one service round into the timing model: each serviced request
+    /// starts when both its packet has arrived and its assigned EMS core is
+    /// free, and occupies the core for its modelled service time.
+    fn apply_service_timing(&mut self, records: &[ServiceRecord]) {
+        for r in records {
+            let Some(inf) = self
+                .pipeline
+                .in_flight
+                .values_mut()
+                .find(|f| f.req_id == r.req_id)
+            else {
+                continue; // stale replay of an already-collected call
+            };
+            inf.serviced = true;
+            let arrive = inf.arrive;
+            let (primitive, core) = (r.primitive, r.core as usize);
+            let svc = Cycles(
+                self.primitive_service_cycles(primitive, &r.response)
+                    .round() as u64,
+            );
+            let start = self.pipeline.ems_busy_until[core].max(arrive);
+            let done = start + svc;
+            self.pipeline.ems_busy_until[core] = done;
+            self.pipeline.service_done.insert(r.req_id, done);
+            self.pipeline.serviced_per_core[core] += 1;
+        }
+    }
+
+    /// Advances one in-flight call: poll, deliver, or retry. Returns true
+    /// when the call completed this step.
+    fn step_call(&mut self, id: u64) -> bool {
+        let Some(mut inf) = self.pipeline.in_flight.remove(&id) else {
+            return false;
+        };
+        let hart_id = inf.call.hart_id;
+        let polled =
+            self.emcall
+                .poll_tracked(&mut self.hub, self.harts[hart_id].hart_id, inf.req_id);
+        match polled {
+            Some(resp) if resp.status != Status::Aborted => {
+                // Response delivered: the hart observes it half a round trip
+                // after the EMS finished (or after the full uncontended
+                // round trip for cache replays with no fresh service time).
+                let done = self.pipeline.service_done.remove(&inf.req_id);
+                let finish = match done {
+                    Some(d) => d + self.half_round_trip(),
+                    None => inf.arrive + self.half_round_trip(),
+                };
+                self.raise_hart(hart_id, finish);
+                let result = if resp.status == Status::Ok {
+                    Ok(resp)
+                } else {
+                    Err(MachineError::Primitive(resp.status))
+                };
+                self.finish_call(inf, result);
+                true
+            }
+            Some(_aborted) => {
+                // Aborted mid-primitive: EMS rolled back and cached nothing,
+                // so a fresh submission (new req_id) is safe. The abort
+                // response itself still crossed the fabric.
+                self.pipeline.service_done.remove(&inf.req_id);
+                inf.attempt += 1;
+                if inf.attempt > self.retry.max_retries {
+                    self.pipeline.timeouts += 1;
+                    self.finish_call(inf, Err(MachineError::Timeout));
+                    return true;
+                }
+                let backoff = self.backoff(inf.attempt);
+                let round_trip = self.book.mailbox_round_trip();
+                self.charge_hart(hart_id, Cycles((round_trip + backoff).round() as u64));
+                let resubmitted = {
+                    let hart = &self.harts[hart_id];
+                    self.emcall.submit_tracked(
+                        hart,
+                        &mut self.hub,
+                        inf.primitive,
+                        inf.args.clone(),
+                        inf.payload.clone(),
+                    )
+                };
+                match resubmitted {
+                    Ok(req_id) => {
+                        inf.req_id = req_id;
+                        inf.polls = 0;
+                        inf.age = 0;
+                        inf.serviced = false;
+                        inf.arrive = self.hart_clock[hart_id] + self.half_round_trip();
+                        self.pipeline.retries += 1;
+                        self.pipeline.in_flight.insert(id, inf);
+                        false
+                    }
+                    Err(e) => {
+                        self.finish_call(inf, Err(MachineError::Gate(e)));
+                        true
+                    }
+                }
+            }
+            None => {
+                // Miss. A serviced request counts against the poll budget
+                // (its response is genuinely lost or delayed); an unserviced
+                // one is still queued behind up to `in_flight` others, so
+                // its loss threshold stretches with the backlog.
+                if inf.serviced {
+                    inf.polls += 1;
+                } else {
+                    inf.age += 1;
+                }
+                let backlog_slack = self.pipeline.in_flight.len() as u32 + 1;
+                let lost = inf.polls >= self.retry.poll_budget
+                    || inf.age >= self.retry.poll_budget + backlog_slack;
+                if !lost {
+                    self.pipeline.in_flight.insert(id, inf);
+                    return false;
+                }
+                inf.attempt += 1;
+                if inf.attempt > self.retry.max_retries {
+                    self.emcall
+                        .retire_tracked(self.harts[hart_id].hart_id, inf.req_id);
+                    self.pipeline.service_done.remove(&inf.req_id);
+                    self.pipeline.timeouts += 1;
+                    self.finish_call(inf, Err(MachineError::Timeout));
+                    return true;
+                }
+                let waited = f64::from(inf.polls.max(inf.age)) * self.book.emcall_poll;
+                let backoff = self.backoff(inf.attempt);
+                self.charge_hart(hart_id, Cycles((waited + backoff).round() as u64));
+                // Resubmit under the same req_id: if EMS in fact completed
+                // the request, its response cache replays the completion
+                // instead of re-executing the primitive.
+                let resubmitted = {
+                    let hart = &self.harts[hart_id];
+                    self.emcall.resubmit_tracked(
+                        hart,
+                        &mut self.hub,
+                        inf.req_id,
+                        inf.primitive,
+                        inf.args.clone(),
+                        inf.payload.clone(),
+                    )
+                };
+                match resubmitted {
+                    Ok(()) => {
+                        inf.polls = 0;
+                        inf.age = 0;
+                        inf.serviced = false;
+                        self.pipeline.service_done.remove(&inf.req_id);
+                        inf.arrive = self.hart_clock[hart_id] + self.half_round_trip();
+                        self.pipeline.retries += 1;
+                        self.pipeline.in_flight.insert(id, inf);
+                        false
+                    }
+                    Err(e) => {
+                        self.emcall
+                            .retire_tracked(self.harts[hart_id].hart_id, inf.req_id);
+                        self.finish_call(inf, Err(MachineError::Gate(e)));
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exponential back-off for retry `attempt` (1-based), as charged by
+    /// the old synchronous loop.
+    fn backoff(&self, attempt: u32) -> f64 {
+        self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16))
+    }
+
+    /// Moves a call into the completed set.
+    fn finish_call(&mut self, inf: InFlight, result: MachineResult<Response>) {
+        let hart_id = inf.call.hart_id;
+        let latency = self.hart_clock[hart_id] - inf.issued_at;
+        self.pipeline.completed_count += 1;
+        self.pipeline.completed.insert(
+            inf.call.id,
+            Completion {
+                call: inf.call,
+                hart_id,
+                result,
+                latency,
+            },
+        );
+    }
+
+    /// Collects the completion for `call`, if it has finished.
+    pub fn take_completion(&mut self, call: PendingCall) -> Option<Completion> {
+        self.pipeline.completed.remove(&call.id)
+    }
+
+    /// Collects every finished call (submission order).
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let ids: Vec<u64> = self.pipeline.completed.keys().copied().collect();
+        ids.into_iter()
+            .filter_map(|id| self.pipeline.completed.remove(&id))
+            .collect()
+    }
+
+    /// Live pipeline observability counters.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            submitted: self.pipeline.submitted,
+            completed: self.pipeline.completed_count,
+            in_flight: self.pipeline.in_flight.len(),
+            in_flight_hwm: self.pipeline.in_flight_hwm,
+            serviced_per_core: self.pipeline.serviced_per_core.clone(),
+            queue_depth_hwm: self.pipeline.queue_depth_hwm,
+            retries: self.pipeline.retries,
+            timeouts: self.pipeline.timeouts,
+            stale_duplicates: self.hub.mailbox.stale_duplicates(),
+        }
+    }
+}

@@ -9,8 +9,8 @@ use crate::manifest::EnclaveManifest;
 use hypertee_ems::attest::Quote;
 use hypertee_ems::control::layout;
 use hypertee_fabric::message::{Primitive, Privilege};
-use hypertee_mem::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use hypertee_mem::addr::Ppn;
+use hypertee_mem::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use hypertee_mem::ownership::EnclaveId;
 
 /// Shared-memory permission requested for a receiver.
@@ -58,12 +58,20 @@ impl Machine {
         image: &[u8],
     ) -> MachineResult<EnclaveHandle> {
         let window_pages = manifest.host_shared_bytes.div_ceil(PAGE_SIZE).max(1);
-        let window_base =
-            self.os.alloc_contiguous(window_pages).ok_or(MachineError::OutOfMemory)?;
+        let window_base = self
+            .os
+            .alloc_contiguous(window_pages)
+            .ok_or(MachineError::OutOfMemory)?;
         // Stage the image in contiguous host frames for EADD to read.
         let image_pages = (image.len() as u64).div_ceil(PAGE_SIZE).max(1);
-        let stage = self.os.alloc_contiguous(image_pages).ok_or(MachineError::OutOfMemory)?;
-        self.sys.phys.write(stage.base(), image).map_err(MachineError::Mem)?;
+        let stage = self
+            .os
+            .alloc_contiguous(image_pages)
+            .ok_or(MachineError::OutOfMemory)?;
+        self.sys
+            .phys
+            .write(stage.base(), image)
+            .map_err(MachineError::Mem)?;
 
         let eid = self.with_privilege(hart_id, Privilege::Os, |m| {
             let resp = m.invoke(
@@ -77,11 +85,19 @@ impl Machine {
                 ],
                 vec![],
             )?;
-            let eid = resp.vals[0];
+            let eid = resp
+                .new_enclave_id()
+                .expect("ECREATE answers with the new enclave id");
             m.invoke(
                 hart_id,
                 Primitive::Eadd,
-                vec![eid, layout::CODE_BASE.0, stage.base().0, image.len() as u64, 0b111],
+                vec![
+                    eid,
+                    layout::CODE_BASE.0,
+                    stage.base().0,
+                    image.len() as u64,
+                    0b111,
+                ],
                 vec![],
             )?;
             m.invoke(hart_id, Primitive::Emeas, vec![eid], vec![])?;
@@ -93,11 +109,17 @@ impl Machine {
         let engine = self.config.crypto_engine;
         let image_cost = image.len() as f64 * self.book.eadd_copy_per_byte
             + self.book.measure_cost(image.len() as u64, engine);
-        self.clock += hypertee_sim::clock::Cycles(image_cost.round() as u64);
+        self.charge_hart(
+            hart_id,
+            hypertee_sim::clock::Cycles(image_cost.round() as u64),
+        );
 
         // Release the staging frames back to the OS.
         for i in 0..image_pages {
-            self.sys.phys.zero_frame(Ppn(stage.0 + i)).map_err(MachineError::Mem)?;
+            self.sys
+                .phys
+                .zero_frame(Ppn(stage.0 + i))
+                .map_err(MachineError::Mem)?;
             self.os.free(Ppn(stage.0 + i));
         }
         self.enclaves.insert(
@@ -127,7 +149,9 @@ impl Machine {
         let resp = self.with_privilege(hart_id, Privilege::Os, |m| {
             m.invoke(hart_id, Primitive::Eenter, vec![handle.0], vec![])
         })?;
-        let (root, entry) = (resp.vals[0], resp.vals[1]);
+        let (root, entry, _key) = resp
+            .entry_context()
+            .expect("EENTER answers with the entry context");
         self.emcall.enter_enclave(
             &mut self.harts[hart_id],
             EnclaveId(handle.0),
@@ -154,7 +178,9 @@ impl Machine {
         let resp = self.with_privilege(hart_id, Privilege::Os, |m| {
             m.invoke(hart_id, Primitive::Eresume, vec![handle.0], vec![])
         })?;
-        let (root, entry) = (resp.vals[0], resp.vals[1]);
+        let (root, entry, _key) = resp
+            .entry_context()
+            .expect("ERESUME answers with the entry context");
         self.emcall.resume_enclave(
             &mut self.harts[hart_id],
             EnclaveId(handle.0),
@@ -208,7 +234,9 @@ impl Machine {
         // New mappings were created: EMCall flushes the hart's TLB so the
         // enclave observes them (and no stale entries survive).
         self.harts[hart_id].mmu.tlb.flush_all();
-        Ok(VirtAddr(resp.vals[0]))
+        Ok(VirtAddr(
+            resp.mapped_va().expect("EALLOC answers with the mapped VA"),
+        ))
     }
 
     /// EFREE from inside the enclave.
@@ -233,8 +261,11 @@ impl Machine {
         let resp = self.with_privilege(hart_id, Privilege::Os, |m| {
             m.invoke(hart_id, Primitive::Ewb, vec![requested], vec![])
         })?;
-        let count = resp.vals[0] as usize;
-        let pas: Vec<PhysAddr> = resp.vals[1..1 + count].iter().map(|&p| PhysAddr(p)).collect();
+        let pas: Vec<PhysAddr> = resp
+            .written_back_frames()
+            .iter()
+            .map(|&p| PhysAddr(p))
+            .collect();
         for pa in &pas {
             self.os.free(pa.ppn());
         }
@@ -260,7 +291,7 @@ impl Machine {
             vec![eid, bytes, max_perm.bits(), device_shared as u64],
             vec![],
         )?;
-        Ok(resp.vals[0])
+        Ok(resp.shm_id().expect("ESHMGET answers with the region id"))
     }
 
     /// ESHMSHR from the creator enclave: registers `receiver` with `perm`.
@@ -297,10 +328,16 @@ impl Machine {
         sender: EnclaveHandle,
     ) -> MachineResult<VirtAddr> {
         let eid = self.current_eid(hart_id)?;
-        let resp =
-            self.invoke(hart_id, Primitive::Eshmat, vec![eid, shmid, sender.0], vec![])?;
+        let resp = self.invoke(
+            hart_id,
+            Primitive::Eshmat,
+            vec![eid, shmid, sender.0],
+            vec![],
+        )?;
         self.harts[hart_id].mmu.tlb.flush_all();
-        Ok(VirtAddr(resp.vals[0]))
+        Ok(VirtAddr(
+            resp.mapped_va().expect("ESHMAT answers with the mapped VA"),
+        ))
     }
 
     /// ESHMDT from inside an enclave.
@@ -341,11 +378,9 @@ impl Machine {
         if eid != handle.0 {
             return Err(MachineError::WrongMode);
         }
-        let resp =
-            self.invoke(hart_id, Primitive::Eattest, vec![eid], challenge.to_vec())?;
-        Quote::from_bytes(&resp.payload).map_err(|_| MachineError::Primitive(
-            hypertee_fabric::message::Status::InvalidArgument,
-        ))
+        let resp = self.invoke(hart_id, Primitive::Eattest, vec![eid], challenge.to_vec())?;
+        Quote::from_bytes(&resp.payload)
+            .map_err(|_| MachineError::Primitive(hypertee_fabric::message::Status::InvalidArgument))
     }
 
     /// Seals data under the enclave identity currently on `hart_id`.
@@ -355,7 +390,9 @@ impl Machine {
     /// `WrongMode` outside an enclave; EMS-side failures map to `Primitive`.
     pub fn seal(&mut self, hart_id: usize, data: &[u8]) -> MachineResult<Vec<u8>> {
         let eid = self.current_eid(hart_id)?;
-        self.ems.seal(eid, data).map_err(|e| MachineError::Primitive(e.into()))
+        self.ems
+            .seal(eid, data)
+            .map_err(|e| MachineError::Primitive(e.into()))
     }
 
     /// Unseals a blob under the enclave identity currently on `hart_id`.
@@ -365,7 +402,9 @@ impl Machine {
     /// `WrongMode` outside an enclave; EMS-side failures map to `Primitive`.
     pub fn unseal(&mut self, hart_id: usize, blob: &[u8]) -> MachineResult<Vec<u8>> {
         let eid = self.current_eid(hart_id)?;
-        self.ems.unseal(eid, blob).map_err(|e| MachineError::Primitive(e.into()))
+        self.ems
+            .unseal(eid, blob)
+            .map_err(|e| MachineError::Primitive(e.into()))
     }
 
     /// Writes into the enclave's address space from inside the enclave
@@ -463,7 +502,9 @@ mod tests {
     #[test]
     fn quickstart_flow() {
         let mut m = Machine::boot_default();
-        let e = m.create_enclave(0, &manifest(), b"quickstart image").unwrap();
+        let e = m
+            .create_enclave(0, &manifest(), b"quickstart image")
+            .unwrap();
         m.enter(0, e).unwrap();
         let va = m.ealloc(0, 64 * 1024).unwrap();
         m.enclave_store(0, va, b"working set").unwrap();

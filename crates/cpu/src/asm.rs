@@ -32,12 +32,18 @@ fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u3
 }
 
 fn i_type(imm: i64, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
-    assert!((-2048..=2047).contains(&imm), "i-type immediate out of range: {imm}");
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "i-type immediate out of range: {imm}"
+    );
     ((imm as u32) & 0xfff) << 20 | (rs1 as u32) << 15 | funct3 << 12 | (rd as u32) << 7 | opcode
 }
 
 fn s_type(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
-    assert!((-2048..=2047).contains(&imm), "s-type immediate out of range: {imm}");
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "s-type immediate out of range: {imm}"
+    );
     let imm = (imm as u32) & 0xfff;
     (imm >> 5) << 25
         | (rs2 as u32) << 20
@@ -48,7 +54,10 @@ fn s_type(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
 }
 
 fn b_type(offset: i64, rs2: u8, rs1: u8, funct3: u32) -> u32 {
-    assert!(offset % 2 == 0 && (-4096..=4094).contains(&offset), "branch offset {offset}");
+    assert!(
+        offset % 2 == 0 && (-4096..=4094).contains(&offset),
+        "branch offset {offset}"
+    );
     let imm = (offset as u32) & 0x1fff;
     ((imm >> 12) & 1) << 31
         | ((imm >> 5) & 0x3f) << 25
@@ -61,7 +70,10 @@ fn b_type(offset: i64, rs2: u8, rs1: u8, funct3: u32) -> u32 {
 }
 
 fn j_type(offset: i64, rd: u8) -> u32 {
-    assert!(offset % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&offset), "jal offset {offset}");
+    assert!(
+        offset % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&offset),
+        "jal offset {offset}"
+    );
     let imm = (offset as u32) & 0x1f_ffff;
     ((imm >> 20) & 1) << 31
         | ((imm >> 1) & 0x3ff) << 21
@@ -136,7 +148,13 @@ impl Asm {
 
     /// `srai rd, rs1, shamt`
     pub fn srai(&mut self, rd: u8, rs1: u8, shamt: u8) {
-        self.emit(i_type((shamt as i64) | (0b010000 << 6), rs1, 0b101, rd, 0x13));
+        self.emit(i_type(
+            (shamt as i64) | (0b010000 << 6),
+            rs1,
+            0b101,
+            rd,
+            0x13,
+        ));
     }
 
     /// `lui rd, imm` (`imm` is the full sign-extended 32-bit value whose low
@@ -232,7 +250,10 @@ impl Asm {
     // ---- Control flow --------------------------------------------------
 
     fn branch(&mut self, funct3: u32, rs1: u8, rs2: u8, target: Label) {
-        self.pending.push(Pending::Branch { word_index: self.words.len(), label: target });
+        self.pending.push(Pending::Branch {
+            word_index: self.words.len(),
+            label: target,
+        });
         // Placeholder with the correct register/funct fields; offset patched.
         self.emit(b_type(0, rs2, rs1, funct3));
     }
@@ -264,7 +285,10 @@ impl Asm {
 
     /// `jal rd, target`
     pub fn jal(&mut self, rd: u8, target: Label) {
-        self.pending.push(Pending::Jal { word_index: self.words.len(), label: target });
+        self.pending.push(Pending::Jal {
+            word_index: self.words.len(),
+            label: target,
+        });
         self.emit(j_type(0, rd));
     }
 
@@ -308,8 +332,7 @@ impl Asm {
         for p in std::mem::take(&mut self.pending) {
             match p {
                 Pending::Branch { word_index, label } => {
-                    let target =
-                        self.labels[label.0].expect("branch target label unbound") as i64;
+                    let target = self.labels[label.0].expect("branch target label unbound") as i64;
                     let offset = (target - word_index as i64) * 4;
                     let old = self.words[word_index];
                     let rs2 = ((old >> 20) & 0x1f) as u8;
@@ -354,7 +377,12 @@ mod tests {
             .collect();
         assert_eq!(
             decode(words[0]).unwrap(),
-            Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 0, imm: 5 }
+            Instr::OpImm {
+                kind: AluKind::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            }
         );
         assert_eq!(decode(words[4]).unwrap(), Instr::Ecall);
     }
@@ -375,9 +403,13 @@ mod tests {
             .chunks(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let Instr::Branch { offset, .. } = decode(words[1]).unwrap() else { panic!() };
+        let Instr::Branch { offset, .. } = decode(words[1]).unwrap() else {
+            panic!()
+        };
         assert_eq!(offset, 8, "forward branch to ecall");
-        let Instr::Jal { offset, .. } = decode(words[2]).unwrap() else { panic!() };
+        let Instr::Jal { offset, .. } = decode(words[2]).unwrap() else {
+            panic!()
+        };
         assert_eq!(offset, -8, "backward jump to top");
     }
 

@@ -54,7 +54,11 @@ pub struct Cpu {
 impl Cpu {
     /// A CPU starting at `entry` with all registers zero.
     pub fn new(entry: VirtAddr) -> Cpu {
-        Cpu { regs: [0; 32], pc: entry, stats: CpuStats::default() }
+        Cpu {
+            regs: [0; 32],
+            pc: entry,
+            stats: CpuStats::default(),
+        }
     }
 
     fn write_reg(&mut self, rd: u8, value: u64) {
@@ -79,7 +83,8 @@ impl Cpu {
         let mut buf = [0u8; 8];
         // Aligned accesses never cross a page.
         debug_assert!(va % PAGE_SIZE + len as u64 <= PAGE_SIZE);
-        mmu.load(sys, VirtAddr(va), &mut buf[..len]).map_err(Trap::Mem)?;
+        mmu.load(sys, VirtAddr(va), &mut buf[..len])
+            .map_err(Trap::Mem)?;
         Ok(u64::from_le_bytes(buf))
     }
 
@@ -96,7 +101,8 @@ impl Cpu {
             return Err(Trap::Mem(MemFault::BusError { pa: va }));
         }
         let bytes = value.to_le_bytes();
-        mmu.store(sys, VirtAddr(va), &bytes[..len]).map_err(Trap::Mem)
+        mmu.store(sys, VirtAddr(va), &bytes[..len])
+            .map_err(Trap::Mem)
     }
 
     fn alu(kind: AluKind, a: u64, b: u64) -> u64 {
@@ -191,7 +197,12 @@ impl Cpu {
                 self.write_reg(rd, next_pc.0);
                 self.pc = VirtAddr(target);
             }
-            Instr::Branch { kind, rs1, rs2, offset } => {
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.regs[rs1 as usize];
                 let b = self.regs[rs2 as usize];
                 let taken = match kind {
@@ -208,7 +219,12 @@ impl Cpu {
                     next_pc
                 };
             }
-            Instr::Load { kind, rd, rs1, offset } => {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
                 let value = match kind {
                     LoadKind::Lb => self.load(mmu, sys, va, 1)? as i8 as i64 as u64,
@@ -222,7 +238,12 @@ impl Cpu {
                 self.write_reg(rd, value);
                 self.pc = next_pc;
             }
-            Instr::Store { kind, rs2, rs1, offset } => {
+            Instr::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
                 let value = self.regs[rs2 as usize];
                 match kind {
@@ -287,11 +308,25 @@ mod tests {
         let pt = PageTable::new(&mut frames, &mut sys.phys);
         let code = frames.alloc().unwrap();
         sys.phys.write(code.base(), image).unwrap();
-        pt.map(VirtAddr(CODE), code, Perms::RX, KeyId::HOST, &mut frames, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(CODE),
+            code,
+            Perms::RX,
+            KeyId::HOST,
+            &mut frames,
+            &mut sys.phys,
+        )
+        .unwrap();
         let data = frames.alloc().unwrap();
-        pt.map(VirtAddr(DATA), data, Perms::RW, KeyId::HOST, &mut frames, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(DATA),
+            data,
+            Perms::RW,
+            KeyId::HOST,
+            &mut frames,
+            &mut sys.phys,
+        )
+        .unwrap();
         let mut mmu = CoreMmu::new(16);
         mmu.switch_table(Some(pt), false);
         (sys, mmu, Cpu::new(VirtAddr(CODE)))
@@ -380,7 +415,7 @@ mod tests {
         a.li(6, 0xffff_8001);
         a.sw(6, 0, 5); // store word 0xffff8001
         a.lw(7, 0, 5); // sign-extended: 0xffffffffffff8001
-        // lhu of the low half: 0x8001; lh would sign-extend.
+                       // lhu of the low half: 0x8001; lh would sign-extend.
         let lhu = (5u32 << 15) | (0b101 << 12) | (8 << 7) | 0x03;
         let lh = (5u32 << 15) | (0b001 << 12) | (9 << 7) | 0x03;
         let sh = (6u32 << 20) | (5 << 15) | (0b001 << 12) | (8 << 7) | 0x23; // sh x6, 8(x5)
@@ -462,7 +497,10 @@ mod tests {
                 Err(t) => break t,
             }
         };
-        assert!(matches!(trap, Trap::Mem(MemFault::PageFault { va: 0x9999_0000 })));
+        assert!(matches!(
+            trap,
+            Trap::Mem(MemFault::PageFault { va: 0x9999_0000 })
+        ));
         let faulting_pc = cpu.pc;
         // Service the fault (map the page) and retry the same instruction.
         let mut frames = FrameAllocator::new(Ppn(3000), Ppn(3100));
@@ -479,7 +517,10 @@ mod tests {
                 &mut sys.phys,
             )
             .unwrap();
-        assert_eq!(cpu.pc, faulting_pc, "PC must stay at the faulting instruction");
+        assert_eq!(
+            cpu.pc, faulting_pc,
+            "PC must stay at the faulting instruction"
+        );
         loop {
             match cpu.step(&mut mmu, &mut sys).unwrap() {
                 StepEvent::Continue => {}
@@ -509,7 +550,10 @@ mod tests {
     fn illegal_instruction_traps() {
         let image = 0u32.to_le_bytes();
         let (mut sys, mut mmu, mut cpu) = machine(&image);
-        assert!(matches!(cpu.step(&mut mmu, &mut sys), Err(Trap::Illegal(0))));
+        assert!(matches!(
+            cpu.step(&mut mmu, &mut sys),
+            Err(Trap::Illegal(0))
+        ));
     }
 
     #[test]

@@ -15,19 +15,54 @@ pub enum Instr {
     /// Jump and link register.
     Jalr { rd: u8, rs1: u8, offset: i64 },
     /// Conditional branch.
-    Branch { kind: BranchKind, rs1: u8, rs2: u8, offset: i64 },
+    Branch {
+        kind: BranchKind,
+        rs1: u8,
+        rs2: u8,
+        offset: i64,
+    },
     /// Memory load.
-    Load { kind: LoadKind, rd: u8, rs1: u8, offset: i64 },
+    Load {
+        kind: LoadKind,
+        rd: u8,
+        rs1: u8,
+        offset: i64,
+    },
     /// Memory store.
-    Store { kind: StoreKind, rs2: u8, rs1: u8, offset: i64 },
+    Store {
+        kind: StoreKind,
+        rs2: u8,
+        rs1: u8,
+        offset: i64,
+    },
     /// Register–immediate ALU operation.
-    OpImm { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    OpImm {
+        kind: AluKind,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
     /// Register–immediate ALU operation on the low 32 bits.
-    OpImm32 { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    OpImm32 {
+        kind: AluKind,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
     /// Register–register ALU operation.
-    Op { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    Op {
+        kind: AluKind,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     /// Register–register ALU operation on the low 32 bits.
-    Op32 { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    Op32 {
+        kind: AluKind,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     /// Environment call.
     Ecall,
     /// Breakpoint.
@@ -158,14 +193,23 @@ fn funct7(word: u32) -> u32 {
 pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
     let opcode = word & 0x7f;
     match opcode {
-        0x37 => Ok(Instr::Lui { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
-        0x17 => Ok(Instr::Auipc { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
+        0x37 => Ok(Instr::Lui {
+            rd: rd(word),
+            imm: sext(word & 0xffff_f000, 32),
+        }),
+        0x17 => Ok(Instr::Auipc {
+            rd: rd(word),
+            imm: sext(word & 0xffff_f000, 32),
+        }),
         0x6f => {
             let imm = ((word >> 31) & 1) << 20
                 | ((word >> 12) & 0xff) << 12
                 | ((word >> 20) & 1) << 11
                 | ((word >> 21) & 0x3ff) << 1;
-            Ok(Instr::Jal { rd: rd(word), offset: sext(imm, 21) })
+            Ok(Instr::Jal {
+                rd: rd(word),
+                offset: sext(imm, 21),
+            })
         }
         0x67 if funct3(word) == 0 => Ok(Instr::Jalr {
             rd: rd(word),
@@ -186,7 +230,12 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 | ((word >> 7) & 1) << 11
                 | ((word >> 25) & 0x3f) << 5
                 | ((word >> 8) & 0xf) << 1;
-            Ok(Instr::Branch { kind, rs1: rs1(word), rs2: rs2(word), offset: sext(imm, 13) })
+            Ok(Instr::Branch {
+                kind,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: sext(imm, 13),
+            })
         }
         0x03 => {
             let kind = match funct3(word) {
@@ -199,7 +248,12 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 0b110 => LoadKind::Lwu,
                 _ => return Err(IllegalInstruction(word)),
             };
-            Ok(Instr::Load { kind, rd: rd(word), rs1: rs1(word), offset: sext(word >> 20, 12) })
+            Ok(Instr::Load {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: sext(word >> 20, 12),
+            })
         }
         0x23 => {
             let kind = match funct3(word) {
@@ -210,7 +264,12 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 _ => return Err(IllegalInstruction(word)),
             };
             let imm = ((word >> 25) & 0x7f) << 5 | ((word >> 7) & 0x1f);
-            Ok(Instr::Store { kind, rs2: rs2(word), rs1: rs1(word), offset: sext(imm, 12) })
+            Ok(Instr::Store {
+                kind,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: sext(imm, 12),
+            })
         }
         0x13 => {
             let imm = sext(word >> 20, 12);
@@ -231,12 +290,26 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 }
                 0b101 => {
                     let shamt = ((word >> 20) & 0x3f) as i64;
-                    let kind = if (word >> 26) == 0b010000 { AluKind::Sra } else { AluKind::Srl };
-                    return Ok(Instr::OpImm { kind, rd: rd(word), rs1: rs1(word), imm: shamt });
+                    let kind = if (word >> 26) == 0b010000 {
+                        AluKind::Sra
+                    } else {
+                        AluKind::Srl
+                    };
+                    return Ok(Instr::OpImm {
+                        kind,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: shamt,
+                    });
                 }
                 _ => return Err(IllegalInstruction(word)),
             };
-            Ok(Instr::OpImm { kind, rd: rd(word), rs1: rs1(word), imm })
+            Ok(Instr::OpImm {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            })
         }
         0x1b => {
             let kind = match funct3(word) {
@@ -284,7 +357,12 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 (0b0000001, 0b111) => AluKind::Remu,
                 _ => return Err(IllegalInstruction(word)),
             };
-            Ok(Instr::Op { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+            Ok(Instr::Op {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
         }
         0x3b => {
             let kind = match (funct7(word), funct3(word)) {
@@ -296,7 +374,12 @@ pub fn decode(word: u32) -> Result<Instr, IllegalInstruction> {
                 (0b0000001, 0b000) => AluKind::Mul,
                 _ => return Err(IllegalInstruction(word)),
             };
-            Ok(Instr::Op32 { kind, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+            Ok(Instr::Op32 {
+                kind,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
         }
         0x73 => match word >> 20 {
             0 if funct3(word) == 0 && rd(word) == 0 && rs1(word) == 0 => Ok(Instr::Ecall),
@@ -317,32 +400,63 @@ mod tests {
         // addi x1, x0, 5  => 0x00500093
         assert_eq!(
             decode(0x0050_0093).unwrap(),
-            Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 0, imm: 5 }
+            Instr::OpImm {
+                kind: AluKind::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            }
         );
         // add x3, x1, x2 => 0x002081b3
         assert_eq!(
             decode(0x0020_81b3).unwrap(),
-            Instr::Op { kind: AluKind::Add, rd: 3, rs1: 1, rs2: 2 }
+            Instr::Op {
+                kind: AluKind::Add,
+                rd: 3,
+                rs1: 1,
+                rs2: 2
+            }
         );
         // lui x5, 0x12345 => 0x123452b7
-        assert_eq!(decode(0x1234_52b7).unwrap(), Instr::Lui { rd: 5, imm: 0x1234_5000 });
+        assert_eq!(
+            decode(0x1234_52b7).unwrap(),
+            Instr::Lui {
+                rd: 5,
+                imm: 0x1234_5000
+            }
+        );
         // ecall / ebreak
         assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
         assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
         // ld x6, 8(x2) => 0x00813303
         assert_eq!(
             decode(0x0081_3303).unwrap(),
-            Instr::Load { kind: LoadKind::Ld, rd: 6, rs1: 2, offset: 8 }
+            Instr::Load {
+                kind: LoadKind::Ld,
+                rd: 6,
+                rs1: 2,
+                offset: 8
+            }
         );
         // sd x6, 16(x2) => 0x00613823
         assert_eq!(
             decode(0x0061_3823).unwrap(),
-            Instr::Store { kind: StoreKind::Sd, rs2: 6, rs1: 2, offset: 16 }
+            Instr::Store {
+                kind: StoreKind::Sd,
+                rs2: 6,
+                rs1: 2,
+                offset: 16
+            }
         );
         // mul x10, x10, x11 => 0x02b50533
         assert_eq!(
             decode(0x02b5_0533).unwrap(),
-            Instr::Op { kind: AluKind::Mul, rd: 10, rs1: 10, rs2: 11 }
+            Instr::Op {
+                kind: AluKind::Mul,
+                rd: 10,
+                rs1: 10,
+                rs2: 11
+            }
         );
     }
 
@@ -351,7 +465,12 @@ mod tests {
         // addi x1, x0, -1 => 0xfff00093
         assert_eq!(
             decode(0xfff0_0093).unwrap(),
-            Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 0, imm: -1 }
+            Instr::OpImm {
+                kind: AluKind::Add,
+                rd: 1,
+                rs1: 0,
+                imm: -1
+            }
         );
         // beq x0, x0, -4 => imm[12|10:5]=0xfe.., offset -4.
         // jal x0, -8:

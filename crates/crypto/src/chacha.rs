@@ -77,14 +77,24 @@ pub struct ChaChaRng {
 
 impl core::fmt::Debug for ChaChaRng {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "ChaChaRng {{ counter: {}, offset: {} }}", self.counter, self.offset)
+        write!(
+            f,
+            "ChaChaRng {{ counter: {}, offset: {} }}",
+            self.counter, self.offset
+        )
     }
 }
 
 impl ChaChaRng {
     /// Creates a generator from a 32-byte seed.
     pub fn from_seed(seed: [u8; 32]) -> Self {
-        ChaChaRng { key: seed, counter: 0, nonce: [0; 12], buffer: [0; 64], offset: 64 }
+        ChaChaRng {
+            key: seed,
+            counter: 0,
+            nonce: [0; 12],
+            buffer: [0; 64],
+            offset: 64,
+        }
     }
 
     /// Creates a generator from a 64-bit seed by expanding it with SHA-256,
@@ -179,14 +189,8 @@ mod tests {
         }
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let block = chacha20_block(&key, 1, &nonce);
-        assert_eq!(
-            to_hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
-        assert_eq!(
-            to_hex(&block[48..64]),
-            "b5129cd1de164eb9cbd083e8a2503c4e"
-        );
+        assert_eq!(to_hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
+        assert_eq!(to_hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct EcdhPrivate {
 
 impl core::fmt::Debug for EcdhPrivate {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "EcdhPrivate {{ public: {:?}, secret: <redacted> }}", self.public)
+        write!(
+            f,
+            "EcdhPrivate {{ public: {:?}, secret: <redacted> }}",
+            self.public
+        )
     }
 }
 
@@ -100,7 +104,10 @@ mod tests {
         let mut rng = ChaChaRng::from_u64(13);
         let alice = EcdhPrivate::generate(&mut rng);
         let degenerate = EcdhPublic(crate::ed::Point::identity());
-        assert_eq!(alice.shared_key(&degenerate), Err(CryptoError::InvalidPoint));
+        assert_eq!(
+            alice.shared_key(&degenerate),
+            Err(CryptoError::InvalidPoint)
+        );
     }
 
     #[test]

@@ -50,12 +50,22 @@ pub struct Point {
 impl Point {
     /// The group identity (0, 1).
     pub fn identity() -> Point {
-        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// The standard base point B.
     pub fn base() -> Point {
-        Point { x: BASE_X, y: BASE_Y, z: Fe::ONE, t: BASE_X.mul(&BASE_Y) }
+        Point {
+            x: BASE_X,
+            y: BASE_Y,
+            z: Fe::ONE,
+            t: BASE_X.mul(&BASE_Y),
+        }
     }
 
     /// Builds a point from affine coordinates, verifying the curve equation.
@@ -70,7 +80,12 @@ impl Point {
         let lhs = yy.sub(&xx);
         let rhs = Fe::ONE.add(&D.mul(&xx).mul(&yy));
         if lhs == rhs {
-            Ok(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
+            Ok(Point {
+                x,
+                y,
+                z: Fe::ONE,
+                t: x.mul(&y),
+            })
         } else {
             Err(CryptoError::InvalidPoint)
         }
@@ -93,7 +108,12 @@ impl Point {
         let f = d.sub(&c);
         let g = d.add(&c);
         let h = b.add(&a);
-        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Point doubling (dbl-2008-hwcd, a = −1).
@@ -106,7 +126,12 @@ impl Point {
         let g = d.add(&b);
         let f = g.sub(&c);
         let h = d.sub(&b);
-        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        Point {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Scalar multiplication (double-and-add, MSB first).
@@ -127,8 +152,7 @@ impl Point {
 
     /// Projective equality: X1·Z2 == X2·Z1 and Y1·Z2 == Y2·Z1.
     pub fn equals(&self, other: &Point) -> bool {
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 
     /// Returns `true` for the identity point.

@@ -52,7 +52,10 @@ impl MerkleTree {
     /// Panics on an empty leaf set.
     pub fn build<D: AsRef<[u8]>>(leaves: &[D]) -> MerkleTree {
         assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
-        let mut levels = vec![leaves.iter().map(|d| hash_leaf(d.as_ref())).collect::<Vec<_>>()];
+        let mut levels = vec![leaves
+            .iter()
+            .map(|d| hash_leaf(d.as_ref()))
+            .collect::<Vec<_>>()];
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -97,7 +100,11 @@ impl MerkleTree {
     pub fn verify(root: &[u8; 32], data: &[u8], proof: &MerkleProof) -> bool {
         let mut acc = hash_leaf(data);
         for (sibling, on_right) in &proof.siblings {
-            acc = if *on_right { hash_node(&acc, sibling) } else { hash_node(sibling, &acc) };
+            acc = if *on_right {
+                hash_node(&acc, sibling)
+            } else {
+                hash_node(sibling, &acc)
+            };
         }
         &acc == root
     }
@@ -137,7 +144,10 @@ mod tests {
             let tree = MerkleTree::build(&leaves);
             for (i, leaf) in leaves.iter().enumerate() {
                 let proof = tree.prove(i);
-                assert!(MerkleTree::verify(&tree.root(), leaf, &proof), "n={n} i={i}");
+                assert!(
+                    MerkleTree::verify(&tree.root(), leaf, &proof),
+                    "n={n} i={i}"
+                );
             }
         }
     }
@@ -179,7 +189,11 @@ mod tests {
     fn single_leaf_tree() {
         let tree = MerkleTree::build(&[b"only page"]);
         assert_eq!(tree.leaf_count(), 1);
-        assert!(MerkleTree::verify(&tree.root(), b"only page", &tree.prove(0)));
+        assert!(MerkleTree::verify(
+            &tree.root(),
+            b"only page",
+            &tree.prove(0)
+        ));
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub struct Keypair {
 
 impl core::fmt::Debug for Keypair {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Keypair {{ public: {:?}, secret: <redacted> }}", self.public)
+        write!(
+            f,
+            "Keypair {{ public: {:?}, secret: <redacted> }}",
+            self.public
+        )
     }
 }
 
@@ -89,7 +93,11 @@ impl Keypair {
         let secret = Scalar::random(rng);
         let seed = rng.gen_bytes32();
         let public = PublicKey(Point::base().mul(&secret));
-        Keypair { secret, seed, public }
+        Keypair {
+            secret,
+            seed,
+            public,
+        }
     }
 
     /// Derives a keypair deterministically from 32 bytes of key material —
@@ -115,7 +123,11 @@ impl Keypair {
         h3.update(material);
         let seed = h3.finalize();
         let public = PublicKey(Point::base().mul(&secret));
-        Keypair { secret, seed, public }
+        Keypair {
+            secret,
+            seed,
+            public,
+        }
     }
 
     /// Signs a message.

@@ -88,7 +88,10 @@ impl core::fmt::Display for EmCallError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             EmCallError::CrossPrivilege { required, actual } => {
-                write!(f, "cross-privilege request blocked: needs {required:?}, got {actual:?}")
+                write!(
+                    f,
+                    "cross-privilege request blocked: needs {required:?}, got {actual:?}"
+                )
             }
         }
     }
@@ -192,7 +195,12 @@ impl InterruptMonitor {
     /// tolerating 4 interrupts — ~4× the standard 100 Hz tick, far below
     /// stepping rates.
     pub fn standard() -> InterruptMonitor {
-        InterruptMonitor { window_cycles: 25_000_000, max_per_window: 4, window_start: 0, count: 0 }
+        InterruptMonitor {
+            window_cycles: 25_000_000,
+            max_per_window: 4,
+            window_start: 0,
+            count: 0,
+        }
     }
 
     /// Records one enclave interrupt at `now` (cycles) and returns the
@@ -219,6 +227,13 @@ pub struct EmCall {
     /// Obfuscation state: a deterministic counter that staggers poll timing
     /// so response-latency observation is noisy (§III-C).
     obf_state: u64,
+    /// Per-hart table of outstanding request tickets, keyed by
+    /// `(hart_id, req_id)`. [`RequestTicket`] is deliberately non-clonable
+    /// (one request, one collector); parking tickets here lets every hart
+    /// hold several requests in flight at once while the exclusive-binding
+    /// property survives — a ticket is only ever handed back to the mailbox
+    /// on behalf of the hart that submitted it.
+    tickets: std::collections::BTreeMap<(u32, u64), RequestTicket>,
 }
 
 impl EmCall {
@@ -246,10 +261,22 @@ impl EmCall {
         let required = primitive.required_privilege();
         if hart.privilege != required {
             self.stats.blocked += 1;
-            return Err(EmCallError::CrossPrivilege { required, actual: hart.privilege });
+            return Err(EmCallError::CrossPrivilege {
+                required,
+                actual: hart.privilege,
+            });
         }
-        let caller = CallerIdentity { privilege: hart.privilege, enclave: hart.current_enclave };
-        let request = Request { req_id: 0, primitive, caller, args, payload };
+        let caller = CallerIdentity {
+            privilege: hart.privilege,
+            enclave: hart.current_enclave,
+        };
+        let request = Request {
+            req_id: 0,
+            primitive,
+            caller,
+            args,
+            payload,
+        };
         self.stats.forwarded += 1;
         Ok(hub.mailbox.submit(request))
     }
@@ -276,10 +303,22 @@ impl EmCall {
         let required = primitive.required_privilege();
         if hart.privilege != required {
             self.stats.blocked += 1;
-            return Err(EmCallError::CrossPrivilege { required, actual: hart.privilege });
+            return Err(EmCallError::CrossPrivilege {
+                required,
+                actual: hart.privilege,
+            });
         }
-        let caller = CallerIdentity { privilege: hart.privilege, enclave: hart.current_enclave };
-        let request = Request { req_id: 0, primitive, caller, args, payload };
+        let caller = CallerIdentity {
+            privilege: hart.privilege,
+            enclave: hart.current_enclave,
+        };
+        let request = Request {
+            req_id: 0,
+            primitive,
+            caller,
+            args,
+            payload,
+        };
         self.stats.forwarded += 1;
         self.stats.resubmissions += 1;
         hub.mailbox.resubmit(ticket, request);
@@ -289,13 +328,129 @@ impl EmCall {
     /// Polls for the response bound to `ticket`, using the obfuscated
     /// polling loop instead of CS interrupt handlers. Returns the response
     /// once present, or the ticket for a later retry.
-    pub fn poll(&mut self, hub: &mut IHub, ticket: RequestTicket) -> Result<Response, RequestTicket> {
+    pub fn poll(
+        &mut self,
+        hub: &mut IHub,
+        ticket: RequestTicket,
+    ) -> Result<Response, RequestTicket> {
         // Timing obfuscation: consume a pseudo-random number of extra poll
         // slots so completion time does not directly expose EMS latency.
-        self.obf_state = self.obf_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.obf_state = self
+            .obf_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         let extra = (self.obf_state >> 60) & 0x7;
         self.stats.polls += 1 + extra;
         hub.mailbox.poll(ticket)
+    }
+
+    /// Like [`EmCall::submit`], but parks the ticket in the per-hart table
+    /// and returns the bound `req_id` instead, so the hart can keep issuing
+    /// further primitives while this one is in flight. Poll with
+    /// [`EmCall::poll_tracked`].
+    ///
+    /// # Errors
+    ///
+    /// [`EmCallError::CrossPrivilege`] when Table II forbids this primitive
+    /// at the hart's privilege level.
+    pub fn submit_tracked(
+        &mut self,
+        hart: &HartState,
+        hub: &mut IHub,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> Result<u64, EmCallError> {
+        let ticket = self.submit(hart, hub, primitive, args, payload)?;
+        let req_id = ticket.req_id();
+        self.tickets.insert((hart.hart_id, req_id), ticket);
+        Ok(req_id)
+    }
+
+    /// Polls for the response to a tracked request. On a miss the ticket
+    /// stays parked for the next poll; on a hit it is consumed and the
+    /// response returned. `None` also covers an unknown `(hart, req_id)`
+    /// pair — a foreign hart presenting someone else's `req_id` sees
+    /// exactly what it would see for a request that never existed.
+    pub fn poll_tracked(&mut self, hub: &mut IHub, hart_id: u32, req_id: u64) -> Option<Response> {
+        let ticket = self.tickets.remove(&(hart_id, req_id))?;
+        self.obf_state = self
+            .obf_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
+        let extra = (self.obf_state >> 60) & 0x7;
+        self.stats.polls += 1 + extra;
+        match hub.mailbox.poll(ticket) {
+            Ok(resp) => Some(resp),
+            Err(t) => {
+                self.tickets.insert((hart_id, req_id), t);
+                None
+            }
+        }
+    }
+
+    /// Resubmits a tracked request under its existing `req_id` after the
+    /// round trip was declared lost. No-op if the ticket is not (or no
+    /// longer) parked for this hart. The gate checks apply as on first
+    /// submission.
+    ///
+    /// # Errors
+    ///
+    /// [`EmCallError::CrossPrivilege`] when Table II forbids this primitive
+    /// at the hart's privilege level.
+    pub fn resubmit_tracked(
+        &mut self,
+        hart: &HartState,
+        hub: &mut IHub,
+        req_id: u64,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> Result<(), EmCallError> {
+        let required = primitive.required_privilege();
+        if hart.privilege != required {
+            self.stats.blocked += 1;
+            return Err(EmCallError::CrossPrivilege {
+                required,
+                actual: hart.privilege,
+            });
+        }
+        let caller = CallerIdentity {
+            privilege: hart.privilege,
+            enclave: hart.current_enclave,
+        };
+        let request = Request {
+            req_id: 0,
+            primitive,
+            caller,
+            args,
+            payload,
+        };
+        match self.tickets.get(&(hart.hart_id, req_id)) {
+            Some(ticket) => hub.mailbox.resubmit(ticket, request),
+            None => return Ok(()),
+        }
+        self.stats.forwarded += 1;
+        self.stats.resubmissions += 1;
+        Ok(())
+    }
+
+    /// Drops a tracked ticket (timed-out request, or an abort replaced by a
+    /// fresh submission). Returns whether a ticket was actually parked.
+    pub fn retire_tracked(&mut self, hart_id: u32, req_id: u64) -> bool {
+        self.tickets.remove(&(hart_id, req_id)).is_some()
+    }
+
+    /// Number of requests this hart currently has in flight.
+    pub fn outstanding_for(&self, hart_id: u32) -> usize {
+        self.tickets
+            .range((hart_id, 0)..=(hart_id, u64::MAX))
+            .count()
+    }
+
+    /// Total tracked requests in flight across all harts.
+    pub fn outstanding(&self) -> usize {
+        self.tickets.len()
     }
 
     /// Atomically switches a hart into a *fresh* enclave context: saves the
@@ -312,7 +467,8 @@ impl EmCall {
         if hart.saved_host_table.is_none() {
             hart.saved_host_table = hart.mmu.table;
         }
-        hart.mmu.switch_table(Some(PageTable { root: table_root }), true);
+        hart.mmu
+            .switch_table(Some(PageTable { root: table_root }), true);
         hart.current_enclave = Some(enclave);
         hart.privilege = Privilege::User;
         hart.pc = entry;
@@ -335,7 +491,8 @@ impl EmCall {
         if hart.saved_host_table.is_none() {
             hart.saved_host_table = hart.mmu.table;
         }
-        hart.mmu.switch_table(Some(PageTable { root: table_root }), true);
+        hart.mmu
+            .switch_table(Some(PageTable { root: table_root }), true);
         hart.current_enclave = Some(enclave);
         hart.privilege = Privilege::User;
         match hart.saved_enclave_ctx.take() {
@@ -387,7 +544,11 @@ impl EmCall {
             ExceptionRoute::Ems => self.stats.to_ems += 1,
             ExceptionRoute::CsOs => self.stats.to_cs += 1,
         }
-        ExceptionRecord { cause, pc: hart.pc, route }
+        ExceptionRecord {
+            cause,
+            pc: hart.pc,
+            route,
+        }
     }
 }
 
@@ -415,7 +576,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            EmCallError::CrossPrivilege { required: Privilege::Os, actual: Privilege::User }
+            EmCallError::CrossPrivilege {
+                required: Privilege::Os,
+                actual: Privilege::User
+            }
         );
         assert_eq!(hub.mailbox.pending_requests(), 0);
         assert_eq!(emcall.stats.blocked, 1);
@@ -461,7 +625,14 @@ mod tests {
         let first = hub.ems_fetch_request(&cap).unwrap();
         // Pretend the response was lost; resubmit under the same ticket.
         emcall
-            .resubmit(&h, &mut hub, &ticket, Primitive::Ealloc, vec![1, 4096], vec![])
+            .resubmit(
+                &h,
+                &mut hub,
+                &ticket,
+                Primitive::Ealloc,
+                vec![1, 4096],
+                vec![],
+            )
             .unwrap();
         let second = hub.ems_fetch_request(&cap).unwrap();
         assert_eq!(first.req_id, second.req_id);
@@ -470,8 +641,94 @@ mod tests {
         // The gate still applies on the retry path.
         let os = hart(Privilege::Os, None);
         assert!(emcall
-            .resubmit(&os, &mut hub, &ticket, Primitive::Ealloc, vec![1, 4096], vec![])
+            .resubmit(
+                &os,
+                &mut hub,
+                &ticket,
+                Primitive::Ealloc,
+                vec![1, 4096],
+                vec![]
+            )
             .is_err());
+    }
+
+    #[test]
+    fn tracked_tickets_let_distinct_harts_overlap() {
+        let mut emcall = EmCall::new();
+        let (mut hub, cap) = IHub::new();
+        let mut harts = Vec::new();
+        for i in 0..4u32 {
+            let mut h = HartState::new(i, 32);
+            h.privilege = Privilege::User;
+            h.current_enclave = Some(EnclaveId(u64::from(i) + 1));
+            harts.push(h);
+        }
+        // All four harts submit before anyone polls.
+        let ids: Vec<u64> = harts
+            .iter()
+            .map(|h| {
+                emcall
+                    .submit_tracked(h, &mut hub, Primitive::Ealloc, vec![1, 4096], vec![])
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(emcall.outstanding(), 4);
+        for h in &harts {
+            assert_eq!(emcall.outstanding_for(h.hart_id), 1);
+        }
+        // EMS answers in reverse order, tagging each response with the
+        // caller's enclave so delivery can be checked.
+        let mut fetched = Vec::new();
+        while let Some(req) = hub.ems_fetch_request(&cap) {
+            fetched.push(req);
+        }
+        for req in fetched.iter().rev() {
+            let tag = req.caller.enclave.unwrap().0;
+            hub.ems_push_response(&cap, Response::ok(req.req_id, vec![tag, 1]));
+        }
+        // A foreign hart polling someone else's req_id sees nothing and
+        // does not disturb the parked ticket.
+        assert!(emcall.poll_tracked(&mut hub, 3, ids[0]).is_none());
+        assert_eq!(emcall.outstanding(), 4);
+        // Each hart collects exactly its own response.
+        for (i, h) in harts.iter().enumerate() {
+            let resp = emcall.poll_tracked(&mut hub, h.hart_id, ids[i]).unwrap();
+            assert_eq!(resp.vals[0], u64::from(h.hart_id) + 1);
+        }
+        assert_eq!(emcall.outstanding(), 0);
+    }
+
+    #[test]
+    fn tracked_resubmit_and_retire() {
+        let mut emcall = EmCall::new();
+        let (mut hub, cap) = IHub::new();
+        let h = hart(Privilege::User, Some(1));
+        let req_id = emcall
+            .submit_tracked(&h, &mut hub, Primitive::Ealloc, vec![1, 4096], vec![])
+            .unwrap();
+        let first = hub.ems_fetch_request(&cap).unwrap();
+        // Lost round trip: resubmit under the same req_id.
+        emcall
+            .resubmit_tracked(
+                &h,
+                &mut hub,
+                req_id,
+                Primitive::Ealloc,
+                vec![1, 4096],
+                vec![],
+            )
+            .unwrap();
+        let second = hub.ems_fetch_request(&cap).unwrap();
+        assert_eq!(first.req_id, second.req_id);
+        assert_eq!(emcall.stats.resubmissions, 1);
+        // Resubmitting an unknown req_id is a silent no-op.
+        emcall
+            .resubmit_tracked(&h, &mut hub, 9999, Primitive::Ealloc, vec![1, 4096], vec![])
+            .unwrap();
+        assert_eq!(emcall.stats.resubmissions, 1);
+        assert!(emcall.retire_tracked(0, req_id));
+        assert!(!emcall.retire_tracked(0, req_id));
+        assert_eq!(emcall.outstanding(), 0);
     }
 
     #[test]
@@ -532,12 +789,19 @@ mod tests {
         assert_eq!(r.route, ExceptionRoute::Ems);
         assert_eq!(r.pc, 0xabc);
         assert_eq!(
-            emcall.route_exception(&h, Exception::Misaligned { va: 4 }).route,
+            emcall
+                .route_exception(&h, Exception::Misaligned { va: 4 })
+                .route,
             ExceptionRoute::Ems
         );
-        assert_eq!(emcall.route_exception(&h, Exception::Timer).route, ExceptionRoute::CsOs);
         assert_eq!(
-            emcall.route_exception(&h, Exception::IllegalInstruction).route,
+            emcall.route_exception(&h, Exception::Timer).route,
+            ExceptionRoute::CsOs
+        );
+        assert_eq!(
+            emcall
+                .route_exception(&h, Exception::IllegalInstruction)
+                .route,
             ExceptionRoute::CsOs
         );
         assert_eq!(emcall.stats.to_ems, 2);

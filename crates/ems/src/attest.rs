@@ -166,7 +166,10 @@ impl SigmaInitiator {
     pub fn start(rng: &mut ChaChaRng) -> (SigmaInitiator, SigmaMsg1) {
         let ecdh = EcdhPrivate::generate(rng);
         let nonce = rng.gen_bytes32();
-        let msg = SigmaMsg1 { user_pub: ecdh.public, nonce };
+        let msg = SigmaMsg1 {
+            user_pub: ecdh.public,
+            nonce,
+        };
         (SigmaInitiator { ecdh, nonce }, msg)
     }
 
@@ -186,7 +189,10 @@ impl SigmaInitiator {
         if !msg2.quote.verify(trusted_ek) {
             return Err(EmsError::AccessDenied);
         }
-        if !ct_eq(&msg2.quote.enclave_measurement, expected_enclave_measurement) {
+        if !ct_eq(
+            &msg2.quote.enclave_measurement,
+            expected_enclave_measurement,
+        ) {
             return Err(EmsError::AccessDenied);
         }
         let th = transcript_hash(&self.ecdh.public, &self.nonce, &msg2.enclave_pub);
@@ -213,8 +219,11 @@ impl Ems {
     ///
     /// `BadState` before EMEAS.
     pub fn eattest(&mut self, eid: u64, challenge: &[u8]) -> EmsResult<Quote> {
-        let enclave_measurement =
-            self.enclave(eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let enclave_measurement = self
+            .enclave(eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let report_data = sha256(challenge);
         Ok(self.quote_for(enclave_measurement, report_data))
     }
@@ -255,14 +264,23 @@ impl Ems {
     ///
     /// `BadState` before EMEAS; `AccessDenied` for a degenerate user key.
     pub fn sigma_respond(&mut self, eid: u64, msg1: &SigmaMsg1) -> EmsResult<SigmaMsg2> {
-        let enclave_measurement =
-            self.enclave(eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let enclave_measurement = self
+            .enclave(eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let eph = EcdhPrivate::generate(&mut self.rng);
         let th = transcript_hash(&msg1.user_pub, &msg1.nonce, &eph.public);
         let quote = self.quote_for(enclave_measurement, th);
-        let session = eph.shared_key(&msg1.user_pub).map_err(|_| EmsError::AccessDenied)?;
+        let session = eph
+            .shared_key(&msg1.user_pub)
+            .map_err(|_| EmsError::AccessDenied)?;
         let mac = hmac_sha256(&session, &th);
-        Ok(SigmaMsg2 { enclave_pub: eph.public, quote, mac })
+        Ok(SigmaMsg2 {
+            enclave_pub: eph.public,
+            quote,
+            mac,
+        })
     }
 
     /// Local attestation, verifier side: EMS MACs the verifier's
@@ -277,10 +295,17 @@ impl Ems {
         verifier_eid: u64,
         challenger_measurement: &[u8; 32],
     ) -> EmsResult<LocalReport> {
-        let vm = self.enclave(verifier_eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let vm = self
+            .enclave(verifier_eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let rk = self.vault.report_key(challenger_measurement);
         let mac = hmac_sha256(&rk, &vm);
-        Ok(LocalReport { verifier_measurement: vm, mac })
+        Ok(LocalReport {
+            verifier_measurement: vm,
+            mac,
+        })
     }
 
     /// Local attestation, challenger side: EMS re-derives the report key
@@ -292,7 +317,11 @@ impl Ems {
     ///
     /// `BadState` before EMEAS.
     pub fn local_verify(&self, challenger_eid: u64, report: &LocalReport) -> EmsResult<bool> {
-        let cm = self.enclave(challenger_eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let cm = self
+            .enclave(challenger_eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let rk = self.vault.report_key(&cm);
         let expect = hmac_sha256(&rk, &report.verifier_measurement);
         Ok(ct_eq(&expect, &report.mac))
@@ -306,7 +335,11 @@ impl Ems {
     ///
     /// `BadState` before EMEAS.
     pub fn seal(&mut self, eid: u64, data: &[u8]) -> EmsResult<Vec<u8>> {
-        let m = self.enclave(eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let m = self
+            .enclave(eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let key = self.vault.sealing_key(&m);
         let mut nonce = [0u8; 16];
         self.rng.fill_bytes(&mut nonce);
@@ -337,7 +370,11 @@ impl Ems {
         if blob.len() < 48 {
             return Err(EmsError::InvalidArgument);
         }
-        let m = self.enclave(eid)?.measurement.digest().ok_or(EmsError::BadState)?;
+        let m = self
+            .enclave(eid)?
+            .measurement
+            .digest()
+            .ok_or(EmsError::BadState)?;
         let key = self.vault.sealing_key(&m);
         let (body, mac) = blob.split_at(blob.len() - 32);
         let expect = hmac_sha256(&key, body);

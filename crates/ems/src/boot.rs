@@ -88,7 +88,10 @@ pub fn provision_flash(flash_key: &[u8; 16], runtime: &[u8]) -> (FlashImage, Eep
     let runtime_hash = sha256(runtime);
     (
         FlashImage { ciphertext: data },
-        Eeprom { runtime_hash, emcall_hash: [0; 32] },
+        Eeprom {
+            runtime_hash,
+            emcall_hash: [0; 32],
+        },
         runtime_hash,
     )
 }
@@ -124,7 +127,11 @@ pub fn secure_boot(
     let mut m = Vec::with_capacity(64);
     m.extend_from_slice(&runtime_hash);
     m.extend_from_slice(&emcall_hash);
-    Ok(BootReport { runtime_image: runtime, platform_measurement: sha256(&m), stages })
+    Ok(BootReport {
+        runtime_image: runtime,
+        platform_measurement: sha256(&m),
+        stages,
+    })
 }
 
 #[cfg(test)]
@@ -147,9 +154,17 @@ mod tests {
         let report = secure_boot(&FLASH_KEY, &flash, &eeprom, b"EMCall firmware v1").unwrap();
         assert_eq!(
             report.stages,
-            vec![BootStage::ChipInit, BootStage::EmsRuntime, BootStage::CsFirmware, BootStage::CsOs]
+            vec![
+                BootStage::ChipInit,
+                BootStage::EmsRuntime,
+                BootStage::CsFirmware,
+                BootStage::CsOs
+            ]
         );
-        assert_eq!(report.runtime_image, b"EMS runtime v1: 3843 lines of memory-safe Rust");
+        assert_eq!(
+            report.runtime_image,
+            b"EMS runtime v1: 3843 lines of memory-safe Rust"
+        );
     }
 
     #[test]

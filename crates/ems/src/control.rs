@@ -202,7 +202,10 @@ mod tests {
             vec![Ppn(200)],
             KeyId(2),
             [7; 32],
-            EnclaveConfig { heap_max: 1, ..EnclaveConfig::default() },
+            EnclaveConfig {
+                heap_max: 1,
+                ..EnclaveConfig::default()
+            },
         );
         assert_ne!(a.finalize_measurement(), b.finalize_measurement());
     }
@@ -213,12 +216,20 @@ mod tests {
         let mut b = control();
         a.extend_measurement(VirtAddr(0x1000_0000), 0b101, b"code");
         b.extend_measurement(VirtAddr(0x1000_1000), 0b101, b"code");
-        assert_ne!(a.finalize_measurement(), b.finalize_measurement(), "va is measured");
+        assert_ne!(
+            a.finalize_measurement(),
+            b.finalize_measurement(),
+            "va is measured"
+        );
         let mut c = control();
         let mut d = control();
         c.extend_measurement(VirtAddr(0x1000_0000), 0b101, b"code");
         d.extend_measurement(VirtAddr(0x1000_0000), 0b111, b"code");
-        assert_ne!(c.finalize_measurement(), d.finalize_measurement(), "perms are measured");
+        assert_ne!(
+            c.finalize_measurement(),
+            d.finalize_measurement(),
+            "perms are measured"
+        );
     }
 
     #[test]

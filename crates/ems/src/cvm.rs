@@ -206,7 +206,8 @@ impl Ems {
         let nonce = self.rng.gen_bytes32();
         let (aes, mac) = self.cvm_memory_keys(&nonce);
         let snap_key = self.cvm_snapshot_key(&nonce);
-        ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+        ctx.hub
+            .ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
 
         let mut frames = Vec::with_capacity(guest_pages as usize);
         for i in 0..guest_pages {
@@ -338,7 +339,12 @@ impl Ems {
                 return Err(EmsError::BadState);
             }
             let seq = cvm.snapshot_root.map(|(_, s)| s + 1).unwrap_or(0);
-            (cvm.key.ok_or(EmsError::BadState)?, cvm.snap_key, cvm.frames.clone(), seq)
+            (
+                cvm.key.ok_or(EmsError::BadState)?,
+                cvm.snap_key,
+                cvm.frames.clone(),
+                seq,
+            )
         };
         let cipher = Aes128::new(&snap_key);
         let mut pages = Vec::with_capacity(frames.len());
@@ -346,7 +352,8 @@ impl Ems {
             // Read plaintext through the CVM key, then snapshot-encrypt.
             let mut page = vec![0u8; PAGE_SIZE as usize];
             let sys = &mut *ctx.sys;
-            sys.engine.read(&mut sys.phys, frame.base(), key, &mut page)?;
+            sys.engine
+                .read(&mut sys.phys, frame.base(), key, &mut page)?;
             cipher.ctr_apply(&ctr_iv(i as u64, seq), &mut page);
             pages.push(page);
         }
@@ -366,7 +373,12 @@ impl Ems {
         cvm.key = None;
         cvm.state = CvmState::Saved;
         cvm.snapshot_root = Some((tree.root(), seq));
-        Ok(CvmSnapshot { cvm: id, sequence: seq, pages, proofs })
+        Ok(CvmSnapshot {
+            cvm: id,
+            sequence: seq,
+            pages,
+            proofs,
+        })
     }
 
     /// CVM restore (§IX): verifies every ciphertext page against the
@@ -406,7 +418,8 @@ impl Ems {
         let cipher = Aes128::new(&snap_key);
         let key = self.alloc_keyid(ctx)?;
         let (aes, mac) = self.cvm_memory_keys(&nonce);
-        ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+        ctx.hub
+            .ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
         let mut frames = Vec::with_capacity(snapshot.pages.len());
         for (i, ct) in snapshot.pages.iter().enumerate() {
             let mut page = ct.clone();
@@ -452,7 +465,13 @@ impl Ems {
         let channel = EcdhPrivate::generate(&mut self.rng);
         let rd = sha256(&channel.public.to_bytes());
         let quote = self.platform_quote(rd);
-        (MigrationOffer { channel_pub: channel.public, quote }, MigrationOfferPriv { channel })
+        (
+            MigrationOffer {
+                channel_pub: channel.public,
+                quote,
+            },
+            MigrationOfferPriv { channel },
+        )
     }
 
     /// Migration step ②, source side: verify the destination's platform
@@ -491,10 +510,17 @@ impl Ems {
         };
         // Encrypted channel for the key material.
         let eph = EcdhPrivate::generate(&mut self.rng);
-        let channel_key =
-            eph.shared_key(&offer.channel_pub).map_err(|_| EmsError::AccessDenied)?;
-        let mut secrets =
-            pack_secrets(&nonce, &root_seq.0, root_seq.1, &measurement, pages, &snap_key);
+        let channel_key = eph
+            .shared_key(&offer.channel_pub)
+            .map_err(|_| EmsError::AccessDenied)?;
+        let mut secrets = pack_secrets(
+            &nonce,
+            &root_seq.0,
+            root_seq.1,
+            &measurement,
+            pages,
+            &snap_key,
+        );
         Aes128::new(channel_key[..16].try_into().expect("16"))
             .ctr_apply(&ctr_iv(0x4d49_4752, 0), &mut secrets);
         let mut mac_input = Vec::new();
@@ -506,7 +532,12 @@ impl Ems {
         let mac = hmac_sha256(&channel_key, &mac_input);
         let cvm = self.cvm_mut(id)?;
         cvm.state = CvmState::MigratedOut;
-        Ok(MigrationBundle { snapshot, source_pub: eph.public, wrapped_secrets: secrets, mac })
+        Ok(MigrationBundle {
+            snapshot,
+            source_pub: eph.public,
+            wrapped_secrets: secrets,
+            mac,
+        })
     }
 
     /// Migration step ③, destination side: derive the channel key, verify

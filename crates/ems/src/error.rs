@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn status_mapping() {
-        assert_eq!(Status::from(EmsError::InvalidArgument), Status::InvalidArgument);
+        assert_eq!(
+            Status::from(EmsError::InvalidArgument),
+            Status::InvalidArgument
+        );
         assert_eq!(Status::from(EmsError::AccessDenied), Status::AccessDenied);
         assert_eq!(Status::from(EmsError::Exhausted), Status::Exhausted);
         assert_eq!(Status::from(EmsError::NotFound), Status::NotFound);
@@ -87,6 +90,9 @@ mod tests {
     #[test]
     fn mem_fault_wraps() {
         let e: EmsError = MemFault::PageFault { va: 0x1000 }.into();
-        assert!(matches!(e, EmsError::Mem(MemFault::PageFault { va: 0x1000 })));
+        assert!(matches!(
+            e,
+            EmsError::Mem(MemFault::PageFault { va: 0x1000 })
+        ));
     }
 }

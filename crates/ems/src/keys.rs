@@ -29,7 +29,10 @@ impl core::fmt::Debug for EFuse {
 impl EFuse {
     /// "Burns" an eFuse at manufacturing time from a manufacturing RNG.
     pub fn burn(rng: &mut ChaChaRng) -> EFuse {
-        EFuse { ek_material: rng.gen_bytes32(), sk: rng.gen_bytes32() }
+        EFuse {
+            ek_material: rng.gen_bytes32(),
+            sk: rng.gen_bytes32(),
+        }
     }
 }
 
@@ -57,7 +60,12 @@ impl KeyVault {
         let ak_salt = rng.gen_bytes32();
         let ak_material = kdf(&efuse.sk, b"attestation-key", &ak_salt);
         let ak = Keypair::from_key_material(&ak_material);
-        KeyVault { efuse, ek, ak, ak_salt }
+        KeyVault {
+            efuse,
+            ek,
+            ak,
+            ak_salt,
+        }
     }
 
     /// The raw sealed key, crate-internal (CVM key derivations in `cvm.rs`).

@@ -10,7 +10,12 @@ use hypertee_mem::ownership::{EnclaveId, PageOwner};
 use hypertee_mem::pagetable::{PageTable, Perms};
 
 fn perms_from_bits(bits: u8) -> Perms {
-    Perms { r: bits & 1 != 0, w: bits & 2 != 0, x: bits & 4 != 0, u: true }
+    Perms {
+        r: bits & 1 != 0,
+        w: bits & 2 != 0,
+        x: bits & 4 != 0,
+        u: true,
+    }
 }
 
 fn perm_bits(p: Perms) -> u8 {
@@ -65,7 +70,8 @@ impl Ems {
         txn.record(UndoOp::ReleaseKey(key));
         let nonce = self.rng.gen_bytes32();
         let (aes, mac) = self.vault.enclave_memory_keys(eid.0, &nonce);
-        ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+        ctx.hub
+            .ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
 
         // Stage frames for the page-table skeleton plus per-region leaves.
         let pt_budget = 6 + stack_pages.div_ceil(512) + host_pages.div_ceil(512);
@@ -97,14 +103,19 @@ impl Ems {
                     Err(e) => break 'build Err(e),
                 };
                 txn.record(UndoOp::ReturnToPool(frame));
-                if self.ownership.claim(frame, PageOwner::Enclave(eid)).is_err() {
+                if self
+                    .ownership
+                    .claim(frame, PageOwner::Enclave(eid))
+                    .is_err()
+                {
                     break 'build Err(EmsError::AccessDenied);
                 }
                 txn.record(UndoOp::ReleaseOwnership(frame, PageOwner::Enclave(eid)));
                 // Establish integrity MACs by writing zeros through the key.
                 let sys = &mut *ctx.sys;
                 if let Err(f) =
-                    sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])
+                    sys.engine
+                        .write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])
                 {
                     break 'build Err(f.into());
                 }
@@ -224,8 +235,7 @@ impl Ems {
         let table = enclave.page_table;
         let pages = len.div_ceil(PAGE_SIZE);
         let perms = perms_from_bits(perm_bits);
-        let mut staged =
-            StagedFrames::stage(2 + pages.div_ceil(512), &mut self.pool, ctx)?;
+        let mut staged = StagedFrames::stage(2 + pages.div_ceil(512), &mut self.pool, ctx)?;
         let mut txn = Txn::begin(self.injector.abort_step());
         let mut added = Vec::new();
         let mut err: Option<EmsError> = None;
@@ -233,8 +243,18 @@ impl Ems {
             let va = VirtAddr(dest_va + i * PAGE_SIZE);
             let chunk_len = (len - i * PAGE_SIZE).min(PAGE_SIZE) as usize;
             let src = PhysAddr(src_pa + i * PAGE_SIZE);
-            match self.eadd_one(ctx, &mut staged, &mut txn, eid, va, src, chunk_len, key, table, perms)
-            {
+            match self.eadd_one(
+                ctx,
+                &mut staged,
+                &mut txn,
+                eid,
+                va,
+                src,
+                chunk_len,
+                key,
+                table,
+                perms,
+            ) {
                 Ok((frame, page_buf)) => added.push((va, frame, page_buf)),
                 Err(e) => {
                     err = Some(e);
@@ -293,14 +313,17 @@ impl Ems {
         let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
         txn.record(UndoOp::ReturnToPool(frame));
         let owner = PageOwner::Enclave(EnclaveId(eid));
-        self.ownership.claim(frame, owner).map_err(|_| EmsError::AccessDenied)?;
+        self.ownership
+            .claim(frame, owner)
+            .map_err(|_| EmsError::AccessDenied)?;
         txn.record(UndoOp::ReleaseOwnership(frame, owner));
         // EMS reads the image chunk from CS memory (unidirectional access)
         // and writes it through the enclave's key.
         let mut page_buf = vec![0u8; PAGE_SIZE as usize];
         ctx.sys.phys.read(src, &mut page_buf[..chunk_len])?;
         let sys = &mut *ctx.sys;
-        sys.engine.write(&mut sys.phys, frame.base(), key, &page_buf)?;
+        sys.engine
+            .write(&mut sys.phys, frame.base(), key, &page_buf)?;
         table.map(va, frame, perms, key, staged, &mut ctx.sys.phys)?;
         txn.record(UndoOp::UnmapLeaf(table, va));
         Ok((frame, page_buf))
@@ -362,18 +385,22 @@ impl Ems {
                 let key = self.alloc_keyid(ctx)?;
                 let (nonce, table_root, prev_key) = {
                     let e = self.enclave(eid)?;
-                    (e.key_nonce, e.page_table, e.prev_key.ok_or(EmsError::BadState)?)
+                    (
+                        e.key_nonce,
+                        e.page_table,
+                        e.prev_key.ok_or(EmsError::BadState)?,
+                    )
                 };
                 let (aes, mac) = self.vault.enclave_memory_keys(eid, &nonce);
-                ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+                ctx.hub
+                    .ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
                 // Rewrite the fresh KeyID into the enclave's own leaf PTEs.
                 // Host-window (KeyID 0) and shared-memory PTEs keep theirs.
                 let mappings = table_root.mappings(&mut ctx.sys.phys)?;
                 for (va, pte) in mappings {
                     if pte.key() == prev_key {
                         table_root.unmap(va, &mut ctx.sys.phys)?;
-                        table_root
-                            .map_raw(va, pte.ppn(), pte.perms(), key, &mut ctx.sys.phys)?;
+                        table_root.map_raw(va, pte.ppn(), pte.perms(), key, &mut ctx.sys.phys)?;
                     }
                 }
                 let enclave = self.enclave_mut(eid)?;
@@ -431,7 +458,9 @@ impl Ems {
         // finds the attachments already gone).
         let shm_ids: Vec<u64> = self.shms.keys().copied().collect();
         for sid in shm_ids {
-            let Some(shm) = self.shms.get_mut(&sid) else { continue };
+            let Some(shm) = self.shms.get_mut(&sid) else {
+                continue;
+            };
             if shm.attached.remove(&eid).is_some() {
                 shm.active_connections = shm.active_connections.saturating_sub(1);
             }
@@ -467,10 +496,16 @@ impl Ems {
         pt: bool,
         tolerant: bool,
     ) -> EmsResult<()> {
-        let owner = if pt { PageOwner::EmsPrivate } else { PageOwner::Enclave(EnclaveId(eid)) };
+        let owner = if pt {
+            PageOwner::EmsPrivate
+        } else {
+            PageOwner::Enclave(EnclaveId(eid))
+        };
         loop {
             let frame = {
-                let Some(e) = self.enclaves.get(&eid) else { return Err(EmsError::NotFound) };
+                let Some(e) = self.enclaves.get(&eid) else {
+                    return Err(EmsError::NotFound);
+                };
                 let list = if pt { &e.pt_frames } else { &e.data_frames };
                 match list.last() {
                     Some(f) => *f,
@@ -487,7 +522,11 @@ impl Ems {
                 Err(_) => return Err(EmsError::AccessDenied),
             }
             if let Some(e) = self.enclaves.get_mut(&eid) {
-                let list = if pt { &mut e.pt_frames } else { &mut e.data_frames };
+                let list = if pt {
+                    &mut e.pt_frames
+                } else {
+                    &mut e.data_frames
+                };
                 list.pop();
             }
         }

@@ -119,12 +119,15 @@ impl Ems {
         let frame = self.pool.take(ctx.os_frames, ctx.sys)?;
         txn.record(UndoOp::ReturnToPool(frame));
         let owner = PageOwner::Enclave(EnclaveId(eid));
-        self.ownership.claim(frame, owner).map_err(|_| EmsError::AccessDenied)?;
+        self.ownership
+            .claim(frame, owner)
+            .map_err(|_| EmsError::AccessDenied)?;
         txn.record(UndoOp::ReleaseOwnership(frame, owner));
         // Zero through the enclave key so integrity MACs exist (§IV-A:
         // "Before being mapped, corresponding pages will be zeroed").
         let sys = &mut *ctx.sys;
-        sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
+        sys.engine
+            .write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
         table.map(va, frame, Perms::RW, key, staged, &mut ctx.sys.phys)?;
         txn.record(UndoOp::UnmapLeaf(table, va));
         Ok(frame)
@@ -178,7 +181,13 @@ impl Ems {
                     break;
                 }
             };
-            txn.record(UndoOp::RemapLeaf(table, page_va, pte.ppn(), pte.perms(), pte.key()));
+            txn.record(UndoOp::RemapLeaf(
+                table,
+                page_va,
+                pte.ppn(),
+                pte.perms(),
+                pte.key(),
+            ));
             if self.ownership.release(pte.ppn(), owner).is_err() {
                 err = Some(EmsError::AccessDenied);
                 break;

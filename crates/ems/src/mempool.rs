@@ -197,7 +197,11 @@ impl MemPool {
     ///
     /// [`EmsError::NotFound`] if the frame is not currently pooled.
     pub(crate) fn retake(&mut self, frame: Ppn) -> EmsResult<()> {
-        let idx = self.free.iter().position(|f| *f == frame).ok_or(EmsError::NotFound)?;
+        let idx = self
+            .free
+            .iter()
+            .position(|f| *f == frame)
+            .ok_or(EmsError::NotFound)?;
         self.free.swap_remove(idx);
         self.used += 1;
         self.stats.pages_returned = self.stats.pages_returned.saturating_sub(1);
@@ -270,7 +274,11 @@ mod tests {
         }
         // 20 takes but far fewer OS-visible growth events: the concealment
         // property the pool exists for.
-        assert!(pool.stats.growth_events <= 3, "events = {}", pool.stats.growth_events);
+        assert!(
+            pool.stats.growth_events <= 3,
+            "events = {}",
+            pool.stats.growth_events
+        );
         assert_eq!(pool.stats.pages_served, 20);
     }
 

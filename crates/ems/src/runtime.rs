@@ -73,7 +73,10 @@ impl StagedFrames {
         for _ in 0..n {
             avail.push(pool.take(ctx.os_frames, ctx.sys)?);
         }
-        Ok(StagedFrames { avail, taken: Vec::new() })
+        Ok(StagedFrames {
+            avail,
+            taken: Vec::new(),
+        })
     }
 
     /// Returns unused frames to the pool.
@@ -127,7 +130,7 @@ pub struct Ems {
     /// Insertion order of `resp_cache` (bounds it to a FIFO window).
     resp_order: VecDeque<u64>,
     /// The Rx task queue requests are fetched into before dispatch.
-    rx: Ring<Request>,
+    pub(crate) rx: Ring<Request>,
 }
 
 impl core::fmt::Debug for Ems {
@@ -146,12 +149,7 @@ impl Ems {
     /// Boots the EMS runtime. `cap` is the single iHub capability; `efuse`
     /// carries the manufacturing root keys; `platform_measurement` comes
     /// from the secure-boot report.
-    pub fn new(
-        cap: EmsCapability,
-        efuse: EFuse,
-        platform_measurement: [u8; 32],
-        seed: u64,
-    ) -> Ems {
+    pub fn new(cap: EmsCapability, efuse: EFuse, platform_measurement: [u8; 32], seed: u64) -> Ems {
         let mut rng = ChaChaRng::from_u64(seed);
         let vault = KeyVault::open(efuse, &mut rng);
         let pool_rng = ChaChaRng::from_u64(seed ^ 0x706f_6f6c);
@@ -189,6 +187,12 @@ impl Ems {
     /// Faults injected at the EMS sites so far.
     pub fn fault_stats(&self) -> &FaultStats {
         self.injector.stats()
+    }
+
+    /// Requests staged in the Rx task queue but not yet serviced
+    /// (observability for the machine's pipeline queue-depth tracking).
+    pub fn rx_backlog(&self) -> usize {
+        self.rx.len()
     }
 
     /// Marks an enclave's structures as untrustworthy. From here on every
@@ -285,11 +289,7 @@ impl Ems {
     /// KeyID. Its memory remains encrypted; ERESUME re-derives the key.
     /// Invoked internally on KeyID exhaustion, and available to platform
     /// management (e.g. tests or an administrative flow).
-    pub fn suspend_enclave(
-        &mut self,
-        ctx: &mut EmsContext<'_>,
-        eid: u64,
-    ) -> EmsResult<KeyId> {
+    pub fn suspend_enclave(&mut self, ctx: &mut EmsContext<'_>, eid: u64) -> EmsResult<KeyId> {
         let enclave = self.enclaves.get_mut(&eid).ok_or(EmsError::NotFound)?;
         let key = enclave.key.take().ok_or(EmsError::BadState)?;
         enclave.prev_key = Some(key);
@@ -333,7 +333,9 @@ impl Ems {
             if self.rx.is_full() {
                 break;
             }
-            let Some(req) = ctx.hub.ems_fetch_request(&self.cap) else { break };
+            let Some(req) = ctx.hub.ems_fetch_request(&self.cap) else {
+                break;
+            };
             let _ = self.rx.push(req); // cannot fail: checked not-full above
         }
         // An injected ring stall wedges the read port for one pop; queued
@@ -414,7 +416,11 @@ impl Ems {
                     fixed_args::<4>(&req.args)?;
                 let eid = self.ecreate(
                     ctx,
-                    crate::control::EnclaveConfig { heap_max, stack_bytes, host_shared_bytes },
+                    crate::control::EnclaveConfig {
+                        heap_max,
+                        stack_bytes,
+                        host_shared_bytes,
+                    },
                     host_shared_pa,
                 )?;
                 Ok(Response::ok(id, vec![eid.0]))
@@ -475,8 +481,7 @@ impl Ems {
             Primitive::Eshmget => {
                 let [eid, bytes, max_perm, device_shared] = fixed_args::<4>(&req.args)?;
                 require_self(req, eid)?;
-                let shmid =
-                    self.eshmget(ctx, eid, bytes, max_perm as u8, device_shared != 0)?;
+                let shmid = self.eshmget(ctx, eid, bytes, max_perm as u8, device_shared != 0)?;
                 Ok(Response::ok(id, vec![shmid]))
             }
             Primitive::Eshmshr => {
@@ -549,12 +554,19 @@ mod tests {
     #[test]
     fn privilege_mismatch_rejected() {
         let (mut sys, mut hub, mut os, mut ems) = machine();
-        let mut ctx = EmsContext { sys: &mut sys, hub: &mut hub, os_frames: &mut os };
+        let mut ctx = EmsContext {
+            sys: &mut sys,
+            hub: &mut hub,
+            os_frames: &mut os,
+        };
         // ECREATE requires OS privilege; a user-mode caller is rejected.
         let req = Request {
             req_id: 1,
             primitive: Primitive::Ecreate,
-            caller: CallerIdentity { privilege: Privilege::User, enclave: None },
+            caller: CallerIdentity {
+                privilege: Privilege::User,
+                enclave: None,
+            },
             args: vec![0, 0, 0, 0],
             payload: vec![],
         };
@@ -566,11 +578,18 @@ mod tests {
     #[test]
     fn malformed_args_rejected() {
         let (mut sys, mut hub, mut os, mut ems) = machine();
-        let mut ctx = EmsContext { sys: &mut sys, hub: &mut hub, os_frames: &mut os };
+        let mut ctx = EmsContext {
+            sys: &mut sys,
+            hub: &mut hub,
+            os_frames: &mut os,
+        };
         let req = Request {
             req_id: 2,
             primitive: Primitive::Ecreate,
-            caller: CallerIdentity { privilege: Privilege::Os, enclave: None },
+            caller: CallerIdentity {
+                privilege: Privilege::Os,
+                enclave: None,
+            },
             args: vec![1, 2], // ECREATE takes 4 args.
             payload: vec![],
         };
@@ -582,7 +601,11 @@ mod tests {
     #[test]
     fn forged_identity_rejected() {
         let (mut sys, mut hub, mut os, mut ems) = machine();
-        let mut ctx = EmsContext { sys: &mut sys, hub: &mut hub, os_frames: &mut os };
+        let mut ctx = EmsContext {
+            sys: &mut sys,
+            hub: &mut hub,
+            os_frames: &mut os,
+        };
         // A caller stamped as enclave 7 cannot EALLOC for enclave 9.
         let req = Request {
             req_id: 3,

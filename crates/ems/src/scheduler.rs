@@ -17,6 +17,8 @@
 use crate::error::EmsResult;
 use crate::runtime::{Ems, EmsContext};
 use hypertee_crypto::chacha::ChaChaRng;
+use hypertee_fabric::message::{Primitive, Response};
+use hypertee_faults::FaultKind;
 use hypertee_mem::ownership::EnclaveId;
 
 /// Where and in which order one request of a batch executes.
@@ -45,7 +47,10 @@ impl EmsScheduler {
     /// Panics on zero cores.
     pub fn new(cores: u32, seed: u64) -> EmsScheduler {
         assert!(cores > 0, "EMS needs at least one core");
-        EmsScheduler { cores, rng: ChaChaRng::from_u64(seed) }
+        EmsScheduler {
+            cores,
+            rng: ChaChaRng::from_u64(seed),
+        }
     }
 
     /// Plans one batch. `callers[i]` is the enclave identity stamped on
@@ -94,39 +99,114 @@ impl EmsScheduler {
                     .expect("at least one core");
                 let slot = load[core];
                 load[core] += 1;
-                Assignment { request_index, core: core as u32, slot }
+                Assignment {
+                    request_index,
+                    core: core as u32,
+                    slot,
+                }
             })
             .collect()
     }
 }
 
+/// One request serviced in a scheduled round (observability for the
+/// machine's pipeline: where the request ran and what it answered).
+#[derive(Debug, Clone)]
+pub struct ServiceRecord {
+    /// Index of the request in this round's batch.
+    pub request_index: usize,
+    /// The serviced request's identification.
+    pub req_id: u64,
+    /// The primitive executed.
+    pub primitive: Primitive,
+    /// The caller's enclave identity (None for OS requests).
+    pub caller: Option<EnclaveId>,
+    /// EMS core the scheduler placed the request on.
+    pub core: u32,
+    /// Execution slot on that core.
+    pub slot: u64,
+    /// The response pushed back through the mailbox (a copy: the live one
+    /// crosses the fabric and may be dropped/corrupted by injected faults).
+    pub response: Response,
+}
+
 impl Ems {
-    /// Drains the mailbox in scheduler order: fetches every pending request,
-    /// plans the batch, executes in the randomized plan order, and responds.
-    /// Returns the plan (for observability/tests).
+    /// One scheduling round of the multi-core EMS: stages pending mailbox
+    /// requests into the Rx task queue, pops up to `max_requests` of them
+    /// as this round's batch, plans the batch across the cores, executes in
+    /// plan order, and pushes the responses. Injected EMS/ring stalls apply
+    /// exactly as in [`Ems::service`]: a core stall skips the round, a ring
+    /// stall wedges one pop. Anything not drained stays queued for the next
+    /// round.
+    pub fn service_round(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        scheduler: &mut EmsScheduler,
+        max_requests: usize,
+    ) -> Vec<ServiceRecord> {
+        if max_requests == 0 || self.injector.roll(FaultKind::EmsStall) {
+            return Vec::new();
+        }
+        loop {
+            if self.rx.is_full() {
+                break;
+            }
+            let Some(req) = ctx.hub.ems_fetch_request(&self.cap) else {
+                break;
+            };
+            let _ = self.rx.push(req); // cannot fail: checked not-full above
+        }
+        if self.injector.roll(FaultKind::RingStall) {
+            self.rx.stall(1);
+        }
+        let mut batch = Vec::new();
+        while batch.len() < max_requests {
+            let Some(req) = self.rx.pop() else { break };
+            batch.push(req);
+        }
+        let callers: Vec<Option<EnclaveId>> = batch.iter().map(|r| r.caller.enclave).collect();
+        let plan = scheduler.plan(&callers);
+        // Execute in plan order (slot-major per the merged sequence).
+        let mut records = Vec::with_capacity(plan.len());
+        for a in &plan {
+            let req = batch[a.request_index].clone();
+            let (req_id, primitive, caller) = (req.req_id, req.primitive, req.caller.enclave);
+            let response = self.handle(ctx, req);
+            records.push(ServiceRecord {
+                request_index: a.request_index,
+                req_id,
+                primitive,
+                caller,
+                core: a.core,
+                slot: a.slot,
+                response,
+            });
+        }
+        for r in &records {
+            ctx.hub.ems_push_response(&self.cap, r.response.clone());
+        }
+        records
+    }
+
+    /// Drains the mailbox in scheduler order: fetches every pending request
+    /// (up to the Rx ring capacity), plans the batch, executes in the
+    /// randomized plan order, and responds. Returns the plan (for
+    /// observability/tests). Thin wrapper over [`Ems::service_round`] with
+    /// an unbounded per-round batch.
     pub fn service_scheduled(
         &mut self,
         ctx: &mut EmsContext<'_>,
         scheduler: &mut EmsScheduler,
     ) -> EmsResult<Vec<Assignment>> {
-        let mut batch = Vec::new();
-        while let Some(req) = ctx.hub.ems_fetch_request(&self.cap) {
-            batch.push(req);
-        }
-        let callers: Vec<Option<EnclaveId>> =
-            batch.iter().map(|r| r.caller.enclave).collect();
-        let plan = scheduler.plan(&callers);
-        // Execute in plan order (slot-major per the merged sequence).
-        let mut responses: Vec<Option<hypertee_fabric::message::Response>> =
-            (0..batch.len()).map(|_| None).collect();
-        for a in &plan {
-            let req = batch[a.request_index].clone();
-            responses[a.request_index] = Some(self.handle(ctx, req));
-        }
-        for resp in responses.into_iter().flatten() {
-            ctx.hub.ems_push_response(&self.cap, resp);
-        }
-        Ok(plan)
+        let records = self.service_round(ctx, scheduler, usize::MAX);
+        Ok(records
+            .iter()
+            .map(|r| Assignment {
+                request_index: r.request_index,
+                core: r.core,
+                slot: r.slot,
+            })
+            .collect())
     }
 }
 
@@ -135,7 +215,9 @@ mod tests {
     use super::*;
 
     fn callers(spec: &[u64]) -> Vec<Option<EnclaveId>> {
-        spec.iter().map(|&e| if e == 0 { None } else { Some(EnclaveId(e)) }).collect()
+        spec.iter()
+            .map(|&e| if e == 0 { None } else { Some(EnclaveId(e)) })
+            .collect()
     }
 
     #[test]
@@ -164,7 +246,11 @@ mod tests {
             let sequence: Vec<usize> = plan.iter().map(|a| a.request_index).collect();
             seen.insert(sequence);
         }
-        assert!(seen.len() > 2, "interleavings must vary across seeds: {}", seen.len());
+        assert!(
+            seen.len() > 2,
+            "interleavings must vary across seeds: {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -186,8 +272,11 @@ mod tests {
         let mut sched = EmsScheduler::new(2, 9);
         let plan = sched.plan(&callers(&[1, 2, 3, 4, 5, 6]));
         for core in 0..2u32 {
-            let mut slots: Vec<u64> =
-                plan.iter().filter(|a| a.core == core).map(|a| a.slot).collect();
+            let mut slots: Vec<u64> = plan
+                .iter()
+                .filter(|a| a.core == core)
+                .map(|a| a.slot)
+                .collect();
             slots.sort_unstable();
             for (i, s) in slots.iter().enumerate() {
                 assert_eq!(*s, i as u64);

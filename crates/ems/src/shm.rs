@@ -75,7 +75,8 @@ impl Ems {
         } else {
             let key = self.alloc_keyid(ctx)?;
             let (aes, mac) = self.vault.shm_keys(creator, shmid.0);
-            ctx.hub.ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
+            ctx.hub
+                .ems_program_key(&self.cap, &mut ctx.sys.engine, key, &aes, &mac);
             key
         };
         let mut frames = Vec::with_capacity(pages as usize);
@@ -86,7 +87,8 @@ impl Ems {
                 .map_err(|_| EmsError::AccessDenied)?;
             // Initialise through the region key so integrity MACs exist.
             let sys = &mut *ctx.sys;
-            sys.engine.write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
+            sys.engine
+                .write(&mut sys.phys, frame.base(), key, &[0u8; PAGE_SIZE as usize])?;
             frames.push(frame);
         }
         let max_perm = Ems::decode_perms(max_perm_bits & 0b011);
@@ -262,7 +264,8 @@ impl Ems {
             self.pool.give_back(frame, ctx.sys)?;
         }
         if shm.key.is_encrypted() {
-            ctx.hub.ems_revoke_key(&self.cap, &mut ctx.sys.engine, shm.key);
+            ctx.hub
+                .ems_revoke_key(&self.cap, &mut ctx.sys.engine, shm.key);
             self.free_keyid(shm.key);
         }
         Ok(())
@@ -293,12 +296,20 @@ impl Ems {
         if shm.key.is_encrypted() {
             return Err(EmsError::AccessDenied);
         }
-        let perm = if writeable { DmaPerm::ReadWrite } else { DmaPerm::ReadOnly };
+        let perm = if writeable {
+            DmaPerm::ReadWrite
+        } else {
+            DmaPerm::ReadOnly
+        };
         for frame in &shm.frames {
             ctx.hub.ems_grant_dma(
                 &self.cap,
                 dev,
-                DmaWindow { base: frame.base(), size: PAGE_SIZE, perm },
+                DmaWindow {
+                    base: frame.base(),
+                    size: PAGE_SIZE,
+                    perm,
+                },
             );
         }
         Ok(())
@@ -335,7 +346,11 @@ impl Ems {
         if shm.key.is_encrypted() {
             return Err(EmsError::AccessDenied);
         }
-        let perm = if writeable { DmaPerm::ReadWrite } else { DmaPerm::ReadOnly };
+        let perm = if writeable {
+            DmaPerm::ReadWrite
+        } else {
+            DmaPerm::ReadOnly
+        };
         for (i, frame) in shm.frames.iter().enumerate() {
             ctx.hub.ems_iommu_map(
                 &self.cap,

@@ -56,7 +56,11 @@ impl Txn {
     /// `abort_at`-th call to [`Txn::step`] fails with [`EmsError::Aborted`]
     /// (`None` disables injection — the production configuration).
     pub fn begin(abort_at: Option<u32>) -> Txn {
-        Txn { steps: 0, abort_at, undo: Vec::new() }
+        Txn {
+            steps: 0,
+            abort_at,
+            undo: Vec::new(),
+        }
     }
 
     /// Marks a step boundary inside the primitive. Returns the injected
@@ -104,15 +108,18 @@ impl Ems {
         for op in txn.undo.into_iter().rev() {
             let r = match op {
                 UndoOp::ReturnToPool(f) => self.pool.give_back(f, ctx.sys),
-                UndoOp::ReleaseOwnership(f, o) => {
-                    self.ownership.release(f, o).map_err(|_| EmsError::AccessDenied)
-                }
-                UndoOp::RestoreOwnership(f, o) => {
-                    self.ownership.claim(f, o).map_err(|_| EmsError::AccessDenied)
-                }
-                UndoOp::UnmapLeaf(t, va) => {
-                    t.unmap(va, &mut ctx.sys.phys).map(|_| ()).map_err(EmsError::from)
-                }
+                UndoOp::ReleaseOwnership(f, o) => self
+                    .ownership
+                    .release(f, o)
+                    .map_err(|_| EmsError::AccessDenied),
+                UndoOp::RestoreOwnership(f, o) => self
+                    .ownership
+                    .claim(f, o)
+                    .map_err(|_| EmsError::AccessDenied),
+                UndoOp::UnmapLeaf(t, va) => t
+                    .unmap(va, &mut ctx.sys.phys)
+                    .map(|_| ())
+                    .map_err(EmsError::from),
                 UndoOp::RemapLeaf(t, va, ppn, perms, key) => t
                     .map_raw(va, ppn, perms, key, &mut ctx.sys.phys)
                     .map_err(EmsError::from),

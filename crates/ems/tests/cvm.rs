@@ -32,8 +32,11 @@ impl Node {
     }
 
     fn with<R>(&mut self, f: impl FnOnce(&mut Ems, &mut EmsContext<'_>) -> R) -> R {
-        let mut ctx =
-            EmsContext { sys: &mut self.sys, hub: &mut self.hub, os_frames: &mut self.os };
+        let mut ctx = EmsContext {
+            sys: &mut self.sys,
+            hub: &mut self.hub,
+            os_frames: &mut self.os,
+        };
         f(&mut self.ems, &mut ctx)
     }
 }
@@ -51,7 +54,9 @@ fn cvm_deploys_encrypted_image() {
     let mut node = Node::new(1);
     let plain = b"confidential VM image: kernel + initrd";
     let ct = encrypted_image(plain);
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8)).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8))
+        .unwrap();
     assert_eq!(node.ems.cvm_state(id).unwrap(), CvmState::Active);
     // Guest memory reads back the decrypted image…
     let mut buf = vec![0u8; plain.len()];
@@ -76,8 +81,11 @@ fn cvm_deploys_encrypted_image() {
 fn snapshot_save_restore_roundtrip() {
     let mut node = Node::new(2);
     let ct = encrypted_image(b"snapshot me");
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4)).unwrap();
-    node.with(|e, c| e.cvm_write(c, id, 8192, b"dirty guest state")).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4))
+        .unwrap();
+    node.with(|e, c| e.cvm_write(c, id, 8192, b"dirty guest state"))
+        .unwrap();
 
     let snapshot = node.with(|e, c| e.cvm_save(c, id)).unwrap();
     assert_eq!(node.ems.cvm_state(id).unwrap(), CvmState::Saved);
@@ -98,7 +106,9 @@ fn snapshot_save_restore_roundtrip() {
 fn tampered_snapshot_rejected() {
     let mut node = Node::new(3);
     let ct = encrypted_image(b"tamper target");
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4)).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4))
+        .unwrap();
     let mut snapshot = node.with(|e, c| e.cvm_save(c, id)).unwrap();
     snapshot.pages[2][100] ^= 0x40;
     let err = node.with(|e, c| e.cvm_restore(c, &snapshot)).unwrap_err();
@@ -109,11 +119,14 @@ fn tampered_snapshot_rejected() {
 fn rollback_to_older_snapshot_rejected() {
     let mut node = Node::new(4);
     let ct = encrypted_image(b"rollback target");
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4)).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4))
+        .unwrap();
     // Snapshot v0, restore, mutate, snapshot v1.
     let snap0 = node.with(|e, c| e.cvm_save(c, id)).unwrap();
     node.with(|e, c| e.cvm_restore(c, &snap0)).unwrap();
-    node.with(|e, c| e.cvm_write(c, id, 0, b"security patch applied")).unwrap();
+    node.with(|e, c| e.cvm_write(c, id, 0, b"security patch applied"))
+        .unwrap();
     let snap1 = node.with(|e, c| e.cvm_save(c, id)).unwrap();
     assert_eq!(snap1.sequence, snap0.sequence + 1);
     // Replaying the stale v0 snapshot is refused (sequence mismatch).
@@ -131,21 +144,29 @@ fn migration_between_attested_nodes() {
     let mut src = Node::new(10);
     let mut dst = Node::new(11);
     let ct = encrypted_image(b"migrating workload state");
-    let id = src.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8)).unwrap();
-    src.with(|e, c| e.cvm_write(c, id, 4096, b"live session data")).unwrap();
+    let id = src
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8))
+        .unwrap();
+    src.with(|e, c| e.cvm_write(c, id, 4096, b"live session data"))
+        .unwrap();
 
     // ① Destination publishes an attested offer.
     let (offer, offer_priv) = dst.ems.migration_offer();
     // ② Source verifies the destination's platform quote and emits the
     //    encrypted bundle.
     let dst_ek = dst.ems.ek_public();
-    let bundle = src.with(|e, c| e.migrate_out(c, id, &offer, &dst_ek)).unwrap();
+    let bundle = src
+        .with(|e, c| e.migrate_out(c, id, &offer, &dst_ek))
+        .unwrap();
     assert_eq!(src.ems.cvm_state(id).unwrap(), CvmState::MigratedOut);
     // ③ Destination verifies and installs.
-    let new_id = dst.with(|e, c| e.migrate_in(c, &bundle, &offer_priv)).unwrap();
+    let new_id = dst
+        .with(|e, c| e.migrate_in(c, &bundle, &offer_priv))
+        .unwrap();
     assert_eq!(dst.ems.cvm_state(new_id).unwrap(), CvmState::Active);
     let mut buf = [0u8; 17];
-    dst.with(|e, c| e.cvm_read(c, new_id, 4096, &mut buf)).unwrap();
+    dst.with(|e, c| e.cvm_read(c, new_id, 4096, &mut buf))
+        .unwrap();
     assert_eq!(&buf, b"live session data");
     // The measurement travelled intact.
     assert_eq!(
@@ -159,12 +180,16 @@ fn migration_to_unattested_node_refused() {
     let mut src = Node::new(12);
     let mut dst = Node::new(13);
     let ct = encrypted_image(b"precious");
-    let id = src.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4)).unwrap();
+    let id = src
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4))
+        .unwrap();
     let (offer, _priv) = dst.ems.migration_offer();
     // The source pins a *different* manufacturer EK (the destination is not
     // a genuine HyperTEE platform) → refused, CVM stays put.
     let wrong_ek = hypertee_crypto::sig::Keypair::from_key_material(&[0x55; 32]).public;
-    let err = src.with(|e, c| e.migrate_out(c, id, &offer, &wrong_ek)).unwrap_err();
+    let err = src
+        .with(|e, c| e.migrate_out(c, id, &offer, &wrong_ek))
+        .unwrap_err();
     assert_eq!(err, EmsError::AccessDenied);
     assert_eq!(src.ems.cvm_state(id).unwrap(), CvmState::Active);
 }
@@ -174,26 +199,34 @@ fn tampered_migration_bundle_rejected() {
     let mut src = Node::new(14);
     let mut dst = Node::new(15);
     let ct = encrypted_image(b"bundle target");
-    let id = src.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4)).unwrap();
+    let id = src
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 4))
+        .unwrap();
     let (offer, offer_priv) = dst.ems.migration_offer();
     let dst_ek = dst.ems.ek_public();
-    let bundle = src.with(|e, c| e.migrate_out(c, id, &offer, &dst_ek)).unwrap();
+    let bundle = src
+        .with(|e, c| e.migrate_out(c, id, &offer, &dst_ek))
+        .unwrap();
     // Network attacker flips a ciphertext page bit.
     let mut bad = bundle.clone();
     bad.snapshot.pages[1][7] ^= 1;
     assert_eq!(
-        dst.with(|e, c| e.migrate_in(c, &bad, &offer_priv)).unwrap_err(),
+        dst.with(|e, c| e.migrate_in(c, &bad, &offer_priv))
+            .unwrap_err(),
         EmsError::AccessDenied
     );
     // Or tampers with the wrapped secrets.
     let mut bad2 = bundle.clone();
     bad2.wrapped_secrets[0] ^= 1;
     assert_eq!(
-        dst.with(|e, c| e.migrate_in(c, &bad2, &offer_priv)).unwrap_err(),
+        dst.with(|e, c| e.migrate_in(c, &bad2, &offer_priv))
+            .unwrap_err(),
         EmsError::AccessDenied
     );
     // The pristine bundle still installs.
-    assert!(dst.with(|e, c| e.migrate_in(c, &bundle, &offer_priv)).is_ok());
+    assert!(dst
+        .with(|e, c| e.migrate_in(c, &bundle, &offer_priv))
+        .is_ok());
 }
 
 #[test]
@@ -201,7 +234,9 @@ fn cvm_destroy_reclaims_memory() {
     let mut node = Node::new(16);
     let ct = encrypted_image(b"short lived");
     let used_before = node.ems.pool().used_frames();
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8)).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 8))
+        .unwrap();
     assert!(node.ems.pool().used_frames() > used_before);
     node.with(|e, c| e.cvm_destroy(c, id)).unwrap();
     assert_eq!(node.ems.pool().used_frames(), used_before);
@@ -212,13 +247,19 @@ fn cvm_destroy_reclaims_memory() {
 fn cvm_bounds_checked() {
     let mut node = Node::new(17);
     let ct = encrypted_image(b"bounds");
-    let id = node.with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 2)).unwrap();
+    let id = node
+        .with(|e, c| e.cvm_create(c, &ct, &IMAGE_KEY, 2))
+        .unwrap();
     let mut buf = [0u8; 16];
     // Reading past the end of guest memory is an argument error.
-    let err = node.with(|e, c| e.cvm_read(c, id, 2 * 4096 - 8, &mut buf)).unwrap_err();
+    let err = node
+        .with(|e, c| e.cvm_read(c, id, 2 * 4096 - 8, &mut buf))
+        .unwrap_err();
     assert_eq!(err, EmsError::InvalidArgument);
     // Oversized image vs guest size is rejected at create.
     let big = encrypted_image(&vec![1u8; 3 * 4096]);
-    let err = node.with(|e, c| e.cvm_create(c, &big, &IMAGE_KEY, 2)).unwrap_err();
+    let err = node
+        .with(|e, c| e.cvm_create(c, &big, &IMAGE_KEY, 2))
+        .unwrap_err();
     assert_eq!(err, EmsError::InvalidArgument);
 }

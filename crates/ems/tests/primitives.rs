@@ -36,8 +36,11 @@ impl Machine {
     /// Runs `f` with the EMS and a context over the machine's split-borrowed
     /// fields (the pattern EMCall uses: EMS never owns CS state).
     fn with<R>(&mut self, f: impl FnOnce(&mut Ems, &mut EmsContext<'_>) -> R) -> R {
-        let mut ctx =
-            EmsContext { sys: &mut self.sys, hub: &mut self.hub, os_frames: &mut self.os };
+        let mut ctx = EmsContext {
+            sys: &mut self.sys,
+            hub: &mut self.hub,
+            os_frames: &mut self.os,
+        };
         f(&mut self.ems, &mut ctx)
     }
 
@@ -82,7 +85,14 @@ impl Machine {
             os_frames: &mut self.os,
         };
         self.ems
-            .eadd(&mut ctx, eid, layout::CODE_BASE.0, src.base().0, staged.len() as u64, 0b101)
+            .eadd(
+                &mut ctx,
+                eid,
+                layout::CODE_BASE.0,
+                src.base().0,
+                staged.len() as u64,
+                0b101,
+            )
             .unwrap();
         self.ems.emeas(eid).unwrap();
         eid
@@ -122,7 +132,9 @@ fn enclave_code_is_encrypted_and_runnable() {
     assert_eq!(&buf, image);
 
     // The raw physical frame holds ciphertext (cold-boot defence §II-B).
-    let maps = hypertee_mem::pagetable::PageTable { root }.mappings(&mut m.sys.phys).unwrap();
+    let maps = hypertee_mem::pagetable::PageTable { root }
+        .mappings(&mut m.sys.phys)
+        .unwrap();
     let code_frame = maps
         .iter()
         .find(|(va, _)| *va == layout::CODE_BASE)
@@ -140,7 +152,14 @@ fn eadd_after_emeas_rejected() {
     let src = m.os.alloc().unwrap();
     let err = m
         .with(|ems, ctx| {
-            ems.eadd(ctx, eid, layout::CODE_BASE.0 + 0x10000, src.base().0, 4096, 0b101)
+            ems.eadd(
+                ctx,
+                eid,
+                layout::CODE_BASE.0 + 0x10000,
+                src.base().0,
+                4096,
+                0b101,
+            )
         })
         .unwrap_err();
     assert_eq!(err, EmsError::BadState);
@@ -167,7 +186,10 @@ fn ealloc_efree_roundtrip() {
     assert_eq!(pages, 32);
     // The memory is usable through the enclave address space.
     m.with(|ems, ctx| ems.eresume(ctx, eid)).unwrap_err(); // already running
-    assert!(m.with(|ems, ctx| ems.eenter(ctx, eid)).is_err(), "cannot double-enter");
+    assert!(
+        m.with(|ems, ctx| ems.eenter(ctx, eid)).is_err(),
+        "cannot double-enter"
+    );
     m.ems.eexit(eid).unwrap();
     let (root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, eid)).unwrap();
     let mut mmu = CoreMmu::new(64);
@@ -175,7 +197,8 @@ fn ealloc_efree_roundtrip() {
     mmu.store_u64(&mut m.sys, va, 0xfeed).unwrap();
     assert_eq!(mmu.load_u64(&mut m.sys, va).unwrap(), 0xfeed);
     // Free it back.
-    m.with(|ems, ctx| ems.efree(ctx, eid, va.0, 128 * 1024)).unwrap();
+    m.with(|ems, ctx| ems.efree(ctx, eid, va.0, 128 * 1024))
+        .unwrap();
     assert!(m.ems.pool().used_frames() > 0);
 }
 
@@ -184,7 +207,9 @@ fn heap_limit_enforced() {
     let mut m = Machine::new(6);
     let eid = m.build_enclave(b"limit");
     // heap_max is 8 MiB in the helper; 16 MiB must be rejected.
-    let err = m.with(|ems, ctx| ems.ealloc(ctx, eid, 16 * 1024 * 1024)).unwrap_err();
+    let err = m
+        .with(|ems, ctx| ems.ealloc(ctx, eid, 16 * 1024 * 1024))
+        .unwrap_err();
     assert_eq!(err, EmsError::InvalidArgument);
 }
 
@@ -193,14 +218,20 @@ fn ewb_returns_randomized_clean_pages() {
     let mut m = Machine::new(7);
     let _eid = m.build_enclave(b"swap");
     let evicted = m.with(|ems, ctx| ems.ewb(ctx, 8)).unwrap();
-    assert!(evicted.len() >= 8, "randomized count is at least the request");
+    assert!(
+        evicted.len() >= 8,
+        "randomized count is at least the request"
+    );
     for f in &evicted {
         // Bitmap bit cleared: page is OS-reclaimable.
         assert!(!m.sys.bitmap.is_enclave(*f, &mut m.sys.phys).unwrap());
         // Contents are keystream, not zeroes and not plaintext secrets.
         let mut buf = [0u8; 64];
         m.sys.phys.read(f.base(), &mut buf).unwrap();
-        assert_ne!(buf, [0u8; 64], "swapped pages must be indistinguishable from used ones");
+        assert_ne!(
+            buf, [0u8; 64],
+            "swapped pages must be indistinguishable from used ones"
+        );
     }
     // Two different runs evict different counts (randomized).
     let mut counts = std::collections::BTreeSet::new();
@@ -223,12 +254,19 @@ fn shared_memory_full_flow() {
     assert!(m.ems.local_verify(sender, &report).unwrap());
 
     // Sender creates the region and registers the receiver read-write.
-    let shmid = m.with(|ems, ctx| ems.eshmget(ctx, sender, 64 * 1024, 0b11, false)).unwrap();
-    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b11)).unwrap();
+    let shmid = m
+        .with(|ems, ctx| ems.eshmget(ctx, sender, 64 * 1024, 0b11, false))
+        .unwrap();
+    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b11))
+        .unwrap();
 
     // Both attach.
-    let (s_va, s_pages) = m.with(|ems, ctx| ems.eshmat(ctx, sender, shmid, sender)).unwrap();
-    let (r_va, r_pages) = m.with(|ems, ctx| ems.eshmat(ctx, receiver, shmid, sender)).unwrap();
+    let (s_va, s_pages) = m
+        .with(|ems, ctx| ems.eshmat(ctx, sender, shmid, sender))
+        .unwrap();
+    let (r_va, r_pages) = m
+        .with(|ems, ctx| ems.eshmat(ctx, receiver, shmid, sender))
+        .unwrap();
     assert_eq!(s_pages, 16);
     assert_eq!(r_pages, 16);
 
@@ -236,12 +274,18 @@ fn shared_memory_full_flow() {
     // their own address spaces, no software crypto involved.
     let (s_root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, sender)).unwrap();
     let mut s_mmu = CoreMmu::new(64);
-    s_mmu.switch_table(Some(hypertee_mem::pagetable::PageTable { root: s_root }), true);
+    s_mmu.switch_table(
+        Some(hypertee_mem::pagetable::PageTable { root: s_root }),
+        true,
+    );
     s_mmu.store(&mut m.sys, s_va, b"hello receiver!").unwrap();
 
     let (r_root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, receiver)).unwrap();
     let mut r_mmu = CoreMmu::new(64);
-    r_mmu.switch_table(Some(hypertee_mem::pagetable::PageTable { root: r_root }), true);
+    r_mmu.switch_table(
+        Some(hypertee_mem::pagetable::PageTable { root: r_root }),
+        true,
+    );
     let mut buf = [0u8; 15];
     r_mmu.load(&mut m.sys, r_va, &mut buf).unwrap();
     assert_eq!(&buf, b"hello receiver!");
@@ -253,7 +297,11 @@ fn shared_memory_full_flow() {
     assert_ne!(&raw, b"hello receiver!");
 
     // Destroy is blocked while attached, then succeeds after detach.
-    assert_eq!(m.with(|ems, ctx| ems.eshmdes(ctx, sender, shmid)).unwrap_err(), EmsError::BadState);
+    assert_eq!(
+        m.with(|ems, ctx| ems.eshmdes(ctx, sender, shmid))
+            .unwrap_err(),
+        EmsError::BadState
+    );
     m.with(|ems, ctx| ems.eshmdt(ctx, sender, shmid)).unwrap();
     m.with(|ems, ctx| ems.eshmdt(ctx, receiver, shmid)).unwrap();
     m.with(|ems, ctx| ems.eshmdes(ctx, sender, shmid)).unwrap();
@@ -265,10 +313,13 @@ fn unregistered_receiver_cannot_attach() {
     let mut m = Machine::new(9);
     let sender = m.build_enclave(b"s");
     let attacker = m.build_enclave(b"attacker");
-    let shmid = m.with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b11, false)).unwrap();
+    let shmid = m
+        .with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b11, false))
+        .unwrap();
     // Brute-force ShmID guessing: attach without registration is denied.
     assert_eq!(
-        m.with(|ems, ctx| ems.eshmat(ctx, attacker, shmid, sender)).unwrap_err(),
+        m.with(|ems, ctx| ems.eshmat(ctx, attacker, shmid, sender))
+            .unwrap_err(),
         EmsError::AccessDenied
     );
 }
@@ -278,9 +329,14 @@ fn readonly_receiver_cannot_write() {
     let mut m = Machine::new(10);
     let sender = m.build_enclave(b"s");
     let receiver = m.build_enclave(b"r");
-    let shmid = m.with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b11, false)).unwrap();
-    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b01)).unwrap(); // read-only
-    let (va, _) = m.with(|ems, ctx| ems.eshmat(ctx, receiver, shmid, sender)).unwrap();
+    let shmid = m
+        .with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b11, false))
+        .unwrap();
+    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b01))
+        .unwrap(); // read-only
+    let (va, _) = m
+        .with(|ems, ctx| ems.eshmat(ctx, receiver, shmid, sender))
+        .unwrap();
     let (root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, receiver)).unwrap();
     let mut mmu = CoreMmu::new(64);
     mmu.switch_table(Some(hypertee_mem::pagetable::PageTable { root }), true);
@@ -296,18 +352,27 @@ fn receiver_cannot_destroy_or_overshare() {
     let sender = m.build_enclave(b"s");
     let receiver = m.build_enclave(b"r");
     let third = m.build_enclave(b"t");
-    let shmid = m.with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b01, false)).unwrap();
-    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b01)).unwrap();
+    let shmid = m
+        .with(|ems, ctx| ems.eshmget(ctx, sender, 4096, 0b01, false))
+        .unwrap();
+    m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b01))
+        .unwrap();
     // Malicious release (§V-C threat 2): receiver cannot destroy.
-    assert_eq!(m.with(|ems, ctx| ems.eshmdes(ctx, receiver, shmid)).unwrap_err(), EmsError::AccessDenied);
+    assert_eq!(
+        m.with(|ems, ctx| ems.eshmdes(ctx, receiver, shmid))
+            .unwrap_err(),
+        EmsError::AccessDenied
+    );
     // Receiver cannot grant others access.
     assert_eq!(
-        m.with(|ems, ctx| ems.eshmshr(ctx, receiver, shmid, third, 0b01)).unwrap_err(),
+        m.with(|ems, ctx| ems.eshmshr(ctx, receiver, shmid, third, 0b01))
+            .unwrap_err(),
         EmsError::AccessDenied
     );
     // Max-permission cap: write grant on a read-only region is denied.
     assert_eq!(
-        m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b11)).unwrap_err(),
+        m.with(|ems, ctx| ems.eshmshr(ctx, sender, shmid, receiver, 0b11))
+            .unwrap_err(),
         EmsError::AccessDenied
     );
 }
@@ -316,9 +381,12 @@ fn receiver_cannot_destroy_or_overshare() {
 fn device_shared_region_and_dma_whitelist() {
     let mut m = Machine::new(12);
     let driver = m.build_enclave(b"driver enclave");
-    let shmid = m.with(|ems, ctx| ems.eshmget(ctx, driver, 8192, 0b11, true)).unwrap();
+    let shmid = m
+        .with(|ems, ctx| ems.eshmget(ctx, driver, 8192, 0b11, true))
+        .unwrap();
     let dev = DeviceId(3);
-    m.with(|ems, ctx| ems.eshm_grant_device(ctx, driver, shmid, dev, true)).unwrap();
+    m.with(|ems, ctx| ems.eshm_grant_device(ctx, driver, shmid, dev, true))
+        .unwrap();
     let frame = m.ems.shm(shmid).unwrap().frames[0];
     // The device can now DMA into the region…
     let ok = m.hub.dma_access(
@@ -346,7 +414,9 @@ fn host_cannot_read_enclave_pages_via_bitmap() {
     let eid = m.build_enclave(b"protected");
     let (root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, eid)).unwrap();
     // Find a code frame and have the host OS map it into its own table.
-    let maps = hypertee_mem::pagetable::PageTable { root }.mappings(&mut m.sys.phys).unwrap();
+    let maps = hypertee_mem::pagetable::PageTable { root }
+        .mappings(&mut m.sys.phys)
+        .unwrap();
     let code_frame = maps
         .iter()
         .find(|(va, _)| *va == layout::CODE_BASE)
@@ -366,8 +436,13 @@ fn host_cannot_read_enclave_pages_via_bitmap() {
     let mut mmu = CoreMmu::new(32);
     mmu.switch_table(Some(host_pt), false);
     let mut buf = [0u8; 8];
-    let err = mmu.load(&mut m.sys, VirtAddr(0x5000_0000), &mut buf).unwrap_err();
-    assert!(matches!(err, hypertee_mem::MemFault::BitmapViolation { .. }));
+    let err = mmu
+        .load(&mut m.sys, VirtAddr(0x5000_0000), &mut buf)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        hypertee_mem::MemFault::BitmapViolation { .. }
+    ));
 }
 
 #[test]
@@ -425,7 +500,10 @@ fn sealing_roundtrip_and_binding() {
     assert_eq!(m.ems.unseal(eid, &bad).unwrap_err(), EmsError::AccessDenied);
     // A different enclave identity cannot unseal.
     let other = m.build_enclave(b"other enclave");
-    assert_eq!(m.ems.unseal(other, &blob).unwrap_err(), EmsError::AccessDenied);
+    assert_eq!(
+        m.ems.unseal(other, &blob).unwrap_err(),
+        EmsError::AccessDenied
+    );
 }
 
 #[test]
@@ -464,7 +542,9 @@ fn destroy_zeroes_and_reclaims() {
     let mut m = Machine::new(18);
     let eid = m.build_enclave(b"ephemeral");
     let (root, _, _) = m.with(|ems, ctx| ems.eenter(ctx, eid)).unwrap();
-    let maps = hypertee_mem::pagetable::PageTable { root }.mappings(&mut m.sys.phys).unwrap();
+    let maps = hypertee_mem::pagetable::PageTable { root }
+        .mappings(&mut m.sys.phys)
+        .unwrap();
     let code_frame = maps
         .iter()
         .find(|(va, _)| *va == layout::CODE_BASE)
@@ -504,7 +584,9 @@ fn scheduled_service_preserves_correctness() {
         tickets.push(m.hub.mailbox.submit(req));
     }
     let mut sched = EmsScheduler::new(2, 5);
-    let plan = m.with(|ems, ctx| ems.service_scheduled(ctx, &mut sched)).unwrap();
+    let plan = m
+        .with(|ems, ctx| ems.service_scheduled(ctx, &mut sched))
+        .unwrap();
     assert_eq!(plan.len(), 6);
     // Every response arrived, bound to its own ticket, all successful —
     // and per-enclave heap addresses are monotone (program order held).
@@ -518,8 +600,16 @@ fn scheduled_service_preserves_correctness() {
             vas.1.push(resp.vals[0]);
         }
     }
-    assert!(vas.0.windows(2).all(|w| w[0] < w[1]), "e1 heap order {:?}", vas.0);
-    assert!(vas.1.windows(2).all(|w| w[0] < w[1]), "e2 heap order {:?}", vas.1);
+    assert!(
+        vas.0.windows(2).all(|w| w[0] < w[1]),
+        "e1 heap order {:?}",
+        vas.0
+    );
+    assert!(
+        vas.1.windows(2).all(|w| w[0] < w[1]),
+        "e2 heap order {:?}",
+        vas.1
+    );
 }
 
 #[test]
@@ -537,7 +627,10 @@ fn pool_concealment_counters() {
     let events = m.ems.pool().stats.growth_events - events_before;
     assert!(served >= 64);
     // …but the CS OS observed at most a couple of batched growth events.
-    assert!(events <= 2, "allocation events leak: {events} growths for {served} pages");
+    assert!(
+        events <= 2,
+        "allocation events leak: {events} growths for {served} pages"
+    );
 }
 
 #[test]
@@ -560,7 +653,11 @@ fn every_primitive_rejects_malformed_argument_vectors() {
             payload: vec![],
         };
         let resp = m.with(|ems, ctx| ems.handle(ctx, req));
-        assert_eq!(resp.status, Status::InvalidArgument, "{prim:?} accepted garbage");
+        assert_eq!(
+            resp.status,
+            Status::InvalidArgument,
+            "{prim:?} accepted garbage"
+        );
     }
     assert_eq!(m.ems.stats.sanity_rejects, 16);
 }

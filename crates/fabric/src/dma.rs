@@ -36,9 +36,8 @@ pub struct DmaWindow {
 
 impl DmaWindow {
     fn covers(&self, addr: PhysAddr, len: u64, write: bool) -> bool {
-        let in_range = addr.0 >= self.base.0
-            && len <= self.size
-            && addr.0 - self.base.0 <= self.size - len;
+        let in_range =
+            addr.0 >= self.base.0 && len <= self.size && addr.0 - self.base.0 <= self.size - len;
         let perm_ok = match self.perm {
             DmaPerm::ReadWrite => true,
             DmaPerm::ReadOnly => !write,
@@ -132,7 +131,11 @@ mod tests {
         let mut wl = DmaWhitelist::new();
         wl.grant(
             DeviceId(1),
-            DmaWindow { base: PhysAddr(0x10_000), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0x10_000),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         assert!(wl.check(DeviceId(1), PhysAddr(0x10_000), 64, true));
         assert!(wl.check(DeviceId(1), PhysAddr(0x10_fc0), 64, false));
@@ -145,9 +148,16 @@ mod tests {
         let mut wl = DmaWhitelist::new();
         wl.grant(
             DeviceId(1),
-            DmaWindow { base: PhysAddr(0), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
-        assert!(!wl.check(DeviceId(2), PhysAddr(0), 64, false), "other devices stay denied");
+        assert!(
+            !wl.check(DeviceId(2), PhysAddr(0), 64, false),
+            "other devices stay denied"
+        );
     }
 
     #[test]
@@ -155,7 +165,11 @@ mod tests {
         let mut wl = DmaWhitelist::new();
         wl.grant(
             DeviceId(3),
-            DmaWindow { base: PhysAddr(0x2000), size: 0x1000, perm: DmaPerm::ReadOnly },
+            DmaWindow {
+                base: PhysAddr(0x2000),
+                size: 0x1000,
+                perm: DmaPerm::ReadOnly,
+            },
         );
         assert!(wl.check(DeviceId(3), PhysAddr(0x2000), 16, false));
         assert!(!wl.check(DeviceId(3), PhysAddr(0x2000), 16, true));
@@ -166,7 +180,11 @@ mod tests {
         let mut wl = DmaWhitelist::new();
         wl.grant(
             DeviceId(1),
-            DmaWindow { base: PhysAddr(0), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         wl.revoke_all(DeviceId(1));
         assert!(!wl.check(DeviceId(1), PhysAddr(0), 64, false));
@@ -178,13 +196,20 @@ mod tests {
         use hypertee_faults::{FaultConfig, FaultPlan};
         let plan = FaultPlan::new(
             21,
-            FaultConfig { dma_flap_pm: 200, ..FaultConfig::disabled() },
+            FaultConfig {
+                dma_flap_pm: 200,
+                ..FaultConfig::disabled()
+            },
         );
         let mut wl = DmaWhitelist::new();
         wl.arm_faults(plan.injector("dma"));
         wl.grant(
             DeviceId(1),
-            DmaWindow { base: PhysAddr(0x10_000), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0x10_000),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         // Drive enough accesses that the flap fires at least once; every
         // denial is recoverable by simply retrying (bounded here at 12).
@@ -206,7 +231,11 @@ mod tests {
         let mut wl = DmaWhitelist::new();
         wl.grant(
             DeviceId(1),
-            DmaWindow { base: PhysAddr(u64::MAX - 0x100), size: 0x100, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(u64::MAX - 0x100),
+                size: 0x100,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         // A length larger than the window cannot wrap around.
         assert!(!wl.check(DeviceId(1), PhysAddr(u64::MAX - 0x100), 0x200, false));

@@ -6,7 +6,7 @@
 //! code cannot even *name* the EMS-only operations.
 
 use crate::dma::{DeviceId, DmaWhitelist, DmaWindow};
-use crate::iommu::{Iommu, IommuEntry, IoVpn};
+use crate::iommu::{IoVpn, Iommu, IommuEntry};
 use crate::mailbox::Mailbox;
 use crate::message::{Request, Response};
 use hypertee_faults::{FaultPlan, FaultStats};
@@ -35,7 +35,11 @@ impl IHub {
     /// Builds the hub and mints the single EMS capability.
     pub fn new() -> (IHub, EmsCapability) {
         (
-            IHub { mailbox: Mailbox::new(), dma: DmaWhitelist::new(), iommu: Iommu::new(64) },
+            IHub {
+                mailbox: Mailbox::new(),
+                dma: DmaWhitelist::new(),
+                iommu: Iommu::new(64),
+            },
             EmsCapability { _private: () },
         )
     }
@@ -192,7 +196,10 @@ mod tests {
         Request {
             req_id: 0,
             primitive: Primitive::Ecreate,
-            caller: CallerIdentity { privilege: Privilege::Os, enclave: None },
+            caller: CallerIdentity {
+                privilege: Privilege::Os,
+                enclave: None,
+            },
             args: vec![],
             payload: vec![],
         }
@@ -222,7 +229,12 @@ mod tests {
         let (mut hub, _cap) = IHub::new();
         let mut mem = PhysMemory::new(1 << 20);
         let mut buf = [0u8; 16];
-        assert!(!hub.dma_access(DeviceId(0), &mut mem, PhysAddr(0x1000), DmaOp::Read(&mut buf)));
+        assert!(!hub.dma_access(
+            DeviceId(0),
+            &mut mem,
+            PhysAddr(0x1000),
+            DmaOp::Read(&mut buf)
+        ));
         assert_eq!(hub.dma_discarded(), 1);
     }
 
@@ -230,14 +242,24 @@ mod tests {
     fn dma_window_enables_transfer() {
         let (mut hub, cap) = IHub::new();
         let mut mem = PhysMemory::new(1 << 20);
-        mem.write(PhysAddr(0x2000), b"device-visible payload!!").unwrap();
+        mem.write(PhysAddr(0x2000), b"device-visible payload!!")
+            .unwrap();
         hub.ems_grant_dma(
             &cap,
             DeviceId(1),
-            DmaWindow { base: PhysAddr(0x2000), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0x2000),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         let mut buf = [0u8; 24];
-        assert!(hub.dma_access(DeviceId(1), &mut mem, PhysAddr(0x2000), DmaOp::Read(&mut buf)));
+        assert!(hub.dma_access(
+            DeviceId(1),
+            &mut mem,
+            PhysAddr(0x2000),
+            DmaOp::Read(&mut buf)
+        ));
         assert_eq!(&buf, b"device-visible payload!!");
         // Outside the window the access is discarded and memory untouched.
         assert!(!hub.dma_access(
@@ -258,7 +280,11 @@ mod tests {
         hub.ems_grant_dma(
             &cap,
             DeviceId(2),
-            DmaWindow { base: PhysAddr(0), size: 0x1000, perm: DmaPerm::ReadWrite },
+            DmaWindow {
+                base: PhysAddr(0),
+                size: 0x1000,
+                perm: DmaPerm::ReadWrite,
+            },
         );
         hub.ems_revoke_dma(&cap, DeviceId(2));
         let mut buf = [0u8; 4];

@@ -57,7 +57,10 @@ pub struct Iommu {
 impl Iommu {
     /// Creates an IOMMU with an IOTLB of `iotlb_capacity` entries.
     pub fn new(iotlb_capacity: usize) -> Iommu {
-        Iommu { iotlb_capacity: iotlb_capacity.max(1), ..Iommu::default() }
+        Iommu {
+            iotlb_capacity: iotlb_capacity.max(1),
+            ..Iommu::default()
+        }
     }
 
     /// Installs one mapping for a device (EMS-only; called through the iHub
@@ -159,8 +162,17 @@ mod tests {
     #[test]
     fn translation_roundtrip() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(5), IommuEntry { ppn: Ppn(100), perm: DmaPerm::ReadWrite });
-        let pa = iommu.translate(dev(), 5 * PAGE_SIZE + 0x30, 64, true).unwrap();
+        iommu.map(
+            dev(),
+            IoVpn(5),
+            IommuEntry {
+                ppn: Ppn(100),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
+        let pa = iommu
+            .translate(dev(), 5 * PAGE_SIZE + 0x30, 64, true)
+            .unwrap();
         assert_eq!(pa, PhysAddr(100 * PAGE_SIZE + 0x30));
     }
 
@@ -174,7 +186,14 @@ mod tests {
     #[test]
     fn tables_are_per_device() {
         let mut iommu = Iommu::new(8);
-        iommu.map(DeviceId(1), IoVpn(0), IommuEntry { ppn: Ppn(10), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            DeviceId(1),
+            IoVpn(0),
+            IommuEntry {
+                ppn: Ppn(10),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         assert!(iommu.translate(DeviceId(2), 0, 8, false).is_none());
         assert!(iommu.translate(DeviceId(1), 0, 8, false).is_some());
     }
@@ -182,7 +201,14 @@ mod tests {
     #[test]
     fn readonly_mapping_blocks_writes() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(1), IommuEntry { ppn: Ppn(20), perm: DmaPerm::ReadOnly });
+        iommu.map(
+            dev(),
+            IoVpn(1),
+            IommuEntry {
+                ppn: Ppn(20),
+                perm: DmaPerm::ReadOnly,
+            },
+        );
         assert!(iommu.translate(dev(), PAGE_SIZE, 8, false).is_some());
         assert!(iommu.translate(dev(), PAGE_SIZE, 8, true).is_none());
     }
@@ -190,7 +216,14 @@ mod tests {
     #[test]
     fn iotlb_caches_and_invalidation_works() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(3), IommuEntry { ppn: Ppn(30), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            dev(),
+            IoVpn(3),
+            IommuEntry {
+                ppn: Ppn(30),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         iommu.translate(dev(), 3 * PAGE_SIZE, 8, false).unwrap();
         iommu.translate(dev(), 3 * PAGE_SIZE + 8, 8, false).unwrap();
         assert_eq!(iommu.stats.iotlb_hits, 1);
@@ -203,25 +236,64 @@ mod tests {
     #[test]
     fn remap_replaces_cached_entry() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(4), IommuEntry { ppn: Ppn(40), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            dev(),
+            IoVpn(4),
+            IommuEntry {
+                ppn: Ppn(40),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         iommu.translate(dev(), 4 * PAGE_SIZE, 8, false).unwrap();
-        iommu.map(dev(), IoVpn(4), IommuEntry { ppn: Ppn(41), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            dev(),
+            IoVpn(4),
+            IommuEntry {
+                ppn: Ppn(41),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         let pa = iommu.translate(dev(), 4 * PAGE_SIZE, 8, false).unwrap();
-        assert_eq!(pa.ppn(), Ppn(41), "stale IOTLB entry must not survive a remap");
+        assert_eq!(
+            pa.ppn(),
+            Ppn(41),
+            "stale IOTLB entry must not survive a remap"
+        );
     }
 
     #[test]
     fn page_crossing_access_faults() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(0), IommuEntry { ppn: Ppn(10), perm: DmaPerm::ReadWrite });
-        iommu.map(dev(), IoVpn(1), IommuEntry { ppn: Ppn(11), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            dev(),
+            IoVpn(0),
+            IommuEntry {
+                ppn: Ppn(10),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
+        iommu.map(
+            dev(),
+            IoVpn(1),
+            IommuEntry {
+                ppn: Ppn(11),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         assert!(iommu.translate(dev(), PAGE_SIZE - 8, 16, false).is_none());
     }
 
     #[test]
     fn detach_clears_everything() {
         let mut iommu = Iommu::new(8);
-        iommu.map(dev(), IoVpn(0), IommuEntry { ppn: Ppn(10), perm: DmaPerm::ReadWrite });
+        iommu.map(
+            dev(),
+            IoVpn(0),
+            IommuEntry {
+                ppn: Ppn(10),
+                perm: DmaPerm::ReadWrite,
+            },
+        );
         iommu.translate(dev(), 0, 8, false).unwrap();
         iommu.detach(dev());
         assert!(iommu.translate(dev(), 0, 8, false).is_none());
@@ -231,7 +303,14 @@ mod tests {
     fn iotlb_capacity_evicts_fifo() {
         let mut iommu = Iommu::new(2);
         for i in 0..3u64 {
-            iommu.map(dev(), IoVpn(i), IommuEntry { ppn: Ppn(50 + i), perm: DmaPerm::ReadWrite });
+            iommu.map(
+                dev(),
+                IoVpn(i),
+                IommuEntry {
+                    ppn: Ppn(50 + i),
+                    perm: DmaPerm::ReadWrite,
+                },
+            );
             iommu.translate(dev(), i * PAGE_SIZE, 8, false).unwrap();
         }
         // Entry 0 was evicted: next access misses but still translates.

@@ -163,7 +163,10 @@ impl Mailbox {
         let mut ready = Vec::new();
         self.delayed.retain_mut(|(polls, resp)| {
             if *polls <= 1 {
-                ready.push(std::mem::replace(resp, Response::err(0, crate::message::Status::Ok)));
+                ready.push(std::mem::replace(
+                    resp,
+                    Response::err(0, crate::message::Status::Ok),
+                ));
                 false
             } else {
                 *polls -= 1;
@@ -227,7 +230,10 @@ mod tests {
         Request {
             req_id: 0,
             primitive: Primitive::Ealloc,
-            caller: CallerIdentity { privilege: Privilege::User, enclave: None },
+            caller: CallerIdentity {
+                privilege: Privilege::User,
+                enclave: None,
+            },
             args: vec![4096],
             payload: Vec::new(),
         }
@@ -326,7 +332,11 @@ mod tests {
     fn delayed_responses_arrive_after_enough_polls() {
         let plan = FaultPlan::new(
             11,
-            FaultConfig { delay_response_pm: 1000, delay_polls_max: 3, ..FaultConfig::disabled() },
+            FaultConfig {
+                delay_response_pm: 1000,
+                delay_polls_max: 3,
+                ..FaultConfig::disabled()
+            },
         );
         let mut mb = Mailbox::new();
         mb.arm_faults(plan.injector("mailbox"));
@@ -355,7 +365,10 @@ mod tests {
     fn duplicates_are_quarantined_and_purged() {
         let plan = FaultPlan::new(
             5,
-            FaultConfig { duplicate_response_pm: 1000, ..FaultConfig::disabled() },
+            FaultConfig {
+                duplicate_response_pm: 1000,
+                ..FaultConfig::disabled()
+            },
         );
         let mut mb = Mailbox::new();
         mb.arm_faults(plan.injector("mailbox"));

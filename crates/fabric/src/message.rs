@@ -194,17 +194,38 @@ pub struct Response {
 impl Response {
     /// Convenience constructor for success.
     pub fn ok(req_id: u64, vals: Vec<u64>) -> Response {
-        Response { req_id, status: Status::Ok, vals, payload: Vec::new(), crc: 0 }.seal()
+        Response {
+            req_id,
+            status: Status::Ok,
+            vals,
+            payload: Vec::new(),
+            crc: 0,
+        }
+        .seal()
     }
 
     /// Success with bulk data attached.
     pub fn ok_with_payload(req_id: u64, vals: Vec<u64>, payload: Vec<u8>) -> Response {
-        Response { req_id, status: Status::Ok, vals, payload, crc: 0 }.seal()
+        Response {
+            req_id,
+            status: Status::Ok,
+            vals,
+            payload,
+            crc: 0,
+        }
+        .seal()
     }
 
     /// Convenience constructor for failure.
     pub fn err(req_id: u64, status: Status) -> Response {
-        Response { req_id, status, vals: Vec::new(), payload: Vec::new(), crc: 0 }.seal()
+        Response {
+            req_id,
+            status,
+            vals: Vec::new(),
+            payload: Vec::new(),
+            crc: 0,
+        }
+        .seal()
     }
 
     fn checksum(&self) -> u64 {
@@ -241,6 +262,51 @@ impl Response {
     /// flight).
     pub fn intact(&self) -> bool {
         self.crc == self.checksum()
+    }
+
+    // Named views over `vals`. The scalar layout is a per-primitive wire
+    // contract between the EMS dispatcher and the CS side; callers must go
+    // through these instead of indexing `vals` so a layout change breaks
+    // loudly here rather than silently mispricing or misparsing a reply.
+
+    /// ECREATE: the EMS-assigned id of the new enclave.
+    pub fn new_enclave_id(&self) -> Option<u64> {
+        self.vals.first().copied()
+    }
+
+    /// EALLOC / ESHMAT: enclave VA the new region was mapped at.
+    pub fn mapped_va(&self) -> Option<u64> {
+        self.vals.first().copied()
+    }
+
+    /// EALLOC / ESHMAT: number of pages actually mapped.
+    pub fn pages_mapped(&self) -> Option<u64> {
+        self.vals.get(1).copied()
+    }
+
+    /// EWB: number of pages written back (encrypted + evicted).
+    pub fn pages_written_back(&self) -> Option<u64> {
+        self.vals.first().copied()
+    }
+
+    /// EWB: physical bases of the evicted frames, following the count.
+    pub fn written_back_frames(&self) -> &[u64] {
+        let count = self.pages_written_back().unwrap_or(0) as usize;
+        self.vals.get(1..1 + count).unwrap_or(&[])
+    }
+
+    /// ESHMGET: the id of the new shared-memory segment.
+    pub fn shm_id(&self) -> Option<u64> {
+        self.vals.first().copied()
+    }
+
+    /// EENTER / ERESUME: (page-table root, entry PC, KeyID) to install on
+    /// the entering hart.
+    pub fn entry_context(&self) -> Option<(u64, u64, u64)> {
+        match self.vals.as_slice() {
+            [root, entry, key, ..] => Some((*root, *entry, *key)),
+            _ => None,
+        }
     }
 }
 
@@ -297,6 +363,25 @@ mod tests {
         let mut t = sealed;
         t.req_id += 1;
         assert!(!t.intact());
+    }
+
+    #[test]
+    fn named_accessors_follow_the_wire_layout() {
+        let ealloc = Response::ok(1, vec![0x4000_0000, 512]);
+        assert_eq!(ealloc.mapped_va(), Some(0x4000_0000));
+        assert_eq!(ealloc.pages_mapped(), Some(512));
+
+        let ewb = Response::ok(2, vec![2, 0x1000, 0x2000]);
+        assert_eq!(ewb.pages_written_back(), Some(2));
+        assert_eq!(ewb.written_back_frames(), &[0x1000, 0x2000]);
+
+        let enter = Response::ok(3, vec![0x8000, 0x10_0000, 5]);
+        assert_eq!(enter.entry_context(), Some((0x8000, 0x10_0000, 5)));
+
+        let empty = Response::ok(4, vec![]);
+        assert_eq!(empty.pages_mapped(), None);
+        assert_eq!(empty.entry_context(), None);
+        assert!(empty.written_back_frames().is_empty());
     }
 
     #[test]

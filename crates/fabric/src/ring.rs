@@ -27,7 +27,13 @@ impl<T> Ring<T> {
         for _ in 0..capacity {
             slots.push(None);
         }
-        Ring { slots, head: 0, tail: 0, len: 0, stalled: 0 }
+        Ring {
+            slots,
+            head: 0,
+            tail: 0,
+            len: 0,
+            stalled: 0,
+        }
     }
 
     /// Capacity in slots.

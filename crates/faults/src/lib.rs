@@ -59,7 +59,10 @@ impl FaultKind {
 
     /// Stable index of this kind into [`FaultStats`] counters.
     pub fn index(self) -> usize {
-        FaultKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+        FaultKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
     }
 
     /// Human-readable name for logs and reports.
@@ -319,7 +322,12 @@ impl FaultInjector {
     /// after which the primitive must abort.
     pub fn abort_step(&mut self) -> Option<u32> {
         if self.roll(FaultKind::PrimitiveAbort) {
-            Some(1 + self.rng.gen_range(u64::from(self.config.abort_step_max.max(1))) as u32)
+            Some(
+                1 + self
+                    .rng
+                    .gen_range(u64::from(self.config.abort_step_max.max(1)))
+                    as u32,
+            )
         } else {
             None
         }
@@ -328,7 +336,9 @@ impl FaultInjector {
     /// How many polls to hold a delayed response (for
     /// [`FaultKind::MailboxDelayResponse`] hits).
     pub fn delay_polls(&mut self) -> u32 {
-        1 + self.rng.gen_range(u64::from(self.config.delay_polls_max.max(1))) as u32
+        1 + self
+            .rng
+            .gen_range(u64::from(self.config.delay_polls_max.max(1))) as u32
     }
 
     /// Faults injected so far at this site.
@@ -361,10 +371,12 @@ mod tests {
         let plan = FaultPlan::new(42, FaultConfig::heavy());
         let mut a = plan.injector("mailbox");
         let mut b = plan.injector("mailbox");
-        let rolls_a: Vec<bool> =
-            (0..500).map(|_| a.roll(FaultKind::MailboxDropResponse)).collect();
-        let rolls_b: Vec<bool> =
-            (0..500).map(|_| b.roll(FaultKind::MailboxDropResponse)).collect();
+        let rolls_a: Vec<bool> = (0..500)
+            .map(|_| a.roll(FaultKind::MailboxDropResponse))
+            .collect();
+        let rolls_b: Vec<bool> = (0..500)
+            .map(|_| b.roll(FaultKind::MailboxDropResponse))
+            .collect();
         assert_eq!(rolls_a, rolls_b);
         assert!(a.stats().count(FaultKind::MailboxDropResponse) > 10);
     }
@@ -405,10 +417,7 @@ mod tests {
         }
         let mut sum = a.stats().clone();
         sum.merge(b.stats());
-        assert_eq!(
-            sum.total(),
-            a.stats().total() + b.stats().total()
-        );
+        assert_eq!(sum.total(), a.stats().total() + b.stats().total());
         assert!(sum.distinct_kinds() >= 2);
     }
 }

@@ -90,7 +90,10 @@ impl core::fmt::Display for AuditError {
                 write!(f, "enclave {eid:?} maps {va:?} to a frame it does not own")
             }
             AuditError::HostWindowEnclaveFrame { eid, va } => {
-                write!(f, "enclave {eid:?} host window {va:?} points at enclave memory")
+                write!(
+                    f,
+                    "enclave {eid:?} host window {va:?} points at enclave memory"
+                )
             }
             AuditError::Fault(m) => write!(f, "audit read fault: {m}"),
         }
@@ -201,7 +204,10 @@ mod tests {
     use crate::ownership::OwnershipTable;
 
     fn setup() -> (MemorySystem, OwnershipTable) {
-        (MemorySystem::new(16 << 20, PhysAddr(0x4000)), OwnershipTable::new())
+        (
+            MemorySystem::new(16 << 20, PhysAddr(0x4000)),
+            OwnershipTable::new(),
+        )
     }
 
     #[test]
@@ -218,8 +224,7 @@ mod tests {
         sys.bitmap.set(Ppn(100), true, &mut sys.phys).unwrap();
         sys.bitmap.set(Ppn(101), true, &mut sys.phys).unwrap();
         own.claim(Ppn(100), PageOwner::EmsPrivate).unwrap();
-        let audit =
-            ConsistencyAudit::run(&mut sys, &own, &[Ppn(101)], 1, &[]).unwrap();
+        let audit = ConsistencyAudit::run(&mut sys, &own, &[Ppn(101)], 1, &[]).unwrap();
         assert_eq!(audit.enclave_marked, 2);
         assert_eq!(audit.owned, 1);
         assert_eq!(audit.pool_free, 1);
@@ -246,8 +251,7 @@ mod tests {
         let (mut sys, mut own) = setup();
         sys.bitmap.set(Ppn(70), true, &mut sys.phys).unwrap();
         own.claim(Ppn(70), PageOwner::EmsPrivate).unwrap();
-        let err =
-            ConsistencyAudit::run(&mut sys, &own, &[Ppn(70)], 1, &[]).unwrap_err();
+        let err = ConsistencyAudit::run(&mut sys, &own, &[Ppn(70)], 1, &[]).unwrap_err();
         assert_eq!(err, AuditError::FreeButOwned { ppn: Ppn(70) });
     }
 
@@ -255,7 +259,10 @@ mod tests {
     fn pool_accounting_mismatch_caught() {
         let (mut sys, own) = setup();
         let err = ConsistencyAudit::run(&mut sys, &own, &[], 3, &[]).unwrap_err();
-        assert_eq!(err, AuditError::PoolAccountingMismatch { used: 3, owned: 0 });
+        assert_eq!(
+            err,
+            AuditError::PoolAccountingMismatch { used: 3, owned: 0 }
+        );
     }
 
     #[test]
@@ -283,14 +290,18 @@ mod tests {
             )
             .unwrap();
         let eid = EnclaveId(9);
-        let err = ConsistencyAudit::run(&mut sys, &own, &[], 0, &[(eid, table)])
-            .unwrap_err();
-        assert_eq!(err, AuditError::DanglingPte { eid, va: VirtAddr(0x2000_0000) });
+        let err = ConsistencyAudit::run(&mut sys, &own, &[], 0, &[(eid, table)]).unwrap_err();
+        assert_eq!(
+            err,
+            AuditError::DanglingPte {
+                eid,
+                va: VirtAddr(0x2000_0000)
+            }
+        );
         // Claiming the frame for the right enclave fixes it (bitmap too).
         own.claim(Ppn(300), PageOwner::Enclave(eid)).unwrap();
         sys.bitmap.set(Ppn(300), true, &mut sys.phys).unwrap();
-        let audit =
-            ConsistencyAudit::run(&mut sys, &own, &[], 1, &[(eid, table)]).unwrap();
+        let audit = ConsistencyAudit::run(&mut sys, &own, &[], 1, &[(eid, table)]).unwrap();
         assert_eq!(audit.leaves_checked, 1);
     }
 
@@ -327,7 +338,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            AuditError::HostWindowEnclaveFrame { eid: EnclaveId(1), va: VirtAddr(0x3000_0000) }
+            AuditError::HostWindowEnclaveFrame {
+                eid: EnclaveId(1),
+                va: VirtAddr(0x3000_0000)
+            }
         );
     }
 }

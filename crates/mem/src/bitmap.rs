@@ -34,7 +34,10 @@ impl EnclaveBitmap {
         mem: &mut PhysMemory,
     ) -> Result<EnclaveBitmap, MemFault> {
         assert_eq!(bm_base.offset(), 0, "BM_BASE must be page aligned");
-        let bm = EnclaveBitmap { bm_base, covered_frames };
+        let bm = EnclaveBitmap {
+            bm_base,
+            covered_frames,
+        };
         // Zero the whole region first.
         let bytes = bm.region_bytes();
         for off in (0..bytes).step_by(PAGE_SIZE as usize) {
@@ -175,9 +178,15 @@ mod tests {
 
     #[test]
     fn region_size_rounds_to_pages() {
-        let bm = EnclaveBitmap { bm_base: PhysAddr(0), covered_frames: 1 };
+        let bm = EnclaveBitmap {
+            bm_base: PhysAddr(0),
+            covered_frames: 1,
+        };
         assert_eq!(bm.region_bytes(), PAGE_SIZE);
-        let bm2 = EnclaveBitmap { bm_base: PhysAddr(0), covered_frames: PAGE_SIZE * 8 + 1 };
+        let bm2 = EnclaveBitmap {
+            bm_base: PhysAddr(0),
+            covered_frames: PAGE_SIZE * 8 + 1,
+        };
         assert_eq!(bm2.region_bytes(), 2 * PAGE_SIZE);
     }
 }

@@ -63,7 +63,12 @@ pub struct MktmeEngine {
 impl MktmeEngine {
     /// Creates an engine; `integrity` enables the 28-bit MAC path.
     pub fn new(integrity: bool) -> Self {
-        MktmeEngine { keys: HashMap::new(), macs: HashMap::new(), integrity, stats: MktmeStats::default() }
+        MktmeEngine {
+            keys: HashMap::new(),
+            macs: HashMap::new(),
+            integrity,
+            stats: MktmeStats::default(),
+        }
     }
 
     /// Whether integrity protection is enabled.
@@ -79,7 +84,13 @@ impl MktmeEngine {
     /// Panics when programming KeyID 0, which is architecturally plaintext.
     pub fn program_key(&mut self, key: KeyId, aes_key: &[u8; 16], mac_key: &[u8; 32]) {
         assert!(key.is_encrypted(), "KeyID 0 is the plaintext domain");
-        self.keys.insert(key.0, KeySlot { cipher: Aes128::new(aes_key), mac_key: *mac_key });
+        self.keys.insert(
+            key.0,
+            KeySlot {
+                cipher: Aes128::new(aes_key),
+                mac_key: *mac_key,
+            },
+        );
     }
 
     /// Revokes a key slot (KeyID exhaustion handling, §IV-C). Lines written
@@ -221,7 +232,9 @@ mod tests {
     fn encrypted_roundtrip() {
         let (mut mem, mut engine) = setup();
         let pa = PhysAddr(0x10_000);
-        engine.write(&mut mem, pa, KeyId(1), b"enclave secret data").unwrap();
+        engine
+            .write(&mut mem, pa, KeyId(1), b"enclave secret data")
+            .unwrap();
         let mut buf = [0u8; 19];
         engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
         assert_eq!(&buf, b"enclave secret data");
@@ -231,7 +244,9 @@ mod tests {
     fn memory_holds_ciphertext() {
         let (mut mem, mut engine) = setup();
         let pa = PhysAddr(0x10_000);
-        engine.write(&mut mem, pa, KeyId(1), b"enclave secret data").unwrap();
+        engine
+            .write(&mut mem, pa, KeyId(1), b"enclave secret data")
+            .unwrap();
         // A raw (host KeyID 0) read sees ciphertext, not the plaintext.
         let mut raw = [0u8; 19];
         mem.read(pa, &mut raw).unwrap();
@@ -287,7 +302,9 @@ mod tests {
             engine.read(&mut mem, PhysAddr(0x1000), KeyId(9), &mut buf),
             Err(MemFault::BusError { .. })
         ));
-        assert!(engine.write(&mut mem, PhysAddr(0x1000), KeyId(9), &[0; 8]).is_err());
+        assert!(engine
+            .write(&mut mem, PhysAddr(0x1000), KeyId(9), &[0; 8])
+            .is_err());
     }
 
     #[test]
@@ -296,7 +313,9 @@ mod tests {
         let pa = PhysAddr(0x50_000);
         engine.write(&mut mem, pa, KeyId(1), &[0xaa; 64]).unwrap();
         // Overwrite 8 bytes in the middle of the line.
-        engine.write(&mut mem, PhysAddr(pa.0 + 20), KeyId(1), &[0xbb; 8]).unwrap();
+        engine
+            .write(&mut mem, PhysAddr(pa.0 + 20), KeyId(1), &[0xbb; 8])
+            .unwrap();
         let mut buf = [0u8; 64];
         engine.read(&mut mem, pa, KeyId(1), &mut buf).unwrap();
         assert_eq!(&buf[..20], &[0xaa; 20]);
@@ -324,7 +343,9 @@ mod tests {
     #[test]
     fn host_keyid_bypasses_engine() {
         let (mut mem, mut engine) = setup();
-        engine.write(&mut mem, PhysAddr(0x100), KeyId::HOST, b"plain").unwrap();
+        engine
+            .write(&mut mem, PhysAddr(0x100), KeyId::HOST, b"plain")
+            .unwrap();
         let mut raw = [0u8; 5];
         mem.read(PhysAddr(0x100), &mut raw).unwrap();
         assert_eq!(&raw, b"plain");
@@ -334,8 +355,12 @@ mod tests {
     #[test]
     fn distinct_keys_produce_distinct_ciphertexts() {
         let (mut mem, mut engine) = setup();
-        engine.write(&mut mem, PhysAddr(0x1000), KeyId(1), &[0u8; 64]).unwrap();
-        engine.write(&mut mem, PhysAddr(0x2000), KeyId(2), &[0u8; 64]).unwrap();
+        engine
+            .write(&mut mem, PhysAddr(0x1000), KeyId(1), &[0u8; 64])
+            .unwrap();
+        engine
+            .write(&mut mem, PhysAddr(0x2000), KeyId(2), &[0u8; 64])
+            .unwrap();
         let mut c1 = [0u8; 64];
         let mut c2 = [0u8; 64];
         mem.read(PhysAddr(0x1000), &mut c1).unwrap();

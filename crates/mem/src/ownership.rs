@@ -90,7 +90,10 @@ impl OwnershipTable {
     /// that stops one enclave's page from being mapped into another (§IV-B).
     pub fn claim(&mut self, ppn: Ppn, owner: PageOwner) -> Result<(), OwnershipError> {
         if let Some(&existing) = self.entries.get(&ppn.0) {
-            return Err(OwnershipError::AlreadyOwned { ppn, owner: existing });
+            return Err(OwnershipError::AlreadyOwned {
+                ppn,
+                owner: existing,
+            });
         }
         self.entries.insert(ppn.0, owner);
         Ok(())
@@ -179,8 +182,12 @@ mod tests {
     #[test]
     fn double_claim_rejected() {
         let mut table = OwnershipTable::new();
-        table.claim(Ppn(5), PageOwner::Enclave(EnclaveId(1))).unwrap();
-        let err = table.claim(Ppn(5), PageOwner::Enclave(EnclaveId(2))).unwrap_err();
+        table
+            .claim(Ppn(5), PageOwner::Enclave(EnclaveId(1)))
+            .unwrap();
+        let err = table
+            .claim(Ppn(5), PageOwner::Enclave(EnclaveId(2)))
+            .unwrap_err();
         assert!(matches!(err, OwnershipError::AlreadyOwned { .. }));
     }
 
@@ -190,18 +197,25 @@ mod tests {
         // enclave 2, but a shared page can be mapped by anyone (subject to
         // the connection list enforced at a higher layer).
         let mut table = OwnershipTable::new();
-        table.claim(Ppn(1), PageOwner::Enclave(EnclaveId(1))).unwrap();
+        table
+            .claim(Ppn(1), PageOwner::Enclave(EnclaveId(1)))
+            .unwrap();
         table.claim(Ppn(2), PageOwner::Shared(ShmId(9))).unwrap();
         assert!(table.may_map(Ppn(1), EnclaveId(1)));
         assert!(!table.may_map(Ppn(1), EnclaveId(2)));
         assert!(table.may_map(Ppn(2), EnclaveId(2)));
-        assert!(!table.may_map(Ppn(3), EnclaveId(1)), "unowned pages unmappable");
+        assert!(
+            !table.may_map(Ppn(3), EnclaveId(1)),
+            "unowned pages unmappable"
+        );
     }
 
     #[test]
     fn wrong_owner_release_rejected() {
         let mut table = OwnershipTable::new();
-        table.claim(Ppn(7), PageOwner::Enclave(EnclaveId(1))).unwrap();
+        table
+            .claim(Ppn(7), PageOwner::Enclave(EnclaveId(1)))
+            .unwrap();
         assert!(matches!(
             table.release(Ppn(7), PageOwner::Enclave(EnclaveId(2))),
             Err(OwnershipError::WrongOwner { .. })
@@ -216,7 +230,9 @@ mod tests {
     fn enumeration_by_owner() {
         let mut table = OwnershipTable::new();
         for p in 0..5 {
-            table.claim(Ppn(p), PageOwner::Enclave(EnclaveId(1))).unwrap();
+            table
+                .claim(Ppn(p), PageOwner::Enclave(EnclaveId(1)))
+                .unwrap();
         }
         for p in 5..8 {
             table.claim(Ppn(p), PageOwner::Shared(ShmId(2))).unwrap();

@@ -17,7 +17,7 @@
 //! bits 48..64 KeyID (16 bits; paper §IV-C)
 //! ```
 
-use crate::addr::{PhysAddr, Ppn, VirtAddr, KeyId, PAGE_SIZE};
+use crate::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
 use crate::phys::PhysMemory;
 use crate::MemFault;
 
@@ -36,13 +36,33 @@ pub struct Perms {
 
 impl Perms {
     /// Read-only user mapping.
-    pub const RO: Perms = Perms { r: true, w: false, x: false, u: true };
+    pub const RO: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+        u: true,
+    };
     /// Read-write user mapping.
-    pub const RW: Perms = Perms { r: true, w: true, x: false, u: true };
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+        u: true,
+    };
     /// Read-execute user mapping.
-    pub const RX: Perms = Perms { r: true, w: false, x: true, u: true };
+    pub const RX: Perms = Perms {
+        r: true,
+        w: false,
+        x: true,
+        u: true,
+    };
     /// Read-write-execute (loader convenience).
-    pub const RWX: Perms = Perms { r: true, w: true, x: true, u: true };
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+        u: true,
+    };
 
     /// Whether these permissions allow the given access kind.
     pub fn allows(&self, kind: AccessKind) -> bool {
@@ -202,7 +222,10 @@ impl PageTable {
     ///
     /// [`MemFault::BusError`] when the frame source is exhausted, or the
     /// fault from zeroing an out-of-range root frame.
-    pub fn try_new(frames: &mut dyn FrameSource, mem: &mut PhysMemory) -> Result<PageTable, MemFault> {
+    pub fn try_new(
+        frames: &mut dyn FrameSource,
+        mem: &mut PhysMemory,
+    ) -> Result<PageTable, MemFault> {
         let root = frames.alloc_frame().ok_or(MemFault::BusError { pa: 0 })?;
         mem.zero_frame(root)?;
         Ok(PageTable { root })
@@ -303,7 +326,12 @@ impl PageTable {
     /// # Errors
     ///
     /// [`MemFault::PageFault`] when `va` is not mapped.
-    pub fn protect(&self, va: VirtAddr, perms: Perms, mem: &mut PhysMemory) -> Result<(), MemFault> {
+    pub fn protect(
+        &self,
+        va: VirtAddr,
+        perms: Perms,
+        mem: &mut PhysMemory,
+    ) -> Result<(), MemFault> {
         let (addr, pte) = self.leaf_slot(va, mem)?;
         mem.write_u64(addr, Pte::leaf(pte.ppn(), perms, pte.key()).0)
     }
@@ -341,7 +369,12 @@ impl PageTable {
         let (addr, pte) = self.leaf_slot(va, mem)?;
         // Hardware A/D update.
         mem.write_u64(addr, pte.touch(set_dirty).0)?;
-        Ok(Translation { ppn: pte.ppn(), perms: pte.perms(), key: pte.key(), levels_touched: 3 })
+        Ok(Translation {
+            ppn: pte.ppn(),
+            perms: pte.perms(),
+            key: pte.key(),
+            levels_touched: 3,
+        })
     }
 
     /// Reads the leaf PTE without side effects (used by management code and
@@ -411,7 +444,8 @@ mod tests {
     fn map_walk_roundtrip() {
         let (mut mem, mut alloc, pt) = setup();
         let va = VirtAddr(0x4000_0000);
-        pt.map(va, Ppn(0x123), Perms::RW, KeyId(7), &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(0x123), Perms::RW, KeyId(7), &mut alloc, &mut mem)
+            .unwrap();
         let tr = pt.walk(va, false, &mut mem).unwrap();
         assert_eq!(tr.ppn, Ppn(0x123));
         assert_eq!(tr.key, KeyId(7));
@@ -431,15 +465,19 @@ mod tests {
     fn double_map_rejected() {
         let (mut mem, mut alloc, pt) = setup();
         let va = VirtAddr(0x1000);
-        pt.map(va, Ppn(1), Perms::RO, KeyId::HOST, &mut alloc, &mut mem).unwrap();
-        assert!(pt.map(va, Ppn(2), Perms::RO, KeyId::HOST, &mut alloc, &mut mem).is_err());
+        pt.map(va, Ppn(1), Perms::RO, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
+        assert!(pt
+            .map(va, Ppn(2), Perms::RO, KeyId::HOST, &mut alloc, &mut mem)
+            .is_err());
     }
 
     #[test]
     fn unmap_then_fault() {
         let (mut mem, mut alloc, pt) = setup();
         let va = VirtAddr(0x20_0000);
-        pt.map(va, Ppn(9), Perms::RW, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(9), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
         let old = pt.unmap(va, &mut mem).unwrap();
         assert_eq!(old.ppn(), Ppn(9));
         assert!(pt.walk(va, false, &mut mem).is_err());
@@ -449,7 +487,8 @@ mod tests {
     fn accessed_dirty_bits_behave_like_hardware() {
         let (mut mem, mut alloc, pt) = setup();
         let va = VirtAddr(0x5000);
-        pt.map(va, Ppn(3), Perms::RW, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(3), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
         assert!(!pt.inspect(va, &mut mem).unwrap().accessed());
         pt.walk(va, false, &mut mem).unwrap();
         let pte = pt.inspect(va, &mut mem).unwrap();
@@ -465,9 +504,25 @@ mod tests {
     fn distinct_vas_share_intermediate_tables() {
         let (mut mem, mut alloc, pt) = setup();
         let before = alloc.allocated;
-        pt.map(VirtAddr(0x1000), Ppn(1), Perms::RO, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(
+            VirtAddr(0x1000),
+            Ppn(1),
+            Perms::RO,
+            KeyId::HOST,
+            &mut alloc,
+            &mut mem,
+        )
+        .unwrap();
         let after_first = alloc.allocated;
-        pt.map(VirtAddr(0x2000), Ppn(2), Perms::RO, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(
+            VirtAddr(0x2000),
+            Ppn(2),
+            Perms::RO,
+            KeyId::HOST,
+            &mut alloc,
+            &mut mem,
+        )
+        .unwrap();
         let after_second = alloc.allocated;
         // First map allocates two intermediate levels; second reuses them.
         assert_eq!(after_first - before, 2);
@@ -478,7 +533,8 @@ mod tests {
     fn protect_changes_perms() {
         let (mut mem, mut alloc, pt) = setup();
         let va = VirtAddr(0x9000);
-        pt.map(va, Ppn(4), Perms::RW, KeyId(1), &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(4), Perms::RW, KeyId(1), &mut alloc, &mut mem)
+            .unwrap();
         pt.protect(va, Perms::RO, &mut mem).unwrap();
         let tr = pt.walk(va, false, &mut mem).unwrap();
         assert!(tr.perms.r && !tr.perms.w);
@@ -489,8 +545,15 @@ mod tests {
     fn mappings_enumeration() {
         let (mut mem, mut alloc, pt) = setup();
         for i in 0..5u64 {
-            pt.map(VirtAddr(0x100_0000 + i * PAGE_SIZE), Ppn(100 + i), Perms::RO, KeyId::HOST, &mut alloc, &mut mem)
-                .unwrap();
+            pt.map(
+                VirtAddr(0x100_0000 + i * PAGE_SIZE),
+                Ppn(100 + i),
+                Perms::RO,
+                KeyId::HOST,
+                &mut alloc,
+                &mut mem,
+            )
+            .unwrap();
         }
         let maps = pt.mappings(&mut mem).unwrap();
         assert_eq!(maps.len(), 5);

@@ -21,7 +21,11 @@ impl PhysMemory {
     /// Creates memory with `bytes` of installed capacity (rounded down to
     /// whole frames).
     pub fn new(bytes: u64) -> Self {
-        PhysMemory { frames: BTreeMap::new(), total_frames: bytes / PAGE_SIZE, access_count: 0 }
+        PhysMemory {
+            frames: BTreeMap::new(),
+            total_frames: bytes / PAGE_SIZE,
+            access_count: 0,
+        }
     }
 
     /// Installed capacity in frames.
@@ -137,7 +141,12 @@ impl FrameAllocator {
     /// Manages frames `[first, limit)`.
     pub fn new(first: Ppn, limit: Ppn) -> Self {
         assert!(first.0 < limit.0, "empty allocator range");
-        FrameAllocator { next: first.0, limit: limit.0, free: Vec::new(), allocated: 0 }
+        FrameAllocator {
+            next: first.0,
+            limit: limit.0,
+            free: Vec::new(),
+            allocated: 0,
+        }
     }
 
     /// Allocates one frame, or `None` when physical memory is exhausted.
@@ -240,8 +249,12 @@ mod tests {
     #[test]
     fn u64_helpers() {
         let mut mem = PhysMemory::new(1 << 20);
-        mem.write_u64(PhysAddr(0x100), 0xdead_beef_cafe_f00d).unwrap();
-        assert_eq!(mem.read_u64(PhysAddr(0x100)).unwrap(), 0xdead_beef_cafe_f00d);
+        mem.write_u64(PhysAddr(0x100), 0xdead_beef_cafe_f00d)
+            .unwrap();
+        assert_eq!(
+            mem.read_u64(PhysAddr(0x100)).unwrap(),
+            0xdead_beef_cafe_f00d
+        );
     }
 
     #[test]

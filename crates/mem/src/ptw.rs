@@ -64,7 +64,13 @@ pub fn translate(
             return Err(MemFault::BitmapViolation { ppn: tr.ppn.0 });
         }
     }
-    Ok(TlbEntry { vpn: va.vpn(), ppn: tr.ppn, perms: tr.perms, key: tr.key, checked: !enclave_mode })
+    Ok(TlbEntry {
+        vpn: va.vpn(),
+        ppn: tr.ppn,
+        perms: tr.perms,
+        key: tr.key,
+        checked: !enclave_mode,
+    })
 }
 
 #[cfg(test)]
@@ -86,10 +92,19 @@ mod tests {
     fn normal_page_passes_check() {
         let (mut mem, mut alloc, pt, bitmap) = setup();
         let va = VirtAddr(0x7000);
-        pt.map(va, Ppn(2000), Perms::RW, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(2000), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
         let mut stats = PtwStats::default();
-        let entry =
-            translate(&pt, va, AccessKind::Read, false, &bitmap, &mut mem, &mut stats).unwrap();
+        let entry = translate(
+            &pt,
+            va,
+            AccessKind::Read,
+            false,
+            &bitmap,
+            &mut mem,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(entry.ppn, Ppn(2000));
         assert!(entry.checked);
         assert_eq!(stats.bitmap_checks, 1);
@@ -102,11 +117,20 @@ mod tests {
         // frame is stopped by the bitmap check even though the PTE is valid.
         let (mut mem, mut alloc, pt, bitmap) = setup();
         let va = VirtAddr(0x8000);
-        pt.map(va, Ppn(3000), Perms::RW, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(3000), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
         bitmap.set(Ppn(3000), true, &mut mem).unwrap();
         let mut stats = PtwStats::default();
-        let err = translate(&pt, va, AccessKind::Read, false, &bitmap, &mut mem, &mut stats)
-            .unwrap_err();
+        let err = translate(
+            &pt,
+            va,
+            AccessKind::Read,
+            false,
+            &bitmap,
+            &mut mem,
+            &mut stats,
+        )
+        .unwrap_err();
         assert_eq!(err, MemFault::BitmapViolation { ppn: 3000 });
         assert_eq!(stats.bitmap_faults, 1);
     }
@@ -115,11 +139,20 @@ mod tests {
     fn enclave_mode_skips_check() {
         let (mut mem, mut alloc, pt, bitmap) = setup();
         let va = VirtAddr(0x9000);
-        pt.map(va, Ppn(3001), Perms::RW, KeyId(5), &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(3001), Perms::RW, KeyId(5), &mut alloc, &mut mem)
+            .unwrap();
         bitmap.set(Ppn(3001), true, &mut mem).unwrap();
         let mut stats = PtwStats::default();
-        let entry =
-            translate(&pt, va, AccessKind::Read, true, &bitmap, &mut mem, &mut stats).unwrap();
+        let entry = translate(
+            &pt,
+            va,
+            AccessKind::Read,
+            true,
+            &bitmap,
+            &mut mem,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(entry.key, KeyId(5));
         assert!(!entry.checked);
         assert_eq!(stats.bitmap_checks, 0);
@@ -148,9 +181,19 @@ mod tests {
     fn write_walk_sets_dirty() {
         let (mut mem, mut alloc, pt, bitmap) = setup();
         let va = VirtAddr(0xa000);
-        pt.map(va, Ppn(2001), Perms::RW, KeyId::HOST, &mut alloc, &mut mem).unwrap();
+        pt.map(va, Ppn(2001), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
+            .unwrap();
         let mut stats = PtwStats::default();
-        translate(&pt, va, AccessKind::Write, false, &bitmap, &mut mem, &mut stats).unwrap();
+        translate(
+            &pt,
+            va,
+            AccessKind::Write,
+            false,
+            &bitmap,
+            &mut mem,
+            &mut stats,
+        )
+        .unwrap();
         assert!(pt.inspect(va, &mut mem).unwrap().dirty());
     }
 }

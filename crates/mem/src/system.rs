@@ -40,7 +40,12 @@ impl MemorySystem {
         let frames = phys.total_frames();
         let bitmap = EnclaveBitmap::install(bm_base, frames, &mut phys)
             .expect("bitmap region must fit in installed memory");
-        MemorySystem { phys, engine: MktmeEngine::new(true), bitmap, ptw_stats: PtwStats::default() }
+        MemorySystem {
+            phys,
+            engine: MktmeEngine::new(true),
+            bitmap,
+            ptw_stats: PtwStats::default(),
+        }
     }
 }
 
@@ -58,7 +63,11 @@ pub struct CoreMmu {
 impl CoreMmu {
     /// Creates a core MMU with a TLB of `tlb_entries`.
     pub fn new(tlb_entries: usize) -> Self {
-        CoreMmu { tlb: Tlb::new(tlb_entries), table: None, enclave_mode: false }
+        CoreMmu {
+            tlb: Tlb::new(tlb_entries),
+            table: None,
+            enclave_mode: false,
+        }
     }
 
     /// Switches the address space (satp write) — flushes the TLB, as EMCall
@@ -200,8 +209,15 @@ mod tests {
     fn load_store_through_translation() {
         let (mut sys, mut alloc, mut mmu, pt) = setup();
         let frame = alloc.alloc().unwrap();
-        pt.map(VirtAddr(0x40_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x40_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         mmu.store(&mut sys, VirtAddr(0x40_010), b"data").unwrap();
         let mut buf = [0u8; 4];
         mmu.load(&mut sys, VirtAddr(0x40_010), &mut buf).unwrap();
@@ -212,13 +228,23 @@ mod tests {
     fn tlb_caches_translation() {
         let (mut sys, mut alloc, mut mmu, pt) = setup();
         let frame = alloc.alloc().unwrap();
-        pt.map(VirtAddr(0x40_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x40_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         mmu.store_u64(&mut sys, VirtAddr(0x40_000), 1).unwrap();
         let walks_after_first = sys.ptw_stats.walks;
         mmu.load_u64(&mut sys, VirtAddr(0x40_000)).unwrap();
         mmu.load_u64(&mut sys, VirtAddr(0x40_100)).unwrap();
-        assert_eq!(sys.ptw_stats.walks, walks_after_first, "TLB hits avoid walks");
+        assert_eq!(
+            sys.ptw_stats.walks, walks_after_first,
+            "TLB hits avoid walks"
+        );
         assert!(mmu.tlb.stats.hits >= 2);
     }
 
@@ -226,8 +252,15 @@ mod tests {
     fn write_to_readonly_denied() {
         let (mut sys, mut alloc, mut mmu, pt) = setup();
         let frame = alloc.alloc().unwrap();
-        pt.map(VirtAddr(0x50_000), frame, Perms::RO, KeyId::HOST, &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x50_000),
+            frame,
+            Perms::RO,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         assert!(matches!(
             mmu.store(&mut sys, VirtAddr(0x50_000), &[1]),
             Err(MemFault::PermissionDenied { .. })
@@ -242,8 +275,15 @@ mod tests {
         let (mut sys, mut alloc, mut mmu, pt) = setup();
         let frame = alloc.alloc().unwrap();
         sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
-        pt.map(VirtAddr(0x60_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x60_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         let mut b = [0u8; 1];
         assert!(matches!(
             mmu.load(&mut sys, VirtAddr(0x60_000), &mut b),
@@ -257,8 +297,15 @@ mod tests {
         // TLB (as EMCall does on bitmap changes): the next access must fault.
         let (mut sys, mut alloc, mut mmu, pt) = setup();
         let frame = alloc.alloc().unwrap();
-        pt.map(VirtAddr(0x70_000), frame, Perms::RW, KeyId::HOST, &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x70_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         let mut b = [0u8; 1];
         mmu.load(&mut sys, VirtAddr(0x70_000), &mut b).unwrap();
         sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
@@ -277,10 +324,18 @@ mod tests {
         sys.engine.program_key(KeyId(3), &[1; 16], &[2; 32]);
         let frame = alloc.alloc().unwrap();
         sys.bitmap.set(frame, true, &mut sys.phys).unwrap();
-        pt.map(VirtAddr(0x80_000), frame, Perms::RW, KeyId(3), &mut alloc, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x80_000),
+            frame,
+            Perms::RW,
+            KeyId(3),
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
         mmu.switch_table(Some(pt), true);
-        mmu.store(&mut sys, VirtAddr(0x80_000), b"secret!!").unwrap();
+        mmu.store(&mut sys, VirtAddr(0x80_000), b"secret!!")
+            .unwrap();
         let mut b = [0u8; 8];
         mmu.load(&mut sys, VirtAddr(0x80_000), &mut b).unwrap();
         assert_eq!(&b, b"secret!!");

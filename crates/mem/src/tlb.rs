@@ -55,7 +55,11 @@ impl Tlb {
     /// Panics on zero capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        Tlb { entries: VecDeque::with_capacity(capacity), capacity, stats: TlbStats::default() }
+        Tlb {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Looks up a virtual page, counting hit/miss.

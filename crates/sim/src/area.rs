@@ -20,7 +20,10 @@ pub const CRYPTO_ENGINE_MM2: f64 = 0.20;
 ///
 /// Panics for core counts outside 1..=64.
 pub fn cs_area_mm2(cores: u32) -> f64 {
-    assert!((1..=64).contains(&cores), "CS core count out of modelled range");
+    assert!(
+        (1..=64).contains(&cores),
+        "CS core count out of modelled range"
+    );
     // Published anchors: (cores, mm²).
     const ANCHORS: [(u32, f64); 5] = [(4, 35.0), (8, 74.0), (16, 151.0), (32, 304.0), (64, 612.0)];
     if cores <= 4 {
@@ -50,7 +53,11 @@ pub fn ems_core_area_mm2(core: &CoreConfig) -> f64 {
 /// (mailbox, iHub glue; grows with the intra-cluster interconnect).
 pub fn ems_area_mm2(cluster: &EmsCluster) -> f64 {
     let cores = cluster.cores as f64 * ems_core_area_mm2(&cluster.core);
-    let uncore = if cluster.cores <= 1 { 0.01 } else { 0.05 + 0.01 * (cluster.cores as f64 - 2.0) };
+    let uncore = if cluster.cores <= 1 {
+        0.01
+    } else {
+        0.05 + 0.01 * (cluster.cores as f64 - 2.0)
+    };
     cores + CRYPTO_ENGINE_MM2 + uncore
 }
 

@@ -52,7 +52,10 @@ impl Cache {
     /// Panics unless `size_bytes / (ways × 64)` is a nonzero power of two.
     pub fn new(size_bytes: u64, ways: usize) -> Cache {
         let sets = size_bytes / (ways as u64 * LINE_BYTES);
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         Cache {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,

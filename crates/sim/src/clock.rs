@@ -4,9 +4,8 @@
 //! 2.5GHz and 750MHz respectively." All timing in the simulator is expressed
 //! in *CS cycles*; EMS work is converted through the domain ratio.
 
-
 /// A duration or timestamp in CS-core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, )]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycles(pub u64);
 
@@ -32,14 +31,17 @@ impl Cycles {
 
 impl core::ops::Add for Cycles {
     type Output = Cycles;
+    /// Saturating: long seeded fault campaigns accumulate exponential
+    /// back-off charges, and a wrapped clock would be a worse lie than a
+    /// pinned one.
     fn add(self, rhs: Cycles) -> Cycles {
-        Cycles(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl core::ops::AddAssign for Cycles {
     fn add_assign(&mut self, rhs: Cycles) {
-        self.0 += rhs.0;
+        *self = self.saturating_add(rhs);
     }
 }
 
@@ -68,7 +70,10 @@ pub struct ClockDomains {
 
 impl Default for ClockDomains {
     fn default() -> Self {
-        ClockDomains { cs_ghz: 2.5, ems_ghz: 0.75 }
+        ClockDomains {
+            cs_ghz: 2.5,
+            ems_ghz: 0.75,
+        }
     }
 }
 

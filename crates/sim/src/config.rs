@@ -1,6 +1,5 @@
 //! Core and SoC configurations, transcribed from Table III of the paper.
 
-
 /// Pipeline organisation of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -159,22 +158,34 @@ pub struct EmsCluster {
 impl EmsCluster {
     /// Single weak in-order core (paper: sufficient for ≤4-core CS).
     pub fn single_inorder() -> EmsCluster {
-        EmsCluster { cores: 1, core: CoreConfig::ems_weak() }
+        EmsCluster {
+            cores: 1,
+            core: CoreConfig::ems_weak(),
+        }
     }
 
     /// Dual weak in-order cores (paper: sufficient for a 16-core desktop CS).
     pub fn dual_inorder() -> EmsCluster {
-        EmsCluster { cores: 2, core: CoreConfig::ems_weak() }
+        EmsCluster {
+            cores: 2,
+            core: CoreConfig::ems_weak(),
+        }
     }
 
     /// Dual medium OoO cores (paper: sufficient for 32/64-core CS).
     pub fn dual_ooo() -> EmsCluster {
-        EmsCluster { cores: 2, core: CoreConfig::ems_medium() }
+        EmsCluster {
+            cores: 2,
+            core: CoreConfig::ems_medium(),
+        }
     }
 
     /// Quad medium OoO cores (Fig. 6's diminishing-returns upper point).
     pub fn quad_ooo() -> EmsCluster {
-        EmsCluster { cores: 4, core: CoreConfig::ems_medium() }
+        EmsCluster {
+            cores: 4,
+            core: CoreConfig::ems_medium(),
+        }
     }
 }
 
@@ -196,7 +207,10 @@ impl Default for SocConfig {
     fn default() -> Self {
         SocConfig {
             cs_cores: 4,
-            ems: EmsCluster { cores: 1, core: CoreConfig::ems_medium() },
+            ems: EmsCluster {
+                cores: 1,
+                core: CoreConfig::ems_medium(),
+            },
             crypto_engine: true,
             phys_mem_bytes: 256 * 1024 * 1024,
         }
@@ -237,7 +251,10 @@ mod tests {
     #[test]
     fn cluster_presets() {
         assert_eq!(EmsCluster::single_inorder().cores, 1);
-        assert_eq!(EmsCluster::dual_ooo().core.pipeline, PipelineKind::OutOfOrder);
+        assert_eq!(
+            EmsCluster::dual_ooo().core.pipeline,
+            PipelineKind::OutOfOrder
+        );
         assert_eq!(EmsCluster::quad_ooo().cores, 4);
     }
 }

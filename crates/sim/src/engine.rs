@@ -66,7 +66,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Cycles::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -76,8 +80,16 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current simulation time — a
     /// causality violation that always indicates a model bug.
     pub fn schedule(&mut self, at: Cycles, payload: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
-        self.heap.push(Scheduled { at, seq: self.next_seq, payload });
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            payload,
+        });
         self.next_seq += 1;
     }
 

@@ -247,9 +247,8 @@ mod tests {
     fn fig8a_overhead_endpoints() {
         // Fig. 8(a): overhead 49.7% at 128 KiB falling to 6.3% at 2 MiB.
         let book = LatencyBook::default();
-        let ov = |bytes: u64| {
-            (book.ealloc(bytes) - book.host_malloc(bytes)) / book.host_malloc(bytes)
-        };
+        let ov =
+            |bytes: u64| (book.ealloc(bytes) - book.host_malloc(bytes)) / book.host_malloc(bytes);
         let small = ov(128 * 1024);
         let large = ov(2 * 1024 * 1024);
         assert!((small - 0.497).abs() < 0.12, "small overhead = {small}");
@@ -261,8 +260,7 @@ mod tests {
     fn fig8b_encryption_overhead() {
         // Fig. 8(b): average 3.1% MemStream latency overhead.
         let book = LatencyBook::default();
-        let ov = (book.stream_access(true) - book.stream_access(false))
-            / book.stream_access(false);
+        let ov = (book.stream_access(true) - book.stream_access(false)) / book.stream_access(false);
         assert!((ov - 0.031).abs() < 0.005, "stream overhead = {ov}");
     }
 

@@ -12,7 +12,6 @@
 //! places iHub at the mesh edge, a few hops from any core) and lets the
 //! Fig. 6 experiment be re-based on topology-accurate transmission costs.
 
-
 /// A mesh coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -71,7 +70,10 @@ impl Mesh {
     /// The tile hosting iHub / the HyperTEE IP: the far corner of the extra
     /// row (§III-D ③: EMS address space carved at chip initialisation).
     pub fn ihub_tile(&self) -> Tile {
-        Tile { x: self.width - 1, y: self.height - 1 }
+        Tile {
+            x: self.width - 1,
+            y: self.height - 1,
+        }
     }
 
     /// The tile of CS core `i` (row-major placement).
@@ -80,7 +82,10 @@ impl Mesh {
     ///
     /// Panics when `i` does not fit the core rows of the mesh.
     pub fn core_tile(&self, i: u32) -> Tile {
-        let t = Tile { x: i % self.width, y: i / self.width };
+        let t = Tile {
+            x: i % self.width,
+            y: i / self.width,
+        };
         assert!(t.y < self.height - 1, "core index outside the core rows");
         t
     }

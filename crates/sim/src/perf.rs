@@ -160,7 +160,10 @@ pub fn enclave_run(
         extra += encryption_cycles(profile, book);
     }
     extra += tlb_flush_cycles(profile, book, switch_hz);
-    EnclaveRun { baseline: profile.host_cycles, enclave: profile.host_cycles + extra }
+    EnclaveRun {
+        baseline: profile.host_cycles,
+        enclave: profile.host_cycles + extra,
+    }
 }
 
 /// Prices a non-enclave run with bitmap checking enabled (Host-Bitmap).
@@ -197,7 +200,11 @@ mod tests {
         let p = toy_profile();
         let book = LatencyBook::default();
         let b = primitive_cycles(&p, &book, false);
-        assert!(b.emeas / b.total() > 0.6, "emeas share = {}", b.emeas / b.total());
+        assert!(
+            b.emeas / b.total() > 0.6,
+            "emeas share = {}",
+            b.emeas / b.total()
+        );
         let b_eng = primitive_cycles(&p, &book, true);
         assert!(b_eng.emeas / b_eng.total() < 0.1);
         assert!(b_eng.total() < b.total());
@@ -244,9 +251,15 @@ mod tests {
         // the paper reports ≤1.81% overhead.
         let book = LatencyBook::default();
         let pages_32m = 32.0 * 1024.0 * 1024.0 / 4096.0;
-        let p = WorkloadProfile { touched_pages: pages_32m * 0.345, ..toy_profile() };
+        let p = WorkloadProfile {
+            touched_pages: pages_32m * 0.345,
+            ..toy_profile()
+        };
         let ov = tlb_flush_cycles(&p, &book, 400.0) / p.host_cycles;
         assert!(ov <= 0.0185, "overhead = {ov}");
-        assert!(ov > 0.015, "overhead should approach the 1.81% bound, got {ov}");
+        assert!(
+            ov > 0.015,
+            "overhead should approach the 1.81% bound, got {ov}"
+        );
     }
 }

@@ -128,24 +128,37 @@ impl SloExperiment {
 
         // Every CS core starts by creating its enclave.
         for core in 0..self.cs_cores {
-            q.schedule(Cycles(0), Ev::Issue { core, kind: RequestKind::Create });
+            q.schedule(
+                Cycles(0),
+                Ev::Issue {
+                    core,
+                    kind: RequestKind::Create,
+                },
+            );
         }
 
         // Helper invoked whenever an EMS core may pick up work.
         let dispatch = |q: &mut EventQueue<Ev>,
-                            waiting: &mut VecDeque<Pending>,
-                            ems_busy: &mut Vec<bool>,
-                            in_service: &mut Vec<Option<Pending>>,
-                            svc: &dyn Fn(RequestKind) -> u64| {
+                        waiting: &mut VecDeque<Pending>,
+                        ems_busy: &mut Vec<bool>,
+                        in_service: &mut Vec<Option<Pending>>,
+                        svc: &dyn Fn(RequestKind) -> u64| {
             for ems_core in 0..ems_busy.len() {
                 if ems_busy[ems_core] {
                     continue;
                 }
-                let Some(job) = waiting.pop_front() else { break };
+                let Some(job) = waiting.pop_front() else {
+                    break;
+                };
                 ems_busy[ems_core] = true;
                 let service = svc(job.kind);
                 in_service[ems_core] = Some(job);
-                q.schedule_after(Cycles(service), Ev::Done { ems_core: ems_core as u32 });
+                q.schedule_after(
+                    Cycles(service),
+                    Ev::Done {
+                        ems_core: ems_core as u32,
+                    },
+                );
             }
         };
 
@@ -157,7 +170,10 @@ impl SloExperiment {
                     // The request reaches the mailbox after half the round
                     // trip; we fold the whole fixed transmission into the
                     // response latency instead (it is uncontended).
-                    waiting.push_back(Pending { kind, issued_at: now });
+                    waiting.push_back(Pending {
+                        kind,
+                        issued_at: now,
+                    });
                     // Tag which core issued so the completion can re-issue:
                     // encode by scheduling the follow-up at completion time —
                     // handled below via remaining_allocs round-robin.
@@ -174,13 +190,18 @@ impl SloExperiment {
                     // Closed loop: the issuing core sends its next request.
                     // Cores are statistically identical, so pick any core
                     // that still has allocations left.
-                    if let Some(core) =
-                        remaining_allocs.iter().position(|&r| r > 0).map(|i| i as u32)
+                    if let Some(core) = remaining_allocs
+                        .iter()
+                        .position(|&r| r > 0)
+                        .map(|i| i as u32)
                     {
                         remaining_allocs[core as usize] -= 1;
                         q.schedule_after(
                             Cycles(tx / 2),
-                            Ev::Issue { core, kind: RequestKind::Alloc2M },
+                            Ev::Issue {
+                                core,
+                                kind: RequestKind::Alloc2M,
+                            },
                         );
                     }
                     dispatch(&mut q, &mut waiting, &mut ems_busy, &mut in_service, &svc);
@@ -255,7 +276,10 @@ mod tests {
             total_allocs: 512,
             ..SloExperiment::paper(64, EmsCluster::dual_ooo())
         };
-        let meshy = SloExperiment { mesh_transmission: true, ..flat.clone() };
+        let meshy = SloExperiment {
+            mesh_transmission: true,
+            ..flat.clone()
+        };
         let f = flat.slo_curve(&[64.0])[0].1;
         let m = meshy.slo_curve(&[64.0])[0].1;
         // Larger meshes cost a bit more transmission but the resolved

@@ -39,7 +39,8 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
     }
@@ -134,9 +135,17 @@ mod tests {
 
     #[test]
     fn overhead_row_math() {
-        let row = OverheadRow { name: "x".into(), baseline: 100.0, treated: 102.0 };
+        let row = OverheadRow {
+            name: "x".into(),
+            baseline: 100.0,
+            treated: 102.0,
+        };
         assert!((row.overhead() - 0.02).abs() < 1e-12);
-        let fig12 = OverheadRow { name: "resnet".into(), baseline: 400.0, treated: 100.0 };
+        let fig12 = OverheadRow {
+            name: "resnet".into(),
+            baseline: 400.0,
+            treated: 100.0,
+        };
         assert!((fig12.speedup() - 4.0).abs() < 1e-12);
     }
 

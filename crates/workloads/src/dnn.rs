@@ -26,7 +26,10 @@ pub struct Gemmini {
 
 impl Default for Gemmini {
     fn default() -> Self {
-        Gemmini { pes: 256, utilization: 0.70 }
+        Gemmini {
+            pes: 256,
+            utilization: 0.70,
+        }
     }
 }
 
@@ -54,12 +57,36 @@ pub struct DnnModel {
 /// refs \[79\]–\[82\].
 pub fn models() -> Vec<DnnModel> {
     vec![
-        DnnModel { name: "ResNet50", macs: 2.0e9, boundary_bytes: 8.9e5 },
-        DnnModel { name: "MobileNet", macs: 5.7e8, boundary_bytes: 2.1e5 },
-        DnnModel { name: "MLP-digit", macs: 1.28e6, boundary_bytes: 5.5e3 },
-        DnnModel { name: "MLP-committee", macs: 2.10e6, boundary_bytes: 9.7e3 },
-        DnnModel { name: "MLP-denoise", macs: 3.30e6, boundary_bytes: 1.63e4 },
-        DnnModel { name: "MLP-multimodal", macs: 4.70e6, boundary_bytes: 2.48e4 },
+        DnnModel {
+            name: "ResNet50",
+            macs: 2.0e9,
+            boundary_bytes: 8.9e5,
+        },
+        DnnModel {
+            name: "MobileNet",
+            macs: 5.7e8,
+            boundary_bytes: 2.1e5,
+        },
+        DnnModel {
+            name: "MLP-digit",
+            macs: 1.28e6,
+            boundary_bytes: 5.5e3,
+        },
+        DnnModel {
+            name: "MLP-committee",
+            macs: 2.10e6,
+            boundary_bytes: 9.7e3,
+        },
+        DnnModel {
+            name: "MLP-denoise",
+            macs: 3.30e6,
+            boundary_bytes: 1.63e4,
+        },
+        DnnModel {
+            name: "MLP-multimodal",
+            macs: 4.70e6,
+            boundary_bytes: 2.48e4,
+        },
     ]
 }
 
@@ -122,7 +149,11 @@ mod tests {
         let resnet = &models()[0];
         let conv = conventional(resnet, &Gemmini::default(), &book);
         // Paper: software enc/dec ≥ 74.7% of conventional execution…
-        assert!(conv.crypto_share() > 0.747, "crypto share {:.3}", conv.crypto_share());
+        assert!(
+            conv.crypto_share() > 0.747,
+            "crypto share {:.3}",
+            conv.crypto_share()
+        );
         // …and HyperTEE achieves more than 4.0× speedup.
         let s = speedup(resnet, &book);
         assert!(s > 4.0 && s < 6.0, "ResNet50 speedup {s:.2}");
@@ -150,8 +181,7 @@ mod tests {
     fn crypto_share_rises_as_compute_shrinks() {
         // The paper's explanation: fewer layers → higher enc/dec proportion.
         let book = LatencyBook::default();
-        let resnet_share =
-            conventional(&models()[0], &Gemmini::default(), &book).crypto_share();
+        let resnet_share = conventional(&models()[0], &Gemmini::default(), &book).crypto_share();
         let mlp_share = conventional(&models()[2], &Gemmini::default(), &book).crypto_share();
         assert!(mlp_share > resnet_share);
     }

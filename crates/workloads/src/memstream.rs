@@ -74,9 +74,11 @@ mod tests {
     fn fig8b_average_overhead() {
         let book = LatencyBook::default();
         let sizes = sweep_sizes();
-        let avg =
-            sizes.iter().map(|&s| overhead(&book, s)).sum::<f64>() / sizes.len() as f64;
-        assert!((avg - 0.031).abs() < 0.005, "average {avg:.4} vs paper 3.1%");
+        let avg = sizes.iter().map(|&s| overhead(&book, s)).sum::<f64>() / sizes.len() as f64;
+        assert!(
+            (avg - 0.031).abs() < 0.005,
+            "average {avg:.4} vs paper 3.1%"
+        );
     }
 
     #[test]

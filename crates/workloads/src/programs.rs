@@ -92,7 +92,7 @@ pub fn sieve(n: u16) -> Vec<u8> {
     a.addi(5, 10, 0); // x5 = base
     a.li(6, n); // x6 = n
     a.addi(31, 0, 1); // x31 = 1
-    // Mark 2..n candidate (flag = 1).
+                      // Mark 2..n candidate (flag = 1).
     a.addi(7, 0, 2);
     let mark = a.label();
     let mark_done = a.label();
@@ -153,8 +153,7 @@ mod tests {
 
     fn run(image: &[u8], steps: u64) -> u64 {
         let mut m = Machine::boot_default();
-        let manifest =
-            EnclaveManifest::parse("heap = 2M\nstack = 64K\nhost_shared = 16K").unwrap();
+        let manifest = EnclaveManifest::parse("heap = 2M\nstack = 64K\nhost_shared = 16K").unwrap();
         let e = m.create_enclave(0, &manifest, image).unwrap();
         m.enter(0, e).unwrap();
         match m.run_enclave_program(0, steps).unwrap() {

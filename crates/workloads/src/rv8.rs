@@ -136,7 +136,9 @@ pub mod kernels {
         let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         v.sort_unstable();
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
-        v.iter().enumerate().fold(0u64, |acc, (i, x)| acc ^ x.rotate_left((i % 63) as u32))
+        v.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, x)| acc ^ x.rotate_left((i % 63) as u32))
     }
 
     /// `sha512`: a hashing stream (SHA3-256 stands in for SHA-512, which
@@ -151,7 +153,8 @@ pub mod kernels {
     }
 
     fn checksum(data: &[u8]) -> u64 {
-        data.iter().fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64))
+        data.iter()
+            .fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64))
     }
 
     fn rle_compress(data: &[u8]) -> Vec<u8> {

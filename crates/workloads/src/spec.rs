@@ -55,9 +55,15 @@ mod tests {
             .map(|p| (p.name.clone(), host_bitmap_run(p, &book).overhead()))
             .collect();
         let avg = overheads.iter().map(|(_, o)| o).sum::<f64>() / overheads.len() as f64;
-        assert!((avg - 0.019).abs() < 0.004, "average bitmap overhead {avg:.4} vs paper 1.9%");
+        assert!(
+            (avg - 0.019).abs() < 0.004,
+            "average bitmap overhead {avg:.4} vs paper 1.9%"
+        );
         let xalanc = overheads.iter().find(|(n, _)| n == "xalancbmk").unwrap().1;
-        assert!((xalanc - 0.046).abs() < 0.006, "xalancbmk {xalanc:.4} vs paper 4.6%");
+        assert!(
+            (xalanc - 0.046).abs() < 0.006,
+            "xalancbmk {xalanc:.4} vs paper 4.6%"
+        );
         // xalancbmk is the worst case, as in the paper.
         for (name, o) in &overheads {
             assert!(*o <= xalanc + 1e-12, "{name} exceeds xalancbmk");

@@ -53,7 +53,9 @@ pub fn run_session(seed: u64, records: usize, record_len: usize) -> SessionResul
     let server_ecdh = EcdhPrivate::generate(&mut rng);
     // Server signs its ephemeral key (certificate-style).
     let sig = server_identity.sign(&server_ecdh.public.to_bytes());
-    let cert_ok = server_identity.public.verify(&server_ecdh.public.to_bytes(), &sig);
+    let cert_ok = server_identity
+        .public
+        .verify(&server_ecdh.public.to_bytes(), &sig);
     // Shared keys.
     let client_key = client_ecdh.shared_key(&server_ecdh.public).expect("dh");
     let server_key = server_ecdh.shared_key(&client_ecdh.public).expect("dh");
@@ -76,7 +78,11 @@ pub fn run_session(seed: u64, records: usize, record_len: usize) -> SessionResul
         assert_eq!(sha256(&payload), plain_digest, "record roundtrip");
         transcript.extend_from_slice(&plain_digest);
     }
-    SessionResult { cert_ok, records, transcript: sha256(&transcript) }
+    SessionResult {
+        cert_ok,
+        records,
+        transcript: sha256(&transcript),
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +99,10 @@ mod tests {
         // Paper: EMEAS 15.0%, all primitives 19.9% without the engine.
         let emeas_share = nc.emeas / p.host_cycles;
         let all_share = nc.total() / p.host_cycles;
-        assert!((emeas_share - 0.150).abs() < 0.006, "emeas {emeas_share:.3}");
+        assert!(
+            (emeas_share - 0.150).abs() < 0.006,
+            "emeas {emeas_share:.3}"
+        );
         assert!((all_share - 0.199).abs() < 0.02, "all {all_share:.3}");
         // With the engine: 4.7% all, 0.19% EMEAS.
         let c = primitive_cycles(&p, &book, true);
@@ -111,6 +120,9 @@ mod tests {
     #[test]
     fn sessions_are_deterministic_per_seed() {
         assert_eq!(run_session(7, 2, 128), run_session(7, 2, 128));
-        assert_ne!(run_session(7, 2, 128).transcript, run_session(8, 2, 128).transcript);
+        assert_ne!(
+            run_session(7, 2, 128).transcript,
+            run_session(8, 2, 128).transcript
+        );
     }
 }

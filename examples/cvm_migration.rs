@@ -28,12 +28,20 @@ impl Node {
         let os = FrameAllocator::new(Ppn(256), Ppn(30000));
         let mut rng = ChaChaRng::from_u64(seed);
         let efuse = EFuse::burn(&mut rng);
-        Node { sys, hub, os, ems: Ems::new(cap, efuse, [0xDD; 32], seed) }
+        Node {
+            sys,
+            hub,
+            os,
+            ems: Ems::new(cap, efuse, [0xDD; 32], seed),
+        }
     }
 
     fn with<R>(&mut self, f: impl FnOnce(&mut Ems, &mut EmsContext<'_>) -> R) -> R {
-        let mut ctx =
-            EmsContext { sys: &mut self.sys, hub: &mut self.hub, os_frames: &mut self.os };
+        let mut ctx = EmsContext {
+            sys: &mut self.sys,
+            hub: &mut self.hub,
+            os_frames: &mut self.os,
+        };
         f(&mut self.ems, &mut ctx)
     }
 }
@@ -53,7 +61,9 @@ fn main() {
         .with(|e, c| e.cvm_create(c, &encrypted, &image_key, 16))
         .expect("deploy CVM");
     println!("deployed CVM {:?} ({} guest pages)", cvm, 16);
-    source.with(|e, c| e.cvm_write(c, cvm, 8 * 4096, b"runtime state: 42 sessions")).unwrap();
+    source
+        .with(|e, c| e.cvm_write(c, cvm, 8 * 4096, b"runtime state: 42 sessions"))
+        .unwrap();
 
     // Snapshot to (untrusted) disk: ciphertext + Merkle proofs only; the
     // key and root stay in EMS private memory.
@@ -63,7 +73,9 @@ fn main() {
         snapshot.sequence,
         snapshot.pages.len()
     );
-    source.with(|e, c| e.cvm_restore(c, &snapshot)).expect("restore");
+    source
+        .with(|e, c| e.cvm_restore(c, &snapshot))
+        .expect("restore");
     println!("restore verified every page against the EMS-held Merkle root");
 
     // Migration: ① destination publishes an attested channel offer…
@@ -81,7 +93,9 @@ fn main() {
         .expect("destination installs");
 
     let mut state = [0u8; 26];
-    destination.with(|e, c| e.cvm_read(c, new_id, 8 * 4096, &mut state)).unwrap();
+    destination
+        .with(|e, c| e.cvm_read(c, new_id, 8 * 4096, &mut state))
+        .unwrap();
     assert_eq!(&state, b"runtime state: 42 sessions");
     println!(
         "CVM now runs on the destination as {:?}; live state intact: {:?}",

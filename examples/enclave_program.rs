@@ -22,8 +22,8 @@ fn main() {
     a.ld(6, 0, 5); // x6 = count
     a.addi(7, 0, 0); // x7 = index
     a.addi(10, 0, 0); // x10 = acc
-    // Demand-paged scratch: syscall ealloc(4096), then write beyond it to
-    // force a page fault serviced by EMS.
+                      // Demand-paged scratch: syscall ealloc(4096), then write beyond it to
+                      // force a page fault serviced by EMS.
     a.addi(17, 0, 1); // ealloc syscall number
     a.addi(10, 0, 2047); // a0 ≈ one page (rounded up by EMS)
     a.ecall(); // a0 = heap va
@@ -55,14 +55,18 @@ fn main() {
     let image = a.assemble();
 
     let mut machine = Machine::boot_default();
-    let manifest =
-        EnclaveManifest::parse("heap = 1M\nstack = 64K\nhost_shared = 16K").unwrap();
+    let manifest = EnclaveManifest::parse("heap = 1M\nstack = 64K\nhost_shared = 16K").unwrap();
     let enclave = machine.create_enclave(0, &manifest, &image).unwrap();
-    println!("assembled {} bytes of RV64 code, measured into the enclave", image.len());
+    println!(
+        "assembled {} bytes of RV64 code, measured into the enclave",
+        image.len()
+    );
 
     // Host input: 5 values.
     let values = [11u64, 22, 33, 44, 40];
-    machine.host_window_write(enclave, 0, &(values.len() as u64).to_le_bytes()).unwrap();
+    machine
+        .host_window_write(enclave, 0, &(values.len() as u64).to_le_bytes())
+        .unwrap();
     for (i, v) in values.iter().enumerate() {
         machine
             .host_window_write(enclave, 8 + 8 * i as u64, &v.to_le_bytes())

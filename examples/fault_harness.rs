@@ -52,7 +52,11 @@ fn main() {
                         break;
                     }
                 }
-                tally(if destroyed { Ok(()) } else { Err("destroy kept failing".into()) });
+                tally(if destroyed {
+                    Ok(())
+                } else {
+                    Err("destroy kept failing".into())
+                });
             }
             Err(e) => tally(Err(e.to_string())),
         }
@@ -71,9 +75,7 @@ fn main() {
     );
     println!(
         "retries: {} resubmissions, {} polls; final audit OK; clock {} cycles",
-        machine.emcall.stats.resubmissions,
-        machine.emcall.stats.polls,
-        machine.clock.0
+        machine.emcall.stats.resubmissions, machine.emcall.stats.polls, machine.clock.0
     );
     machine.audit().expect("final audit");
 }

@@ -19,16 +19,21 @@ const GPU: DeviceId = DeviceId(0x47);
 
 fn main() {
     let mut machine = Machine::boot_default();
-    let manifest =
-        EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
+    let manifest = EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
 
     // ① The dedicated driver enclave owns the GPU.
-    let user = machine.create_enclave(0, &manifest, b"GPU user enclave").unwrap();
-    let driver = machine.create_enclave(1, &manifest, b"GPU driver enclave").unwrap();
+    let user = machine
+        .create_enclave(0, &manifest, b"GPU user enclave")
+        .unwrap();
+    let driver = machine
+        .create_enclave(1, &manifest, b"GPU driver enclave")
+        .unwrap();
 
     // ③ Data path: a device-shared region, IOMMU-mapped for the GPU.
     machine.enter(1, driver).unwrap();
-    let region = machine.shmget(1, 64 * 1024, ShmPerm::ReadWrite, true).unwrap();
+    let region = machine
+        .shmget(1, 64 * 1024, ShmPerm::ReadWrite, true)
+        .unwrap();
     let driver_va = machine.shmat(1, region, driver).unwrap();
     let mapped = {
         let mut ctx = hypertee_repro::ems::runtime::EmsContext {
@@ -51,7 +56,9 @@ fn main() {
     let cmd = machine.shmget(0, 4096, ShmPerm::ReadWrite, false).unwrap();
     machine.shmshr(0, cmd, driver, ShmPerm::ReadWrite).unwrap();
     let user_cmd_va = machine.shmat(0, cmd, user).unwrap();
-    machine.enclave_store(0, user_cmd_va, b"LAUNCH kernel matmul 64x64").unwrap();
+    machine
+        .enclave_store(0, user_cmd_va, b"LAUNCH kernel matmul 64x64")
+        .unwrap();
     machine.exit(0).unwrap();
 
     // Driver stages the command + input into the GPU region.
@@ -66,9 +73,17 @@ fn main() {
     // The GPU reads its command queue through IOVA 0 — translated by the
     // EMS-maintained table.
     let mut gpu_view = [0u8; 26];
-    assert!(machine.hub.dma_access_iommu(GPU, &mut machine.sys.phys, 0, DmaOp::Read(&mut gpu_view)));
+    assert!(machine.hub.dma_access_iommu(
+        GPU,
+        &mut machine.sys.phys,
+        0,
+        DmaOp::Read(&mut gpu_view)
+    ));
     assert_eq!(&gpu_view, &command);
-    println!("GPU fetched its command via IOMMU translation: {:?}", std::str::from_utf8(&gpu_view).unwrap());
+    println!(
+        "GPU fetched its command via IOMMU translation: {:?}",
+        std::str::from_utf8(&gpu_view).unwrap()
+    );
 
     // GPU writes results into the second page of the region.
     assert!(machine.hub.dma_access_iommu(
@@ -81,9 +96,19 @@ fn main() {
     // Attacks on the data path all fail:
     //  - IOVAs outside the table fault in the IOMMU;
     let mut probe = [0u8; 16];
-    assert!(!machine.hub.dma_access_iommu(GPU, &mut machine.sys.phys, 64 * PAGE_SIZE, DmaOp::Read(&mut probe)));
+    assert!(!machine.hub.dma_access_iommu(
+        GPU,
+        &mut machine.sys.phys,
+        64 * PAGE_SIZE,
+        DmaOp::Read(&mut probe)
+    ));
     //  - another device has no table at all;
-    assert!(!machine.hub.dma_access_iommu(DeviceId(0x99), &mut machine.sys.phys, 0, DmaOp::Read(&mut probe)));
+    assert!(!machine.hub.dma_access_iommu(
+        DeviceId(0x99),
+        &mut machine.sys.phys,
+        0,
+        DmaOp::Read(&mut probe)
+    ));
     //  - after EMS detaches the GPU (driver teardown), even IOVA 0 faults,
     //    including cached IOTLB entries.
     {
@@ -94,7 +119,9 @@ fn main() {
         };
         machine.ems.eshm_detach_iommu_device(&mut ctx, GPU);
     }
-    assert!(!machine.hub.dma_access_iommu(GPU, &mut machine.sys.phys, 0, DmaOp::Read(&mut probe)));
+    assert!(!machine
+        .hub
+        .dma_access_iommu(GPU, &mut machine.sys.phys, 0, DmaOp::Read(&mut probe)));
     println!("out-of-table IOVAs, foreign devices, and detached-GPU accesses all fault");
     println!("IOMMU stats: {:?}", machine.hub.iommu.stats);
 }

@@ -15,10 +15,9 @@ fn main() {
 
     // 2. The enclave configuration file declares resource requirements
     //    (§III-B) and the image is loaded + measured via ECREATE/EADD/EMEAS.
-    let manifest = EnclaveManifest::parse(
-        "name = quickstart\nheap = 8M\nstack = 128K\nhost_shared = 64K",
-    )
-    .expect("manifest parses");
+    let manifest =
+        EnclaveManifest::parse("name = quickstart\nheap = 8M\nstack = 128K\nhost_shared = 64K")
+            .expect("manifest parses");
     let image = b"quickstart enclave: sieve + sort + hash workloads";
     let enclave = machine.create_enclave(0, &manifest, image).expect("create");
     println!("created enclave {:?}", enclave);
@@ -35,19 +34,26 @@ fn main() {
         .enclave_store(0, heap, &primes.to_le_bytes())
         .expect("store result");
     let mut readback = [0u8; 8];
-    machine.enclave_load(0, heap, &mut readback).expect("load result");
+    machine
+        .enclave_load(0, heap, &mut readback)
+        .expect("load result");
     assert_eq!(u64::from_le_bytes(readback), primes);
     println!("primes(100000) = {primes} (stored and reloaded through MKTME)");
 
     // 4. Remote attestation: the quote chains enclave + platform
     //    measurements to the manufacturer EK (§VI).
-    let quote = machine.attest(0, enclave, b"verifier nonce").expect("EATTEST");
+    let quote = machine
+        .attest(0, enclave, b"verifier nonce")
+        .expect("EATTEST");
     assert!(quote.verify(&machine.ek_public()));
     println!("quote verified against the platform EK");
 
     // 5. Seal a secret to this enclave identity for persistent storage.
     let blob = machine.seal(0, b"persistent model key").expect("seal");
-    assert_eq!(machine.unseal(0, &blob).expect("unseal"), b"persistent model key");
+    assert_eq!(
+        machine.unseal(0, &blob).expect("unseal"),
+        b"persistent model key"
+    );
     println!("sealed + unsealed {} bytes", blob.len());
 
     machine.exit(0).expect("exit");

@@ -16,11 +16,14 @@ use hypertee_repro::workloads::wolfssl;
 
 fn main() {
     let mut machine = Machine::boot_default();
-    let manifest =
-        EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
+    let manifest = EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
 
-    let producer = machine.create_enclave(0, &manifest, b"data producer enclave").unwrap();
-    let consumer = machine.create_enclave(1, &manifest, b"data consumer enclave").unwrap();
+    let producer = machine
+        .create_enclave(0, &manifest, b"data producer enclave")
+        .unwrap();
+    let consumer = machine
+        .create_enclave(1, &manifest, b"data consumer enclave")
+        .unwrap();
 
     // --- Remote attestation (SIGMA, §VI) -------------------------------
     let expected_measurement = {
@@ -31,12 +34,17 @@ fn main() {
     };
     let mut user_rng = ChaChaRng::from_u64(2026);
     let (initiator, msg1) = SigmaInitiator::start(&mut user_rng);
-    let msg2 = machine.ems.sigma_respond(producer.0, &msg1).expect("platform responds");
+    let msg2 = machine
+        .ems
+        .sigma_respond(producer.0, &msg1)
+        .expect("platform responds");
     let session_key = initiator
         .finish(&msg2, &machine.ek_public(), &expected_measurement)
         .expect("remote user verifies the platform and enclave");
-    println!("remote attestation complete; session key established ({:02x}{:02x}..)",
-        session_key[0], session_key[1]);
+    println!(
+        "remote attestation complete; session key established ({:02x}{:02x}..)",
+        session_key[0], session_key[1]
+    );
 
     // --- Local attestation + shared-memory channel (§V) ----------------
     let report = machine
@@ -47,15 +55,21 @@ fn main() {
     println!("local attestation: producer verified consumer on the same platform");
 
     machine.enter(0, producer).unwrap();
-    let shmid = machine.shmget(0, 128 * 1024, ShmPerm::ReadWrite, false).unwrap();
-    machine.shmshr(0, shmid, consumer, ShmPerm::ReadOnly).unwrap();
+    let shmid = machine
+        .shmget(0, 128 * 1024, ShmPerm::ReadWrite, false)
+        .unwrap();
+    machine
+        .shmshr(0, shmid, consumer, ShmPerm::ReadOnly)
+        .unwrap();
     let tx_va = machine.shmat(0, shmid, producer).unwrap();
 
     // Producer generates a TLS-style session inside the enclave and
     // publishes the transcript digest through the channel.
     let session = wolfssl::run_session(7, 8, 1024);
     assert!(session.cert_ok);
-    machine.enclave_store(0, tx_va, &session.transcript).unwrap();
+    machine
+        .enclave_store(0, tx_va, &session.transcript)
+        .unwrap();
     machine.exit(0).unwrap();
 
     machine.enter(1, consumer).unwrap();

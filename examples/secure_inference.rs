@@ -18,12 +18,16 @@ const GEMMINI: DeviceId = DeviceId(1);
 
 fn main() {
     let mut machine = Machine::boot_default();
-    let manifest = EnclaveManifest::parse("heap = 32M\nstack = 128K\nhost_shared = 1M")
-        .expect("manifest");
+    let manifest =
+        EnclaveManifest::parse("heap = 32M\nstack = 128K\nhost_shared = 1M").expect("manifest");
 
     // The user enclave holds the model; the driver enclave owns Gemmini.
-    let user = machine.create_enclave(0, &manifest, b"DNN user enclave (model+weights)").unwrap();
-    let driver = machine.create_enclave(1, &manifest, b"Gemmini driver enclave").unwrap();
+    let user = machine
+        .create_enclave(0, &manifest, b"DNN user enclave (model+weights)")
+        .unwrap();
+    let driver = machine
+        .create_enclave(1, &manifest, b"Gemmini driver enclave")
+        .unwrap();
 
     // Local attestation before sharing (§V-A): the driver proves its
     // identity to the user enclave via the report key.
@@ -33,13 +37,18 @@ fn main() {
         machine.exit(0).unwrap();
         q.enclave_measurement
     };
-    let report = machine.ems.local_report(driver.0, &user_meas).expect("driver report");
+    let report = machine
+        .ems
+        .local_report(driver.0, &user_meas)
+        .expect("driver report");
     assert!(machine.ems.local_verify(user.0, &report).expect("verify"));
     println!("local attestation: user enclave verified the driver enclave");
 
     // User↔driver control channel: encrypted shared enclave memory.
     machine.enter(0, user).unwrap();
-    let ctrl = machine.shmget(0, 64 * 1024, ShmPerm::ReadWrite, false).unwrap();
+    let ctrl = machine
+        .shmget(0, 64 * 1024, ShmPerm::ReadWrite, false)
+        .unwrap();
     machine.shmshr(0, ctrl, driver, ShmPerm::ReadWrite).unwrap();
     let user_ctrl_va = machine.shmat(0, ctrl, user).unwrap();
 
@@ -47,7 +56,9 @@ fn main() {
     // whitelist protected — a device cannot decrypt MKTME traffic).
     machine.exit(0).unwrap();
     machine.enter(1, driver).unwrap();
-    let data = machine.shmget(1, 256 * 1024, ShmPerm::ReadWrite, true).unwrap();
+    let data = machine
+        .shmget(1, 256 * 1024, ShmPerm::ReadWrite, true)
+        .unwrap();
     let driver_data_va = machine.shmat(1, data, driver).unwrap();
     machine
         .ems
@@ -71,13 +82,19 @@ fn main() {
     machine.exit(1).unwrap();
     machine.enter(0, user).unwrap();
     let activations: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
-    machine.enclave_store(0, user_ctrl_va, &activations).unwrap();
+    machine
+        .enclave_store(0, user_ctrl_va, &activations)
+        .unwrap();
     machine.exit(0).unwrap();
 
     machine.enter(1, driver).unwrap();
-    let driver_ctrl_va = machine.shmat(1, ctrl, user).expect("driver attaches after grant");
+    let driver_ctrl_va = machine
+        .shmat(1, ctrl, user)
+        .expect("driver attaches after grant");
     let mut staged = vec![0u8; activations.len()];
-    machine.enclave_load(1, driver_ctrl_va, &mut staged).unwrap();
+    machine
+        .enclave_load(1, driver_ctrl_va, &mut staged)
+        .unwrap();
     machine.enclave_store(1, driver_data_va, &staged).unwrap();
     machine.exit(1).unwrap();
 
@@ -90,7 +107,10 @@ fn main() {
         data_frame.base(),
         DmaOp::Read(&mut device_buf),
     ));
-    assert_eq!(device_buf, activations, "accelerator sees the staged activations");
+    assert_eq!(
+        device_buf, activations,
+        "accelerator sees the staged activations"
+    );
     let result: Vec<u8> = device_buf.iter().map(|b| b.wrapping_mul(3)).collect();
     assert!(machine.hub.dma_access(
         GEMMINI,
@@ -98,7 +118,10 @@ fn main() {
         data_frame.base(),
         DmaOp::Write(&result),
     ));
-    println!("Gemmini round trip complete: {} activation bytes processed", result.len());
+    println!(
+        "Gemmini round trip complete: {} activation bytes processed",
+        result.len()
+    );
 
     // A different device gets nothing (whitelist).
     let mut probe = vec![0u8; 64];

@@ -2,8 +2,9 @@
 # Tier-1 verification: offline build, full test suite, and (when available)
 # clippy with warnings denied. Run from anywhere; operates on the repo root.
 #
-#   ./scripts/verify.sh          # build + test + clippy
+#   ./scripts/verify.sh          # fmt + build + test + smoke + clippy
 #   SKIP_CLIPPY=1 ./scripts/verify.sh
+#   SKIP_FMT=1 ./scripts/verify.sh
 #
 # Everything runs --offline: the workspace has no external registry
 # dependencies by policy (see DESIGN.md §6), so a network-less container
@@ -12,11 +13,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [ "${SKIP_FMT:-0}" != "1" ]; then
+    if cargo fmt --version >/dev/null 2>&1; then
+        echo "==> cargo fmt --check"
+        cargo fmt --all -- --check
+    else
+        echo "==> rustfmt not installed; skipping format check (set SKIP_FMT=1 to silence)"
+    fi
+fi
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline --workspace
 
 echo "==> cargo test (offline)"
 cargo test --offline --workspace -q
+
+echo "==> fig6_slo --live smoke (release, reduced workload)"
+cargo run --release --offline -p hypertee-bench --bin fig6_slo -- --live --smoke --allocs 32 \
+    > /dev/null
 
 if [ "${SKIP_CLIPPY:-0}" != "1" ]; then
     if cargo clippy --version >/dev/null 2>&1; then

@@ -9,9 +9,7 @@
 use hypertee_repro::crypto::chacha::ChaChaRng;
 use hypertee_repro::ems::scheduler::EmsScheduler;
 use hypertee_repro::fabric::ihub::IHub;
-use hypertee_repro::fabric::message::{
-    CallerIdentity, Primitive, Privilege, Request, Response,
-};
+use hypertee_repro::fabric::message::{CallerIdentity, Primitive, Privilege, Request, Response};
 use hypertee_repro::faults::{FaultConfig, FaultPlan};
 use hypertee_repro::hypertee::machine::{Machine, MachineError};
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
@@ -25,7 +23,10 @@ fn probe_request(marker: u64) -> Request {
     Request {
         req_id: 0,
         primitive: Primitive::Ealloc,
-        caller: CallerIdentity { privilege: Privilege::User, enclave: Some(EnclaveId(1)) },
+        caller: CallerIdentity {
+            privilege: Privilege::User,
+            enclave: Some(EnclaveId(1)),
+        },
         args: vec![marker],
         payload: Vec::new(),
     }
@@ -51,8 +52,9 @@ fn mailbox_ticket_binding_survives_drops_and_duplicates() {
         let (mut hub, cap) = IHub::new();
         hub.arm_faults(&plan);
 
-        let tickets: Vec<_> =
-            (0..16u64).map(|marker| (marker, hub.mailbox.submit(probe_request(marker)))).collect();
+        let tickets: Vec<_> = (0..16u64)
+            .map(|marker| (marker, hub.mailbox.submit(probe_request(marker))))
+            .collect();
         echo_service(&mut hub, &cap);
 
         for (marker, mut ticket) in tickets {
@@ -79,7 +81,10 @@ fn mailbox_ticket_binding_survives_drops_and_duplicates() {
             // this ticket's request, never a neighbour's or a stale copy.
             assert!(resp.intact(), "seed {seed}: corrupt packet delivered");
             assert_eq!(resp.req_id, resp.vals[0]);
-            assert_eq!(resp.vals[1], marker, "seed {seed}: cross-delivered response");
+            assert_eq!(
+                resp.vals[1], marker,
+                "seed {seed}: cross-delivered response"
+            );
         }
         // Quarantined duplicates of collected responses must never deliver;
         // uncollected ones may remain, but none for a collected ticket.
@@ -115,8 +120,7 @@ fn scheduler_keeps_per_caller_order_under_every_seed() {
         assert!(seen.iter().all(|&s| s), "seed {seed}: dropped request");
 
         // Requests of the same caller appear in their submission order.
-        let position_of =
-            |idx: usize| plan.iter().position(|a| a.request_index == idx).unwrap();
+        let position_of = |idx: usize| plan.iter().position(|a| a.request_index == idx).unwrap();
         for (i, caller) in callers.iter().enumerate() {
             for (j, other) in callers.iter().enumerate().skip(i + 1) {
                 if caller == other {
@@ -131,8 +135,11 @@ fn scheduler_keeps_per_caller_order_under_every_seed() {
         // Slots are dense per core (no execution gaps an attacker could
         // steer requests into).
         for core in 0..cores {
-            let mut slots: Vec<u64> =
-                plan.iter().filter(|a| a.core == core).map(|a| a.slot).collect();
+            let mut slots: Vec<u64> = plan
+                .iter()
+                .filter(|a| a.core == core)
+                .map(|a| a.slot)
+                .collect();
             slots.sort_unstable();
             for (i, s) in slots.iter().enumerate() {
                 assert_eq!(*s, i as u64, "seed {seed}: slot gap on core {core}");
@@ -148,9 +155,7 @@ fn scheduler_keeps_per_caller_order_under_every_seed() {
 /// the recovery path leaked into unrelated machinery.
 fn lifecycle_round(m: &mut Machine, image: &[u8]) -> u32 {
     let mut ok = 0u32;
-    let clean = |e: &MachineError| {
-        !matches!(e, MachineError::Gate(_) | MachineError::Boot(_))
-    };
+    let clean = |e: &MachineError| !matches!(e, MachineError::Gate(_) | MachineError::Boot(_));
     macro_rules! step {
         ($res:expr) => {{
             let r = $res;
@@ -215,10 +220,17 @@ fn seeded_campaign_recovers_with_six_distinct_fault_kinds() {
         stats.distinct_kinds(),
         stats.total()
     );
-    assert!(stats.total() >= 100, "expected a real storm, got {}", stats.total());
+    assert!(
+        stats.total() >= 100,
+        "expected a real storm, got {}",
+        stats.total()
+    );
     // Bounded retry + rollback must keep the machine productive: most
     // operations still complete despite ~10–20% per-site fault rates.
-    assert!(succeeded >= 120, "recovery too weak: only {succeeded} ops completed");
+    assert!(
+        succeeded >= 120,
+        "recovery too weak: only {succeeded} ops completed"
+    );
     m.audit().expect("final audit");
 }
 

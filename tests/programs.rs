@@ -93,7 +93,11 @@ fn heap_array_sum_with_demand_paging() {
     let (m, outcome) = run(&a.assemble(), 200_000);
     assert_eq!(exit_code(outcome), 3 * (n - 1) * n / 2);
     // Multiple demand-paging faults were serviced by EMS.
-    assert!(m.emcall.stats.to_ems >= 3, "faults routed: {}", m.emcall.stats.to_ems);
+    assert!(
+        m.emcall.stats.to_ems >= 3,
+        "faults routed: {}",
+        m.emcall.stats.to_ems
+    );
 }
 
 #[test]
@@ -157,8 +161,11 @@ fn program_checksums_host_input() {
     m.host_window_write(e, 0, &input).unwrap();
     m.enter(0, e).unwrap();
     let outcome = m.run_enclave_program(0, 10_000).unwrap();
-    let expected: u64 =
-        input.iter().enumerate().map(|(i, &b)| (b as u64) * (i as u64 + 1)).sum();
+    let expected: u64 = input
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64) * (i as u64 + 1))
+        .sum();
     assert_eq!(exit_code(outcome), expected);
 }
 
@@ -216,9 +223,18 @@ fn preemption_preserves_architectural_state() {
     let e = m.create_enclave(0, &manifest(), &image).unwrap();
     m.enter(0, e).unwrap();
     let (outcome, preemptions) = m.run_enclave_program_preemptive(0, 100_000, 7).unwrap();
-    assert!(matches!(outcome, RunOutcome::Exited { code: 832_040, .. }), "{outcome:?}");
-    assert!(preemptions > 10, "only {preemptions} preemptions at quantum 7");
-    assert!(m.emcall.stats.to_cs >= preemptions, "timer interrupts routed to CS OS");
+    assert!(
+        matches!(outcome, RunOutcome::Exited { code: 832_040, .. }),
+        "{outcome:?}"
+    );
+    assert!(
+        preemptions > 10,
+        "only {preemptions} preemptions at quantum 7"
+    );
+    assert!(
+        m.emcall.stats.to_cs >= preemptions,
+        "timer interrupts routed to CS OS"
+    );
 }
 
 #[test]
@@ -262,8 +278,13 @@ fn preemption_frequency_drives_tlb_refills() {
         let mut m = Machine::boot_default();
         let e = m.create_enclave(0, &manifest(), &build()).unwrap();
         m.enter(0, e).unwrap();
-        let (outcome, _) = m.run_enclave_program_preemptive(0, 2_000_000, quantum).unwrap();
-        assert!(matches!(outcome, RunOutcome::Exited { code: 0, .. }), "{outcome:?}");
+        let (outcome, _) = m
+            .run_enclave_program_preemptive(0, 2_000_000, quantum)
+            .unwrap();
+        assert!(
+            matches!(outcome, RunOutcome::Exited { code: 0, .. }),
+            "{outcome:?}"
+        );
         m.harts[0].mmu.tlb.stats.misses
     };
     let rare = run_with_quantum(1_000_000); // effectively unpreempted

@@ -182,8 +182,15 @@ fn pagetable_maps_are_faithful() {
         let mut alloc = FrameAllocator::new(Ppn(16), Ppn(30_000));
         let pt = PageTable::new(&mut alloc, &mut mem);
         for (&vpn, &ppn) in &entries {
-            pt.map(VirtAddr(vpn * PAGE_SIZE), Ppn(ppn), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
-                .unwrap();
+            pt.map(
+                VirtAddr(vpn * PAGE_SIZE),
+                Ppn(ppn),
+                Perms::RW,
+                KeyId::HOST,
+                &mut alloc,
+                &mut mem,
+            )
+            .unwrap();
         }
         // Every mapping translates to exactly what was installed.
         for (&vpn, &ppn) in &entries {
@@ -287,8 +294,15 @@ fn li_loads_any_constant() {
         let pt = PageTable::new(&mut frames, &mut sys.phys);
         let code = frames.alloc().unwrap();
         sys.phys.write(code.base(), &image).unwrap();
-        pt.map(VirtAddr(0x10_000), code, Perms::RX, KeyId::HOST, &mut frames, &mut sys.phys)
-            .unwrap();
+        pt.map(
+            VirtAddr(0x10_000),
+            code,
+            Perms::RX,
+            KeyId::HOST,
+            &mut frames,
+            &mut sys.phys,
+        )
+        .unwrap();
         let mut mmu = CoreMmu::new(8);
         mmu.switch_table(Some(pt), false);
         let mut cpu = Cpu::new(VirtAddr(0x10_000));

@@ -40,7 +40,12 @@ fn compromised_os_cannot_forge_enclave_identity() {
     let mut m = Machine::boot_default();
     let _e = m.create_enclave(0, &manifest(), b"victim").unwrap();
     let err = m
-        .invoke(1, hypertee_repro::fabric::message::Primitive::Ealloc, vec![1, 4096], vec![])
+        .invoke(
+            1,
+            hypertee_repro::fabric::message::Primitive::Ealloc,
+            vec![1, 4096],
+            vec![],
+        )
         .unwrap_err();
     // Blocked either at the gate (hart 1 is host user mode with no enclave
     // identity → EMS denies) — not silently executed.
@@ -82,7 +87,9 @@ fn os_mapping_of_enclave_frame_defeated_by_bitmap_and_mktme() {
     // stopped twice: the bitmap check faults the access, and even the raw
     // bytes below the engine are ciphertext.
     let mut m = Machine::boot_default();
-    let e = m.create_enclave(0, &manifest(), b"layered defence victim").unwrap();
+    let e = m
+        .create_enclave(0, &manifest(), b"layered defence victim")
+        .unwrap();
     m.enter(0, e).unwrap();
     let va = m.ealloc(0, 4096).unwrap();
     m.enclave_store(0, va, b"defense in depth").unwrap();
@@ -105,10 +112,20 @@ fn os_mapping_of_enclave_frame_defeated_by_bitmap_and_mktme() {
     // Layer 1: host mapping + access → bitmap violation.
     let attacker_va = VirtAddr(0x6100_0000);
     m.host_table
-        .map(attacker_va, frame, Perms::RW, KeyId::HOST, &mut m.os, &mut m.sys.phys)
+        .map(
+            attacker_va,
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut m.os,
+            &mut m.sys.phys,
+        )
         .unwrap();
     let mut buf = [0u8; 16];
-    let err = m.harts[1].mmu.load(&mut m.sys, attacker_va, &mut buf).unwrap_err();
+    let err = m.harts[1]
+        .mmu
+        .load(&mut m.sys, attacker_va, &mut buf)
+        .unwrap_err();
     assert!(matches!(err, MemFault::BitmapViolation { .. }));
 
     // Layer 2: raw physical bytes are ciphertext.
@@ -176,7 +193,10 @@ fn privilege_matrix_enforced_for_every_primitive() {
         m.harts[0].privilege = wrong;
         let err = m.invoke(0, prim, vec![0; 5], vec![]).unwrap_err();
         assert!(
-            matches!(err, hypertee_repro::hypertee::machine::MachineError::Gate(_)),
+            matches!(
+                err,
+                hypertee_repro::hypertee::machine::MachineError::Gate(_)
+            ),
             "{prim:?} was not gated"
         );
         m.harts[0].privilege = Privilege::User;

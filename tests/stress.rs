@@ -53,7 +53,8 @@ impl Driver {
             (0, (false, _)) => {
                 let image = format!("stress enclave {}", self.ops);
                 if let Ok(h) =
-                    self.machine.create_enclave(hart, &Self::manifest(), image.as_bytes())
+                    self.machine
+                        .create_enclave(hart, &Self::manifest(), image.as_bytes())
                 {
                     self.slots[hart].enclave = Some(h);
                 }
@@ -201,7 +202,15 @@ fn create_destroy_churn_does_not_leak() {
         m.exit(0).unwrap();
         m.destroy(0, h).unwrap();
     }
-    assert_eq!(m.sys.engine.keys_in_use(), keys_start, "KeyID leak across churn");
-    assert_eq!(m.ems.pool().used_frames(), used_start, "frame leak across churn");
+    assert_eq!(
+        m.sys.engine.keys_in_use(),
+        keys_start,
+        "KeyID leak across churn"
+    );
+    assert_eq!(
+        m.ems.pool().used_frames(),
+        used_start,
+        "frame leak across churn"
+    );
     assert_eq!(m.ems.enclave_count(), 0);
 }

@@ -26,7 +26,8 @@ fn multi_enclave_concurrent_lifecycles() {
     for (i, &h) in handles.iter().enumerate() {
         m.enter(i, h).unwrap();
         let va = m.ealloc(i, 32 * 1024).unwrap();
-        m.enclave_store(i, va, format!("tenant {i} data").as_bytes()).unwrap();
+        m.enclave_store(i, va, format!("tenant {i} data").as_bytes())
+            .unwrap();
     }
     // Reads back isolated per tenant.
     for (i, _) in handles.iter().enumerate() {
@@ -68,11 +69,13 @@ fn enclave_runs_rv8_kernels_on_enclave_memory() {
         kernels::sha512(&data, 3),
     ];
     for (i, r) in results.iter().enumerate() {
-        m.enclave_store(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &r.to_le_bytes()).unwrap();
+        m.enclave_store(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &r.to_le_bytes())
+            .unwrap();
     }
     for (i, r) in results.iter().enumerate() {
         let mut buf = [0u8; 8];
-        m.enclave_load(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &mut buf).unwrap();
+        m.enclave_load(0, VirtAddr(va.0 + 4096 + (i as u64) * 8), &mut buf)
+            .unwrap();
         assert_eq!(u64::from_le_bytes(buf), *r);
     }
 }
@@ -87,13 +90,15 @@ fn memstream_chase_in_enclave_memory() {
     let chain = memstream::build_chain(slots, 11);
     // Store the chain into enclave memory and chase it back out.
     for (i, next) in chain.iter().enumerate() {
-        m.enclave_store(0, VirtAddr(va.0 + (i as u64) * 4), &next.to_le_bytes()).unwrap();
+        m.enclave_store(0, VirtAddr(va.0 + (i as u64) * 4), &next.to_le_bytes())
+            .unwrap();
     }
     let mut cur = 0u32;
     let mut acc = 0u64;
     for _ in 0..slots {
         let mut buf = [0u8; 4];
-        m.enclave_load(0, VirtAddr(va.0 + (cur as u64) * 4), &mut buf).unwrap();
+        m.enclave_load(0, VirtAddr(va.0 + (cur as u64) * 4), &mut buf)
+            .unwrap();
         cur = u32::from_le_bytes(buf);
         acc = acc.wrapping_add(cur as u64);
     }
@@ -107,7 +112,8 @@ fn suspension_preserves_enclave_memory() {
     let e = m.create_enclave(0, &manifest(), b"suspend me").unwrap();
     m.enter(0, e).unwrap();
     let va = m.ealloc(0, 8192).unwrap();
-    m.enclave_store(0, va, b"survives keyid retirement").unwrap();
+    m.enclave_store(0, va, b"survives keyid retirement")
+        .unwrap();
     m.exit(0).unwrap();
     // EMS suspends the enclave (KeyID pressure path).
     let mut ctx = hypertee_repro::ems::runtime::EmsContext {
@@ -145,27 +151,37 @@ fn sigma_session_keys_are_fresh_per_run() {
     let ek = m.ek_public();
     let mut rng = ChaChaRng::from_u64(5);
     let (i1, msg1a) = SigmaInitiator::start(&mut rng);
-    let k1 = i1.finish(&m.ems.sigma_respond(e.0, &msg1a).unwrap(), &ek, &meas).unwrap();
+    let k1 = i1
+        .finish(&m.ems.sigma_respond(e.0, &msg1a).unwrap(), &ek, &meas)
+        .unwrap();
     let (i2, msg1b) = SigmaInitiator::start(&mut rng);
-    let k2 = i2.finish(&m.ems.sigma_respond(e.0, &msg1b).unwrap(), &ek, &meas).unwrap();
+    let k2 = i2
+        .finish(&m.ems.sigma_respond(e.0, &msg1b).unwrap(), &ek, &meas)
+        .unwrap();
     assert_ne!(k1, k2, "ephemeral ECDH must give fresh session keys");
 }
 
 #[test]
 fn sealed_data_survives_enclave_reincarnation() {
     let mut m = Machine::boot_default();
-    let e1 = m.create_enclave(0, &manifest(), b"identical image").unwrap();
+    let e1 = m
+        .create_enclave(0, &manifest(), b"identical image")
+        .unwrap();
     m.enter(0, e1).unwrap();
     let blob = m.seal(0, b"state across restarts").unwrap();
     m.exit(0).unwrap();
     m.destroy(0, e1).unwrap();
     // The same image relaunched has the same measurement → can unseal.
-    let e2 = m.create_enclave(0, &manifest(), b"identical image").unwrap();
+    let e2 = m
+        .create_enclave(0, &manifest(), b"identical image")
+        .unwrap();
     m.enter(0, e2).unwrap();
     assert_eq!(m.unseal(0, &blob).unwrap(), b"state across restarts");
     // A different image cannot.
     m.exit(0).unwrap();
-    let e3 = m.create_enclave(1, &manifest(), b"different image!").unwrap();
+    let e3 = m
+        .create_enclave(1, &manifest(), b"different image!")
+        .unwrap();
     m.enter(1, e3).unwrap();
     assert!(m.unseal(1, &blob).is_err());
 }
@@ -211,7 +227,10 @@ fn emcall_statistics_track_activity() {
     m.enter(0, e).unwrap();
     m.ealloc(0, 4096).unwrap();
     m.exit(0).unwrap();
-    assert!(m.emcall.stats.forwarded >= 6, "create(3) + enter + alloc + exit");
+    assert!(
+        m.emcall.stats.forwarded >= 6,
+        "create(3) + enter + alloc + exit"
+    );
     assert!(m.emcall.stats.context_switches >= 2);
     assert!(m.emcall.stats.tlb_flushes >= 2);
     assert_eq!(m.emcall.stats.blocked, 0);
