@@ -311,6 +311,18 @@ impl Machine {
         }
     }
 
+    /// The enclave currently entered on a hart, if any (state inspection
+    /// for external checkers such as the lockstep reference model).
+    pub fn current_enclave(&self, hart_id: usize) -> Option<u64> {
+        self.harts[hart_id].current_enclave.map(|e| e.0)
+    }
+
+    /// Read-only lifecycle snapshots of every live enclave, in id order
+    /// (forwarded from the EMS runtime for one-stop state inspection).
+    pub fn enclave_views(&self) -> Vec<hypertee_ems::runtime::EnclaveView> {
+        self.ems.enclave_views()
+    }
+
     /// The platform's endorsement public key (pinned by remote verifiers).
     pub fn ek_public(&self) -> hypertee_crypto::sig::PublicKey {
         self.ems.ek_public()

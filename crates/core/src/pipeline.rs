@@ -24,7 +24,7 @@
 use crate::machine::{Machine, MachineError, MachineResult};
 use hypertee_ems::runtime::EmsContext;
 use hypertee_ems::scheduler::{EmsScheduler, ServiceRecord};
-use hypertee_fabric::message::{Primitive, Response, Status};
+use hypertee_fabric::message::{Primitive, Privilege, Response, Status};
 use hypertee_sim::clock::Cycles;
 use hypertee_sim::config::CoreConfig;
 use std::collections::BTreeMap;
@@ -85,6 +85,10 @@ struct InFlight {
     primitive: Primitive,
     args: Vec<u64>,
     payload: Vec<u8>,
+    /// Privilege the call was gated under at first submission. Retries
+    /// must re-gate under the same privilege, not whatever mode the hart
+    /// happens to be in when the fault surfaces.
+    privilege: Privilege,
     /// Completed poll-budget cycles (mirrors `invoke`'s attempt counter).
     attempt: u32,
     /// Misses since the request was seen serviced by EMS.
@@ -212,6 +216,32 @@ impl Machine {
         self.hart_clock[hart_id]
     }
 
+    /// [`Machine::submit`] with a temporary privilege override on the hart.
+    ///
+    /// EMCall stamps the caller's identity and privilege into the request at
+    /// submission time, so the override never outlives this call — the hart
+    /// is restored before returning. Drivers that interleave OS-privileged
+    /// and user-mode primitives on the same hart (the lockstep harness, the
+    /// differential tests) use this instead of reaching into `harts`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Machine::submit`].
+    pub fn submit_as(
+        &mut self,
+        hart_id: usize,
+        privilege: hypertee_fabric::message::Privilege,
+        primitive: Primitive,
+        args: Vec<u64>,
+        payload: Vec<u8>,
+    ) -> MachineResult<PendingCall> {
+        let old = self.harts[hart_id].privilege;
+        self.harts[hart_id].privilege = privilege;
+        let out = self.submit(hart_id, primitive, args, payload);
+        self.harts[hart_id].privilege = old;
+        out
+    }
+
     /// Submits one primitive from `hart_id` into the pipeline and returns a
     /// handle. The hart may hold any number of calls in flight; responses
     /// are bound to the submitting hart through EMCall's per-hart ticket
@@ -245,6 +275,7 @@ impl Machine {
         self.pipeline.next_call += 1;
         let issued_at = self.hart_clock[hart_id];
         let arrive = issued_at + self.half_round_trip();
+        let privilege = self.harts[hart_id].privilege;
         self.pipeline.in_flight.insert(
             call.id,
             InFlight {
@@ -253,6 +284,7 @@ impl Machine {
                 primitive,
                 args,
                 payload,
+                privilege,
                 attempt: 0,
                 polls: 0,
                 age: 0,
@@ -379,14 +411,17 @@ impl Machine {
                 let round_trip = self.book.mailbox_round_trip();
                 self.charge_hart(hart_id, Cycles((round_trip + backoff).round() as u64));
                 let resubmitted = {
-                    let hart = &self.harts[hart_id];
-                    self.emcall.submit_tracked(
-                        hart,
+                    let old = self.harts[hart_id].privilege;
+                    self.harts[hart_id].privilege = inf.privilege;
+                    let result = self.emcall.submit_tracked(
+                        &self.harts[hart_id],
                         &mut self.hub,
                         inf.primitive,
                         inf.args.clone(),
                         inf.payload.clone(),
-                    )
+                    );
+                    self.harts[hart_id].privilege = old;
+                    result
                 };
                 match resubmitted {
                     Ok(req_id) => {
@@ -438,15 +473,18 @@ impl Machine {
                 // the request, its response cache replays the completion
                 // instead of re-executing the primitive.
                 let resubmitted = {
-                    let hart = &self.harts[hart_id];
-                    self.emcall.resubmit_tracked(
-                        hart,
+                    let old = self.harts[hart_id].privilege;
+                    self.harts[hart_id].privilege = inf.privilege;
+                    let result = self.emcall.resubmit_tracked(
+                        &self.harts[hart_id],
                         &mut self.hub,
                         inf.req_id,
                         inf.primitive,
                         inf.args.clone(),
                         inf.payload.clone(),
-                    )
+                    );
+                    self.harts[hart_id].privilege = old;
+                    result
                 };
                 match resubmitted {
                     Ok(()) => {

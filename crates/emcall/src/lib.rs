@@ -453,6 +453,15 @@ impl EmCall {
         self.tickets.len()
     }
 
+    /// The request ids a hart currently has in flight, in submission-id
+    /// order (observability for harnesses asserting no ticket leaks).
+    pub fn tracked_requests(&self, hart_id: u32) -> Vec<u64> {
+        self.tickets
+            .range((hart_id, 0)..=(hart_id, u64::MAX))
+            .map(|((_, req_id), _)| *req_id)
+            .collect()
+    }
+
     /// Atomically switches a hart into a *fresh* enclave context: saves the
     /// host table, loads the enclave satp + IS_ENCLAVE, zeroes the register
     /// bank, sets PC to the entry point, and flushes the TLB. The response

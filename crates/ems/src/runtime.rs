@@ -55,6 +55,31 @@ pub struct EmsStats {
     pub keyid_suspensions: u64,
 }
 
+/// A read-only snapshot of one enclave's control state, exposed for external
+/// checkers (the `hypertee-model` lockstep harness) without handing out the
+/// control structure itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveView {
+    /// Enclave id.
+    pub eid: u64,
+    /// Lifecycle state.
+    pub state: EnclaveState,
+    /// Whether a memory-encryption KeyID is currently programmed.
+    pub has_key: bool,
+    /// Finalised measurement digest (`None` while still building).
+    pub measurement: Option<[u8; 32]>,
+    /// Heap bump-allocation cursor (virtual address).
+    pub heap_cursor: u64,
+    /// Private data frames currently owned (image + stack + live heap).
+    pub data_frames: usize,
+    /// Page-table frames currently owned.
+    pub pt_frames: usize,
+    /// Context-switch count.
+    pub switches: u64,
+    /// Whether the enclave is poisoned (only EDESTROY accepted).
+    pub poisoned: bool,
+}
+
 /// A pre-staged batch of frames implementing [`FrameSource`], so page-table
 /// construction can draw frames without re-entering the pool mid-walk.
 pub(crate) struct StagedFrames {
@@ -240,6 +265,32 @@ impl Ems {
     /// The memory pool (read access for benches/tests).
     pub fn pool(&self) -> &MemPool {
         &self.pool
+    }
+
+    /// Read-only snapshot of one enclave's control state, or `None` for
+    /// unknown ids. This is the lifecycle-observability surface the lockstep
+    /// reference model (`hypertee-model`) diffs against after every
+    /// completion.
+    pub fn enclave_view(&self, eid: u64) -> Option<EnclaveView> {
+        self.enclaves.get(&eid).map(|e| EnclaveView {
+            eid,
+            state: e.state,
+            has_key: e.key.is_some(),
+            measurement: e.measurement.digest(),
+            heap_cursor: e.heap_cursor.0,
+            data_frames: e.data_frames.len(),
+            pt_frames: e.pt_frames.len(),
+            switches: e.switches,
+            poisoned: self.poisoned.contains(&eid),
+        })
+    }
+
+    /// Snapshots of every live enclave, in id order.
+    pub fn enclave_views(&self) -> Vec<EnclaveView> {
+        self.enclaves
+            .keys()
+            .filter_map(|&eid| self.enclave_view(eid))
+            .collect()
     }
 
     pub(crate) fn fresh_eid(&mut self) -> EnclaveId {

@@ -5,7 +5,7 @@
 //! table. A fault injected between two of those mutations would leave them
 //! disagreeing, so each primitive threads a [`Txn`]: a step counter (the
 //! injection point for mid-primitive aborts) plus an undo log replayed in
-//! reverse by [`Ems::rollback`] when the primitive cannot complete.
+//! reverse by `Ems::rollback` when the primitive cannot complete.
 //!
 //! The undo log records *semantic inverses*, not byte snapshots: a frame
 //! taken from the pool is given back, a claimed page is released, a mapped

@@ -152,6 +152,28 @@ impl FaultConfig {
         }
     }
 
+    /// A campaign tuned for lockstep model checking: loss/duplication/
+    /// corruption rates are kept low enough that the bounded retry machinery
+    /// recovers essentially every request (surfaced `Timeout`s would force
+    /// the reference model to mark state unknown), while rollback-exercising
+    /// aborts and clean transient errors stay frequent enough to matter.
+    pub fn model_campaign() -> FaultConfig {
+        FaultConfig {
+            drop_request_pm: 15,
+            drop_response_pm: 15,
+            duplicate_response_pm: 20,
+            delay_response_pm: 30,
+            corrupt_response_pm: 15,
+            ring_stall_pm: 30,
+            dma_flap_pm: 0,
+            abort_pm: 40,
+            abort_step_max: 6,
+            exhausted_pm: 25,
+            ems_stall_pm: 30,
+            delay_polls_max: 6,
+        }
+    }
+
     /// A heavy campaign: ~10–20% rates; expect visible retries and some
     /// clean `Status` errors surfacing to callers.
     pub fn heavy() -> FaultConfig {

@@ -120,6 +120,13 @@ impl Tlb {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Iterates over the resident entries without disturbing hit/miss stats
+    /// (observability for external coherence checkers; [`Tlb::lookup`]
+    /// counts every probe as a hit or miss).
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.entries.iter()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! Short fixed-seed lockstep model-checking campaign, used as the
+//! release-mode smoke inside `scripts/verify.sh` and as a quick demo of
+//! the differential harness (DESIGN.md §9).
+//!
+//! Runs two 200-command multi-hart campaigns against the reference model —
+//! one calm, one under a fault storm — and exits non-zero on the first
+//! divergence.
+
+use hypertee_repro::faults::FaultConfig;
+use hypertee_repro::model::{generate, run_campaign, Campaign};
+
+fn main() {
+    let seed = 0x600d_5eed;
+    let commands = generate(seed, 200, 4);
+
+    println!("lockstep smoke: 200 commands, 4 harts, seed {seed:#x}");
+    let calm = run_campaign(&Campaign::new(seed), &commands);
+    report("calm", &calm);
+
+    let stormy = run_campaign(
+        &Campaign {
+            faults: Some(FaultConfig::model_campaign()),
+            ..Campaign::new(seed)
+        },
+        &commands,
+    );
+    report("faulted", &stormy);
+
+    if calm.divergence.is_some() || stormy.divergence.is_some() {
+        std::process::exit(1);
+    }
+    println!("model smoke OK");
+}
+
+fn report(label: &str, outcome: &hypertee_repro::model::CampaignOutcome) {
+    println!(
+        "  {label}: {} executed, {} completions ({} ok / {} rejected), \
+         {} checkpoints, {} timeouts, {} faults injected",
+        outcome.executed,
+        outcome.completions,
+        outcome.ok_responses,
+        outcome.rejections,
+        outcome.checkpoints,
+        outcome.timeouts,
+        outcome.faults_injected,
+    );
+    match &outcome.divergence {
+        None => println!("  {label}: no divergence"),
+        Some(d) => println!("  {label}: DIVERGENCE — {d}"),
+    }
+}

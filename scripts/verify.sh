@@ -32,6 +32,12 @@ echo "==> fig6_slo --live smoke (release, reduced workload)"
 cargo run --release --offline -p hypertee-bench --bin fig6_slo -- --live --smoke --allocs 32 \
     > /dev/null
 
+echo "==> lockstep model-check smoke (release, fixed seed)"
+cargo run --release --offline --example model_smoke
+
+echo "==> cargo doc --no-deps (warnings denied, offline)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 if [ "${SKIP_CLIPPY:-0}" != "1" ]; then
     if cargo clippy --version >/dev/null 2>&1; then
         echo "==> cargo clippy -D warnings (offline)"

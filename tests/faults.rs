@@ -15,6 +15,25 @@ use hypertee_repro::hypertee::machine::{Machine, MachineError};
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
 use hypertee_repro::mem::ownership::EnclaveId;
 
+/// Prints the active seed and a one-line repro command when the enclosing
+/// test panics, so a failing campaign is reproducible straight from the
+/// CI log.
+struct SeedReporter {
+    seed: u64,
+    test: &'static str,
+}
+
+impl Drop for SeedReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "seed {:#x} failed; repro: cargo test --test faults {} -- --nocapture",
+                self.seed, self.test
+            );
+        }
+    }
+}
+
 fn manifest() -> EnclaveManifest {
     EnclaveManifest::parse("heap = 4M\nstack = 32K\nhost_shared = 16K").unwrap()
 }
@@ -48,6 +67,10 @@ fn echo_service(hub: &mut IHub, cap: &hypertee_repro::fabric::ihub::EmsCapabilit
 #[test]
 fn mailbox_ticket_binding_survives_drops_and_duplicates() {
     for seed in 0..24u64 {
+        let _guard = SeedReporter {
+            seed,
+            test: "mailbox_ticket_binding_survives_drops_and_duplicates",
+        };
         let plan = FaultPlan::new(seed, FaultConfig::heavy());
         let (mut hub, cap) = IHub::new();
         hub.arm_faults(&plan);
@@ -99,6 +122,10 @@ fn mailbox_ticket_binding_survives_drops_and_duplicates() {
 #[test]
 fn scheduler_keeps_per_caller_order_under_every_seed() {
     for seed in 0..100u64 {
+        let _guard = SeedReporter {
+            seed,
+            test: "scheduler_keeps_per_caller_order_under_every_seed",
+        };
         let mut rng = ChaChaRng::from_u64(0x5c4e_d000 + seed);
         let len = (1 + rng.gen_range(24)) as usize;
         let callers: Vec<Option<EnclaveId>> = (0..len)
@@ -203,6 +230,10 @@ fn lifecycle_round(m: &mut Machine, image: &[u8]) -> u32 {
 /// fault kinds actually fired.
 #[test]
 fn seeded_campaign_recovers_with_six_distinct_fault_kinds() {
+    let _guard = SeedReporter {
+        seed: 0x0bad_f175,
+        test: "seeded_campaign_recovers_with_six_distinct_fault_kinds",
+    };
     let plan = FaultPlan::new(0x0bad_f175, FaultConfig::heavy());
     let mut m = Machine::boot_default();
     m.arm_faults(&plan);
@@ -238,6 +269,10 @@ fn seeded_campaign_recovers_with_six_distinct_fault_kinds() {
 /// injections during EALLOC / EWB / EDESTROY traffic.
 #[test]
 fn audit_holds_after_a_thousand_injections() {
+    let _guard = SeedReporter {
+        seed: 0xa0d1_7000,
+        test: "audit_holds_after_a_thousand_injections",
+    };
     let plan = FaultPlan::new(0xa0d1_7000, FaultConfig::heavy());
     let mut m = Machine::boot_default();
     m.arm_faults(&plan);

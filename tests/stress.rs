@@ -10,6 +10,24 @@ use hypertee_repro::hypertee::manifest::EnclaveManifest;
 use hypertee_repro::hypertee::sdk::ShmPerm;
 use hypertee_repro::mem::addr::VirtAddr;
 
+/// Prints the active seed and a one-line repro command when the enclosing
+/// test panics, so a failing storm is reproducible straight from the log.
+struct SeedReporter {
+    seed: u64,
+    test: &'static str,
+}
+
+impl Drop for SeedReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "seed {:#x} failed; repro: cargo test --test stress {} -- --nocapture",
+                self.seed, self.test
+            );
+        }
+    }
+}
+
 struct Driver {
     machine: Machine,
     rng: ChaChaRng,
@@ -174,6 +192,10 @@ impl Driver {
 #[test]
 fn random_operation_storm() {
     for seed in [1u64, 2, 3] {
+        let _guard = SeedReporter {
+            seed,
+            test: "random_operation_storm",
+        };
         let mut driver = Driver::new(seed);
         for i in 0..300 {
             driver.step();
