@@ -1,0 +1,370 @@
+//! Tracked perf pipeline: runs the crypto/MKTME/PTW microbenches plus
+//! memstream + wolfSSL workload passes and emits the schema-stable
+//! `BENCH_perf.json` (see `hypertee_bench::report`).
+//!
+//! Every kernel with a pre-optimization reference path (`*_ref`) is
+//! measured against it in the same run, so the recorded `speedup` is a
+//! like-for-like before/after delta on the same host.
+//!
+//! ```text
+//! bench_report [--smoke] [--out PATH]   # run + emit (default BENCH_perf.json)
+//! bench_report --check PATH             # validate an existing report
+//! ```
+
+use std::hint::black_box;
+use std::process::ExitCode;
+
+use hypertee_bench::microbench::bench;
+use hypertee_bench::report::{validate, PerfBench, PerfReport};
+use hypertee_crypto::aes::{ctr_iv, Aes128};
+use hypertee_crypto::mac::{mac28_lines, mac28_ref};
+use hypertee_crypto::sha3::{keccakf, keccakf_ref, sha3_256_ref, Sha3_256};
+use hypertee_mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
+use hypertee_mem::mktme::MktmeEngine;
+use hypertee_mem::pagetable::{PageTable, Perms};
+use hypertee_mem::phys::{FrameAllocator, PhysMemory};
+use hypertee_mem::system::{CoreMmu, MemorySystem};
+use hypertee_workloads::{memstream, wolfssl};
+
+/// KeyID used for the encrypted benchmark regions.
+const BENCH_KEY: KeyId = KeyId(2);
+
+struct Config {
+    smoke: bool,
+    out: String,
+}
+
+fn iters(cfg: &Config, full: u32, smoke: u32) -> u32 {
+    if cfg.smoke {
+        smoke
+    } else {
+        full
+    }
+}
+
+fn crypto_benches(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Keccak-f[1600]: the unrolled permutation vs the scalar loop nest.
+    let n = iters(cfg, 8_000, 500);
+    let mut st = [0x5a5a_5a5a_u64.wrapping_mul(7); 25];
+    let opt = bench("keccak_f1600", n, 200, || {
+        keccakf(black_box(&mut st));
+    });
+    let mut st = [0x5a5a_5a5a_u64.wrapping_mul(7); 25];
+    let base = bench("keccak_f1600_ref", n, 200, || {
+        keccakf_ref(black_box(&mut st));
+    });
+    rows.push(PerfBench::from_timings(
+        "keccak_f1600",
+        opt.ns_per_iter,
+        200,
+        Some(base.ns_per_iter),
+    ));
+
+    // SHA3-256 over 1 KiB.
+    let n = iters(cfg, 2_000, 100);
+    let data = vec![0xabu8; 1024];
+    let opt = bench("sha3_256_1k", n, 1024, || {
+        let mut h = Sha3_256::new();
+        h.update(black_box(&data));
+        black_box(h.finalize());
+    });
+    let base = bench("sha3_256_1k_ref", n, 1024, || {
+        black_box(sha3_256_ref(black_box(&data)));
+    });
+    rows.push(PerfBench::from_timings(
+        "sha3_256_1k",
+        opt.ns_per_iter,
+        1024,
+        Some(base.ns_per_iter),
+    ));
+
+    // The 28-bit line MAC of §IV-C, measured as the data plane consumes
+    // it: eight consecutive 64-byte lines per operation (a 4 KiB page is
+    // eight such batches). The optimized side is one lane-sliced
+    // `mac28_lines` call; the reference side computes the same eight tags
+    // sequentially with the seed hasher. Reported per line (ns ÷ 8).
+    let n = iters(cfg, 2_000, 150);
+    let key = [7u8; 32];
+    let mut lines = [0u8; 512];
+    for (i, b) in lines.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(0x3c);
+    }
+    let opt = bench("sha3_mac28_line_x8", n, 512, || {
+        black_box(mac28_lines(black_box(&key), 0x8000, black_box(&lines)));
+    });
+    let base = bench("sha3_mac28_line_x8_ref", n, 512, || {
+        for i in 0..8u64 {
+            let line: &[u8; 64] = lines[64 * i as usize..64 * i as usize + 64]
+                .try_into()
+                .expect("64 bytes");
+            black_box(mac28_ref(black_box(&key), 0x8000 + 64 * i, black_box(line)));
+        }
+    });
+    rows.push(PerfBench::from_timings(
+        "sha3_mac28_line",
+        opt.ns_per_iter / 8.0,
+        64,
+        Some(base.ns_per_iter / 8.0),
+    ));
+
+    // AES-128 CTR over 4 KiB: AES-NI (T-table fallback) vs the scalar seed.
+    let n = iters(cfg, 500, 50);
+    let cipher = Aes128::new(&[0x42; 16]);
+    let iv = ctr_iv(0x1000, 0xdead_beef);
+    let mut buf = vec![0x11u8; 4096];
+    let opt = bench("aes128_ctr_4k", n, 4096, || {
+        cipher.ctr_apply(black_box(&iv), black_box(&mut buf));
+    });
+    let base = bench("aes128_ctr_4k_ref", n, 4096, || {
+        cipher.ctr_apply_ref(black_box(&iv), black_box(&mut buf));
+    });
+    rows.push(PerfBench::from_timings(
+        "aes128_ctr_4k",
+        opt.ns_per_iter,
+        4096,
+        Some(base.ns_per_iter),
+    ));
+}
+
+fn mktme_bench(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Encrypted + MAC-verified 4 KiB write/read roundtrip through the
+    // engine, against the seed's per-line scalar path.
+    let n = iters(cfg, 50, 10);
+    let data = vec![0x77u8; 4096];
+    let mut back = vec![0u8; 4096];
+    let pa = PhysAddr(0x10_000);
+
+    let mut engine = MktmeEngine::new(true);
+    engine.program_key(BENCH_KEY, &[1; 16], &[2; 32]);
+    let mut mem = PhysMemory::new(16 << 20);
+    let opt = bench("mktme_roundtrip_4k", n, 8192, || {
+        engine
+            .write(&mut mem, pa, BENCH_KEY, black_box(&data))
+            .expect("bench write");
+        engine
+            .read(&mut mem, pa, BENCH_KEY, black_box(&mut back))
+            .expect("bench read");
+    });
+
+    let mut engine = MktmeEngine::new(true);
+    engine.program_key(BENCH_KEY, &[1; 16], &[2; 32]);
+    let mut mem = PhysMemory::new(16 << 20);
+    let base = bench("mktme_roundtrip_4k_ref", n, 8192, || {
+        engine
+            .write_ref(&mut mem, pa, BENCH_KEY, black_box(&data))
+            .expect("bench write_ref");
+        engine
+            .read_ref(&mut mem, pa, BENCH_KEY, black_box(&mut back))
+            .expect("bench read_ref");
+    });
+    assert_eq!(back, data, "roundtrip must return the plaintext");
+    rows.push(PerfBench::from_timings(
+        "mktme_roundtrip_4k",
+        opt.ns_per_iter,
+        8192,
+        Some(base.ns_per_iter),
+    ));
+}
+
+fn ptw_bench(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Translate 8 pages with the TLB flushed per pass: warm walk cache vs
+    // fully cold walks (the pre-PR behaviour, where every walk read all
+    // three levels).
+    let n = iters(cfg, 2_000, 50);
+    let pages = 8u64;
+    let mut sys = MemorySystem::new(64 << 20, PhysAddr(0x4000));
+    let mut alloc = FrameAllocator::new(Ppn(64), Ppn(16000));
+    let pt = PageTable::new(&mut alloc, &mut sys.phys);
+    let base_va = VirtAddr(0x40_0000);
+    for i in 0..pages {
+        let frame = alloc.alloc().expect("bench frame");
+        pt.map(
+            VirtAddr(base_va.0 + i * PAGE_SIZE),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .expect("bench map");
+    }
+    let mut mmu = CoreMmu::new(32);
+    mmu.switch_table(Some(pt), false);
+
+    let opt = bench("ptw_translate_walk", n, 0, || {
+        mmu.tlb.flush_all(); // force walks, keep the walk cache warm
+        for i in 0..pages {
+            black_box(
+                mmu.load_u64(&mut sys, VirtAddr(base_va.0 + i * PAGE_SIZE))
+                    .expect("bench walk"),
+            );
+        }
+    });
+    let base = bench("ptw_translate_walk_cold", n, 0, || {
+        mmu.flush_translations(); // every walk reads all three levels
+        for i in 0..pages {
+            black_box(
+                mmu.load_u64(&mut sys, VirtAddr(base_va.0 + i * PAGE_SIZE))
+                    .expect("bench walk"),
+            );
+        }
+    });
+    rows.push(PerfBench::from_timings(
+        "ptw_translate_walk",
+        opt.ns_per_iter / pages as f64,
+        0,
+        Some(base.ns_per_iter / pages as f64),
+    ));
+}
+
+fn memstream_pass(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Pointer-chase through encrypted enclave memory: the full
+    // TLB → PTW → MKTME data plane per step. No reference variant — the
+    // whole stack is the subject, and its trajectory is the tracked value.
+    let slots = 4096usize; // 32 KiB of u64 slots = 8 pages
+    let steps = 2048usize;
+    let n = iters(cfg, 10, 3);
+    let chain = memstream::build_chain(slots, 0xfeed_5eed);
+
+    let mut sys = MemorySystem::new(64 << 20, PhysAddr(0x4000));
+    sys.engine.program_key(BENCH_KEY, &[3; 16], &[4; 32]);
+    let mut alloc = FrameAllocator::new(Ppn(64), Ppn(16000));
+    let pt = PageTable::new(&mut alloc, &mut sys.phys);
+    let base_va = VirtAddr(0x80_0000);
+    for i in 0..(slots as u64 * 8 / PAGE_SIZE) {
+        let frame = alloc.alloc().expect("bench frame");
+        sys.bitmap.set(frame, true, &mut sys.phys).expect("bitmap");
+        pt.map(
+            VirtAddr(base_va.0 + i * PAGE_SIZE),
+            frame,
+            Perms::RW,
+            BENCH_KEY,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .expect("bench map");
+    }
+    let mut mmu = CoreMmu::new(32);
+    mmu.switch_table(Some(pt), true);
+    for (i, &next) in chain.iter().enumerate() {
+        mmu.store_u64(
+            &mut sys,
+            VirtAddr(base_va.0 + i as u64 * 8),
+            u64::from(next),
+        )
+        .expect("seed chain");
+    }
+
+    let r = bench("memstream_pass", n, steps as u64 * 8, || {
+        let mut idx = 0u64;
+        for _ in 0..steps {
+            idx = mmu
+                .load_u64(&mut sys, VirtAddr(base_va.0 + idx * 8))
+                .expect("chase");
+        }
+        black_box(idx);
+    });
+    rows.push(PerfBench::from_timings(
+        "memstream_pass",
+        r.ns_per_iter,
+        steps as u64 * 8,
+        None,
+    ));
+}
+
+fn wolfssl_pass(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Full TLS-style session: handshake + 4 encrypted 1 KiB records. The
+    // AES-CTR record path rides the optimized kernels.
+    let records = 4usize;
+    let record_len = 1024usize;
+    let n = iters(cfg, 10, 3);
+    let r = bench("wolfssl_pass", n, (records * record_len) as u64, || {
+        let s = wolfssl::run_session(0x5e55_10eb, records, record_len);
+        assert!(s.cert_ok, "handshake must verify");
+        black_box(s.transcript);
+    });
+    rows.push(PerfBench::from_timings(
+        "wolfssl_pass",
+        r.ns_per_iter,
+        (records * record_len) as u64,
+        None,
+    ));
+}
+
+fn run(cfg: &Config) -> Result<(), String> {
+    let mut rows = Vec::new();
+    crypto_benches(cfg, &mut rows);
+    mktme_bench(cfg, &mut rows);
+    ptw_bench(cfg, &mut rows);
+    memstream_pass(cfg, &mut rows);
+    wolfssl_pass(cfg, &mut rows);
+
+    let report = PerfReport {
+        mode: if cfg.smoke { "smoke" } else { "full" }.to_string(),
+        benches: rows,
+    };
+    let json = report.to_json();
+    validate(&json).map_err(|e| format!("emitted report failed validation: {e}"))?;
+    std::fs::write(&cfg.out, &json).map_err(|e| format!("writing {}: {e}", cfg.out))?;
+
+    println!("\nwrote {} ({} benches)", cfg.out, report.benches.len());
+    for b in &report.benches {
+        if let Some(s) = b.speedup {
+            println!("  {:24} {s:>6.2}x vs reference", b.name);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config {
+        smoke: false,
+        out: "BENCH_perf.json".to_string(),
+    };
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                cfg.out = args[i].clone();
+            }
+            "--check" if i + 1 < args.len() => {
+                i += 1;
+                check = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: bench_report [--smoke] [--out PATH] | --check PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        return match std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| validate(&text))
+        {
+            Ok(()) => {
+                println!("{path}: valid BENCH_perf schema");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_report failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

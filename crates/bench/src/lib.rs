@@ -22,6 +22,7 @@
 
 pub mod ablation;
 pub mod microbench;
+pub mod report;
 
 use hypertee::attacks::{self, AttackReport};
 use hypertee::baselines::{table6_policies, Defense};

@@ -1,0 +1,491 @@
+//! The tracked performance report (`BENCH_perf.json`).
+//!
+//! The workspace builds offline with no registry deps, so both the JSON
+//! emitter and the validator are hand-rolled here. The schema is stable:
+//! bumping [`SCHEMA_VERSION`] is a breaking change and must be called out
+//! in EXPERIMENTS.md.
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "suite": "hypertee-perf",
+//!   "mode": "full" | "smoke",
+//!   "benches": [
+//!     { "name": "...", "ns_per_op": 123.4, "gb_per_sec": 1.2|null,
+//!       "baseline_ns_per_op": 456.7|null, "speedup": 3.7|null }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! `baseline_ns_per_op` is the pre-optimization reference path (`*_ref`)
+//! measured in the same run on the same host, so `speedup` is a
+//! like-for-like before/after delta rather than a cross-machine comparison.
+
+/// Version of the emitted JSON schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Suite identifier baked into every report.
+pub const SUITE: &str = "hypertee-perf";
+
+/// One benchmark row of the report.
+#[derive(Debug, Clone)]
+pub struct PerfBench {
+    /// Stable benchmark identifier.
+    pub name: String,
+    /// Optimized-path median time per operation.
+    pub ns_per_op: f64,
+    /// Optimized-path throughput, when a byte count is meaningful.
+    pub gb_per_sec: Option<f64>,
+    /// Reference-path (`*_ref`) time per operation, when one exists.
+    pub baseline_ns_per_op: Option<f64>,
+    /// `baseline_ns_per_op / ns_per_op`.
+    pub speedup: Option<f64>,
+}
+
+impl PerfBench {
+    /// Builds a row from optimized/baseline timings and an optional byte
+    /// count per operation.
+    pub fn from_timings(
+        name: &str,
+        ns_per_op: f64,
+        bytes_per_op: u64,
+        baseline_ns_per_op: Option<f64>,
+    ) -> Self {
+        let gb_per_sec =
+            (bytes_per_op > 0 && ns_per_op > 0.0).then(|| bytes_per_op as f64 / ns_per_op);
+        let speedup = baseline_ns_per_op
+            .filter(|_| ns_per_op > 0.0)
+            .map(|b| b / ns_per_op);
+        PerfBench {
+            name: name.to_string(),
+            ns_per_op,
+            gb_per_sec,
+            baseline_ns_per_op,
+            speedup,
+        }
+    }
+}
+
+/// A full report, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// `"full"` for the committed trajectory, `"smoke"` for the CI gate.
+    pub mode: String,
+    /// Benchmark rows.
+    pub benches: Vec<PerfBench>,
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // All emitted numbers must round-trip as finite JSON numbers.
+    assert!(v.is_finite(), "refusing to emit non-finite number {v}");
+    out.push_str(&format!("{v:.4}"));
+}
+
+fn push_opt(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl PerfReport {
+    /// Serializes the report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"suite\": \"{SUITE}\",\n"));
+        out.push_str("  \"mode\": ");
+        push_str(&mut out, &self.mode);
+        out.push_str(",\n  \"benches\": [\n");
+        for (i, b) in self.benches.iter().enumerate() {
+            out.push_str("    { \"name\": ");
+            push_str(&mut out, &b.name);
+            out.push_str(", \"ns_per_op\": ");
+            push_f64(&mut out, b.ns_per_op);
+            out.push_str(", \"gb_per_sec\": ");
+            push_opt(&mut out, b.gb_per_sec);
+            out.push_str(", \"baseline_ns_per_op\": ");
+            push_opt(&mut out, b.baseline_ns_per_op);
+            out.push_str(", \"speedup\": ");
+            push_opt(&mut out, b.speedup);
+            out.push_str(" }");
+            if i + 1 < self.benches.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A parsed JSON value (the minimal model the validator needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key when `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, when `self` is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point".to_string())?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                other => s.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.expect(b'{')?;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        other => {
+                            return Err(format!("expected ',' or '}}', got '{}'", other as char))
+                        }
+                    }
+                }
+            }
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => {
+                            return Err(format!("expected ',' or ']', got '{}'", other as char))
+                        }
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn check_finite(row: &Json, key: &str, required: bool) -> Result<(), String> {
+    match row.get(key) {
+        Some(Json::Num(v)) if v.is_finite() => Ok(()),
+        Some(Json::Num(v)) => Err(format!("'{key}' is not finite: {v}")),
+        Some(Json::Null) if !required => Ok(()),
+        Some(_) => Err(format!("'{key}' has the wrong type")),
+        None => Err(format!("missing key '{key}'")),
+    }
+}
+
+/// Validates a `BENCH_perf.json` document: schema version, required keys,
+/// and number finiteness. This is the gate `scripts/verify.sh` runs against
+/// the smoke report.
+///
+/// # Errors
+///
+/// A description of the first schema violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    match root.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+        None => return Err("missing schema_version".to_string()),
+    }
+    if root.get("suite").and_then(Json::as_str) != Some(SUITE) {
+        return Err(format!("suite must be \"{SUITE}\""));
+    }
+    match root.get("mode").and_then(Json::as_str) {
+        Some("full") | Some("smoke") => {}
+        _ => return Err("mode must be \"full\" or \"smoke\"".to_string()),
+    }
+    let benches = match root.get("benches") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        Some(Json::Arr(_)) => return Err("benches array is empty".to_string()),
+        _ => return Err("missing benches array".to_string()),
+    };
+    for (i, row) in benches.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("bench {i}: missing name"))?;
+        for (key, required) in [
+            ("ns_per_op", true),
+            ("gb_per_sec", false),
+            ("baseline_ns_per_op", false),
+            ("speedup", false),
+        ] {
+            check_finite(row, key, required).map_err(|e| format!("bench '{name}': {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            mode: "smoke".to_string(),
+            benches: vec![
+                PerfBench::from_timings("aes", 10.0, 4096, Some(40.0)),
+                PerfBench::from_timings("walk", 25.0, 0, None),
+            ],
+        }
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let json = sample().to_json();
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn speedup_and_throughput_derived() {
+        let b = PerfBench::from_timings("x", 10.0, 4096, Some(40.0));
+        assert!((b.speedup.unwrap() - 4.0).abs() < 1e-9);
+        // 4096 bytes / 10 ns = 409.6 GB/s.
+        assert!((b.gb_per_sec.unwrap() - 409.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_roundtrips_values() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "s\n", true, null]}"#).unwrap();
+        let arr = match v.get("a") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("bad parse: {other:?}"),
+        };
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-25.0));
+        assert_eq!(arr[2], Json::Str("s\n".to_string()));
+        assert_eq!(arr[3], Json::Bool(true));
+        assert_eq!(arr[4], Json::Null);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let mut r = sample();
+        r.mode = "other".to_string();
+        assert!(validate(&r.to_json()).is_err());
+        // Missing benches.
+        let empty = PerfReport {
+            mode: "full".to_string(),
+            benches: vec![],
+        };
+        assert!(validate(&empty.to_json()).is_err());
+        // Wrong schema version.
+        let json = sample().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
+        assert!(validate(&json).is_err());
+        // Non-finite number smuggled in.
+        let json = sample()
+            .to_json()
+            .replace("\"ns_per_op\": 10.0000", "\"ns_per_op\": 1e999");
+        assert!(validate(&json).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn emitter_refuses_nan() {
+        let r = PerfReport {
+            mode: "full".to_string(),
+            benches: vec![PerfBench {
+                name: "bad".to_string(),
+                ns_per_op: f64::NAN,
+                gb_per_sec: None,
+                baseline_ns_per_op: None,
+                speedup: None,
+            }],
+        };
+        let _ = r.to_json();
+    }
+}

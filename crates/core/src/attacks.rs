@@ -175,8 +175,9 @@ pub fn page_table_channel_insecure(machine: &mut Machine, secret: &[bool]) -> At
                 &mut machine.sys.phys,
             )
             .expect("attacker clears A/D");
-        // Also flush the victim's TLB (the OS can shoot it down).
-        machine.harts[0].mmu.tlb.flush_all();
+        // Also flush the victim's cached translations (the OS can shoot
+        // down the TLB; the walk cache goes with it).
+        machine.harts[0].mmu.flush_translations();
         if bit {
             machine
                 .vm_store(0, VirtAddr(base_va.0 + i as u64 * PAGE_SIZE), &[1])

@@ -75,6 +75,14 @@ pub struct PipelineStats {
     pub timeouts: u64,
     /// Stale duplicate responses currently quarantined in the mailbox.
     pub stale_duplicates: usize,
+    /// MKTME writes that took the full-line fast path (no RMW fetch-decrypt).
+    pub mktme_full_line_writes: u64,
+    /// AES-CTR keystream blocks produced in batched multi-line spans.
+    pub mktme_keystream_blocks_batched: u64,
+    /// Page-walk-cache hits summed over all harts.
+    pub ptw_cache_hits: u64,
+    /// Page-walk-cache misses summed over all harts.
+    pub ptw_cache_misses: u64,
 }
 
 /// One in-flight request's state machine.
@@ -555,6 +563,14 @@ impl Machine {
             retries: self.pipeline.retries,
             timeouts: self.pipeline.timeouts,
             stale_duplicates: self.hub.mailbox.stale_duplicates(),
+            mktme_full_line_writes: self.sys.engine.stats.full_line_writes,
+            mktme_keystream_blocks_batched: self.sys.engine.stats.keystream_blocks_batched,
+            ptw_cache_hits: self.harts.iter().map(|h| h.mmu.walk_cache.stats.hits).sum(),
+            ptw_cache_misses: self
+                .harts
+                .iter()
+                .map(|h| h.mmu.walk_cache.stats.misses)
+                .sum(),
         }
     }
 }

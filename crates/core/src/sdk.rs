@@ -213,6 +213,15 @@ impl Machine {
             m.invoke(hart_id, Primitive::Edestroy, vec![handle.0], vec![])
         })?;
         self.enclaves.remove(&handle.0);
+        // The destroyed enclave's page-table frames return to the pool and
+        // may be reused for data: drop every hart's walk-cache pointers so
+        // none of them can later interpret reused frames as page tables.
+        // (TLB entries for the torn-down mappings are already gone — the
+        // last exit_enclave switched tables and flushed — so this adds no
+        // TLB flush and leaves TlbStats trajectories unchanged.)
+        for hart in &mut self.harts {
+            hart.mmu.walk_cache.flush_all();
+        }
         Ok(())
     }
 
@@ -231,9 +240,10 @@ impl Machine {
     pub fn ealloc(&mut self, hart_id: usize, bytes: u64) -> MachineResult<VirtAddr> {
         let eid = self.current_eid(hart_id)?;
         let resp = self.invoke(hart_id, Primitive::Ealloc, vec![eid, bytes], vec![])?;
-        // New mappings were created: EMCall flushes the hart's TLB so the
-        // enclave observes them (and no stale entries survive).
-        self.harts[hart_id].mmu.tlb.flush_all();
+        // New mappings were created: EMCall flushes the hart's cached
+        // translations (TLB + walk cache) so the enclave observes them
+        // (and no stale entries survive).
+        self.harts[hart_id].mmu.flush_translations();
         Ok(VirtAddr(
             resp.mapped_va().expect("EALLOC answers with the mapped VA"),
         ))
@@ -247,7 +257,7 @@ impl Machine {
     pub fn efree(&mut self, hart_id: usize, va: VirtAddr, bytes: u64) -> MachineResult<()> {
         let eid = self.current_eid(hart_id)?;
         self.invoke(hart_id, Primitive::Efree, vec![eid, va.0, bytes], vec![])?;
-        self.harts[hart_id].mmu.tlb.flush_all();
+        self.harts[hart_id].mmu.flush_translations();
         Ok(())
     }
 
@@ -334,7 +344,7 @@ impl Machine {
             vec![eid, shmid, sender.0],
             vec![],
         )?;
-        self.harts[hart_id].mmu.tlb.flush_all();
+        self.harts[hart_id].mmu.flush_translations();
         Ok(VirtAddr(
             resp.mapped_va().expect("ESHMAT answers with the mapped VA"),
         ))
@@ -348,7 +358,7 @@ impl Machine {
     pub fn shmdt(&mut self, hart_id: usize, shmid: u64) -> MachineResult<()> {
         let eid = self.current_eid(hart_id)?;
         self.invoke(hart_id, Primitive::Eshmdt, vec![eid, shmid], vec![])?;
-        self.harts[hart_id].mmu.tlb.flush_all();
+        self.harts[hart_id].mmu.flush_translations();
         Ok(())
     }
 

@@ -4,7 +4,11 @@
 //! attestation, sealing, and memory encryption. Its runtime is described as
 //! "3843 lines of code written in memory-safe Rust" (§VIII-A), so this crate
 //! mirrors that spirit: every primitive is implemented in-tree, in safe Rust,
-//! with no external cryptography dependencies.
+//! with no external cryptography dependencies. The single exception is the
+//! pair of runtime-dispatched hardware backends (AVX-512 Keccak, AES-NI),
+//! whose intrinsics require `unsafe`; they sit behind the same safe APIs,
+//! fall back to the portable paths on other hosts, and are pinned against
+//! the safe reference implementations by KATs and differential tests.
 //!
 //! Provided primitives:
 //!
@@ -35,7 +39,7 @@
 //! assert!(kp.public.verify(b"enclave measurement", &sig));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
@@ -44,6 +48,8 @@ pub mod ecdh;
 pub mod ed;
 pub mod fe;
 pub mod hmac;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod keccak_avx512;
 pub mod mac;
 pub mod merkle;
 pub mod scalar;

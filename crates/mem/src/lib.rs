@@ -40,6 +40,7 @@ pub mod ptw;
 pub mod snapshot;
 pub mod system;
 pub mod tlb;
+pub mod walkcache;
 
 /// Faults the memory system can raise, mirroring the hardware exceptions in
 /// the paper (§IV-B access exception, §IV-C integrity violation).

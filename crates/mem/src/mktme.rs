@@ -16,7 +16,7 @@ use crate::addr::{KeyId, PhysAddr};
 use crate::phys::PhysMemory;
 use crate::MemFault;
 use hypertee_crypto::aes::{ctr_iv, Aes128};
-use hypertee_crypto::mac::{mac28, MacTag};
+use hypertee_crypto::mac::{mac28, mac28_lines, mac28_ref, MacTag, MAC_BATCH_LINES};
 use std::collections::HashMap;
 
 /// Memory-line granularity of encryption and MAC (bytes).
@@ -34,7 +34,8 @@ impl core::fmt::Debug for KeySlot {
     }
 }
 
-/// Engine event counters (timing-model input).
+/// Engine event counters (timing-model input), plus host-speed fast-path
+/// hit counters (observability only — they price nothing).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MktmeStats {
     /// Bytes encrypted on writes.
@@ -45,16 +46,71 @@ pub struct MktmeStats {
     pub mac_checks: u64,
     /// MAC failures raised.
     pub mac_failures: u64,
+    /// Writes that covered a whole aligned line and skipped the
+    /// read-decrypt-splice RMW (fast path).
+    pub full_line_writes: u64,
+    /// 16-byte keystream blocks processed through the multi-line span fast
+    /// path (one physical-memory round trip for the whole request).
+    pub keystream_blocks_batched: u64,
+}
+
+/// Lines of MAC tags per [`MacTable`] page (each page covers 32 KiB of
+/// protected memory; a tag page costs 2 KiB).
+const MAC_PAGE_LINES: u64 = 512;
+
+/// Sentinel for "no tag recorded": real tags are 28-bit, so `u32::MAX`
+/// can never collide with one.
+const MAC_EMPTY: u32 = u32::MAX;
+
+/// Paged flat MAC store indexed by line number — replaces the previous
+/// per-line `HashMap<u64, MacTag>`: one hash probe per 512-line page plus
+/// an array index, instead of one probe per line.
+#[derive(Debug, Default)]
+pub struct MacTable {
+    pages: HashMap<u64, Box<[u32]>>,
+}
+
+impl MacTable {
+    /// Looks up the tag recorded for a line number (`pa / LINE_SIZE`).
+    pub fn get(&self, line: u64) -> Option<MacTag> {
+        let tag = *self
+            .pages
+            .get(&(line / MAC_PAGE_LINES))?
+            .get((line % MAC_PAGE_LINES) as usize)?;
+        (tag != MAC_EMPTY).then_some(MacTag(tag))
+    }
+
+    /// Records the tag for a line number.
+    pub fn insert(&mut self, line: u64, tag: MacTag) {
+        let page = self
+            .pages
+            .entry(line / MAC_PAGE_LINES)
+            .or_insert_with(|| vec![MAC_EMPTY; MAC_PAGE_LINES as usize].into_boxed_slice());
+        page[(line % MAC_PAGE_LINES) as usize] = tag.0;
+    }
+
+    /// Number of lines with a recorded tag (observability/audits).
+    pub fn len(&self) -> usize {
+        self.pages
+            .values()
+            .map(|p| p.iter().filter(|&&t| t != MAC_EMPTY).count())
+            .sum()
+    }
+
+    /// Whether no line has a recorded tag.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The multi-key engine.
 #[derive(Debug)]
 pub struct MktmeEngine {
     keys: HashMap<u16, KeySlot>,
-    /// Per-line MACs: line base address → tag (keyed by the writing key's
+    /// Per-line MACs: line number → tag (keyed by the writing key's
     /// MAC key, so re-programming the same key under a new KeyID — the
     /// suspension/resume path of §IV-C — keeps lines verifiable).
-    macs: HashMap<u64, MacTag>,
+    macs: MacTable,
     integrity: bool,
     /// Counters.
     pub stats: MktmeStats,
@@ -65,7 +121,7 @@ impl MktmeEngine {
     pub fn new(integrity: bool) -> Self {
         MktmeEngine {
             keys: HashMap::new(),
-            macs: HashMap::new(),
+            macs: MacTable::default(),
             integrity,
             stats: MktmeStats::default(),
         }
@@ -114,16 +170,270 @@ impl MktmeEngine {
         slot.cipher.ctr_apply(&iv, line);
     }
 
+    /// [`MktmeEngine::keystream`] over the pre-optimization scalar AES
+    /// (reference data plane).
+    fn keystream_ref(slot: &KeySlot, line_base: u64, line: &mut [u8]) {
+        let iv = ctr_iv(line_base, 0x4d4b_544d_4531_0001);
+        slot.cipher.ctr_apply_ref(&iv, line);
+    }
+
+    /// Tags for every line of a plaintext span, in line order. Aligned
+    /// groups of eight consecutive lines go through the lane-sliced
+    /// [`mac28_lines`] batch; the remainder falls back to [`mac28`]. MAC
+    /// computation touches neither physical memory nor the engine counters,
+    /// so batching is invisible to the timing model.
+    fn span_tags(slot: &KeySlot, span_base: u64, span: &[u8]) -> Vec<MacTag> {
+        let nlines = span.len() / LINE_SIZE as usize;
+        let mut tags = Vec::with_capacity(nlines);
+        let mut i = 0usize;
+        while i + MAC_BATCH_LINES <= nlines {
+            let chunk: &[u8; MAC_BATCH_LINES * LINE_SIZE as usize] = span
+                [i * LINE_SIZE as usize..(i + MAC_BATCH_LINES) * LINE_SIZE as usize]
+                .try_into()
+                .expect("eight lines");
+            tags.extend(mac28_lines(
+                &slot.mac_key,
+                span_base + i as u64 * LINE_SIZE,
+                chunk,
+            ));
+            i += MAC_BATCH_LINES;
+        }
+        while i < nlines {
+            let line_base = span_base + i as u64 * LINE_SIZE;
+            tags.push(mac28(
+                &slot.mac_key,
+                line_base,
+                &span[i * LINE_SIZE as usize..(i + 1) * LINE_SIZE as usize],
+            ));
+            i += 1;
+        }
+        tags
+    }
+
     /// Writes `data` at `pa` through `key`.
     ///
-    /// For encrypted KeyIDs this performs read-modify-write at line
-    /// granularity, stores ciphertext, and refreshes each line's MAC.
+    /// For encrypted KeyIDs this stores ciphertext at line granularity and
+    /// refreshes each line's MAC. Fast paths (host wall-clock only — the
+    /// modelled byte/MAC charges are identical to the scalar data plane):
+    ///
+    /// * a write covering a whole aligned line skips the
+    ///   read-decrypt-splice RMW entirely;
+    /// * a request spanning several contiguous lines makes one physical
+    ///   round trip for the whole span and streams the keystream across it.
     ///
     /// # Errors
     ///
     /// [`MemFault::BusError`] for unprogrammed encrypted KeyIDs or
     /// out-of-range addresses.
     pub fn write(
+        &mut self,
+        mem: &mut PhysMemory,
+        pa: PhysAddr,
+        key: KeyId,
+        data: &[u8],
+    ) -> Result<(), MemFault> {
+        if !key.is_encrypted() {
+            return mem.write(pa, data);
+        }
+        let slot = self
+            .keys
+            .get(&key.0)
+            .ok_or(MemFault::BusError { pa: pa.0 })?;
+        self.stats.bytes_encrypted += data.len() as u64;
+        let span_base = pa.0 & !(LINE_SIZE - 1);
+        let span_end = (pa.0 + data.len() as u64).div_ceil(LINE_SIZE) * LINE_SIZE;
+        let nlines = ((span_end - span_base) / LINE_SIZE).max(1);
+        if nlines > 1 {
+            let mut span = vec![0u8; (span_end - span_base) as usize];
+            if mem.read(PhysAddr(span_base), &mut span).is_ok() {
+                // The raw-access counter stays on the per-line trajectory
+                // (one read + one write per line) even though the span makes
+                // a single round trip each way.
+                mem.access_count += 2 * (nlines - 1);
+                self.stats.keystream_blocks_batched += span.len() as u64 / 16;
+                // Pass 1: assemble the plaintext span — decrypt-splice the
+                // partial edge lines, copy full lines straight from `data`.
+                let mut written = 0usize;
+                for (i, line) in span.chunks_mut(LINE_SIZE as usize).enumerate() {
+                    let line_base = span_base + i as u64 * LINE_SIZE;
+                    let off = (pa.0.max(line_base) - line_base) as usize;
+                    let take = (LINE_SIZE as usize - off).min(data.len() - written);
+                    if off == 0 && take == LINE_SIZE as usize {
+                        // Full line: the fetched ciphertext is irrelevant.
+                        line.copy_from_slice(&data[written..written + take]);
+                        self.stats.full_line_writes += 1;
+                    } else {
+                        Self::keystream(slot, line_base, line);
+                        line[off..off + take].copy_from_slice(&data[written..written + take]);
+                    }
+                    written += take;
+                }
+                // MAC the plaintext span eight lines at a time, then
+                // re-encrypt it in place.
+                if self.integrity {
+                    for (i, tag) in Self::span_tags(slot, span_base, &span)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        self.macs.insert(span_base / LINE_SIZE + i as u64, tag);
+                    }
+                }
+                for (i, line) in span.chunks_mut(LINE_SIZE as usize).enumerate() {
+                    Self::keystream(slot, span_base + i as u64 * LINE_SIZE, line);
+                }
+                return mem.write(PhysAddr(span_base), &span);
+            }
+            // Span read refused (range straddles the end of installed
+            // memory): fall through to the per-line path, which faults at
+            // exactly the line the scalar data plane would.
+        }
+        let mut written = 0usize;
+        let mut addr = pa.0;
+        while written < data.len() {
+            let line_base = addr & !(LINE_SIZE - 1);
+            let off = (addr - line_base) as usize;
+            let take = (LINE_SIZE as usize - off).min(data.len() - written);
+            let mut line = [0u8; LINE_SIZE as usize];
+            if off == 0 && take == LINE_SIZE as usize {
+                // Full aligned line: skip the fetch-decrypt-splice RMW. The
+                // raw read still happens so the access trajectory (and any
+                // fault it would raise) is unchanged.
+                mem.read(PhysAddr(line_base), &mut line)?;
+                line.copy_from_slice(&data[written..written + take]);
+                self.stats.full_line_writes += 1;
+            } else {
+                // Fetch the current line ciphertext and decrypt it.
+                mem.read(PhysAddr(line_base), &mut line)?;
+                Self::keystream(slot, line_base, &mut line);
+                // Splice in the new plaintext bytes.
+                line[off..off + take].copy_from_slice(&data[written..written + take]);
+            }
+            // Refresh the MAC over the plaintext line.
+            if self.integrity {
+                let tag = mac28(&slot.mac_key, line_base, &line);
+                self.macs.insert(line_base / LINE_SIZE, tag);
+            }
+            // Re-encrypt and store.
+            Self::keystream(slot, line_base, &mut line);
+            mem.write(PhysAddr(line_base), &line)?;
+            written += take;
+            addr += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads through `key` into `buf`.
+    ///
+    /// Requests spanning several contiguous lines make one physical round
+    /// trip for the whole span; per-line MAC verification, fill order, and
+    /// every fault are identical to the scalar data plane.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::IntegrityViolation`] when a MAC check fails (tampering,
+    /// wrong KeyID, or unauthenticated data); [`MemFault::BusError`] for
+    /// unprogrammed encrypted KeyIDs or out-of-range addresses.
+    pub fn read(
+        &mut self,
+        mem: &mut PhysMemory,
+        pa: PhysAddr,
+        key: KeyId,
+        buf: &mut [u8],
+    ) -> Result<(), MemFault> {
+        if !key.is_encrypted() {
+            return mem.read(pa, buf);
+        }
+        let slot = self
+            .keys
+            .get(&key.0)
+            .ok_or(MemFault::BusError { pa: pa.0 })?;
+        self.stats.bytes_decrypted += buf.len() as u64;
+        let span_base = pa.0 & !(LINE_SIZE - 1);
+        let span_end = (pa.0 + buf.len() as u64).div_ceil(LINE_SIZE) * LINE_SIZE;
+        let nlines = ((span_end - span_base) / LINE_SIZE).max(1);
+        if nlines > 1 {
+            let mut span = vec![0u8; (span_end - span_base) as usize];
+            if mem.read(PhysAddr(span_base), &mut span).is_ok() {
+                self.stats.keystream_blocks_batched += span.len() as u64 / 16;
+                // Decrypt the whole span and batch-compute the expected tags
+                // up front (neither touches memory or counters); comparisons
+                // below stay strictly per-line so counter trajectories and
+                // the first-failing-line fault are identical to the scalar
+                // data plane.
+                for (i, line) in span.chunks_mut(LINE_SIZE as usize).enumerate() {
+                    Self::keystream(slot, span_base + i as u64 * LINE_SIZE, line);
+                }
+                let tags = if self.integrity {
+                    Self::span_tags(slot, span_base, &span)
+                } else {
+                    Vec::new()
+                };
+                let mut done = 0usize;
+                for (i, line) in span.chunks(LINE_SIZE as usize).enumerate() {
+                    let line_base = span_base + i as u64 * LINE_SIZE;
+                    if i > 0 {
+                        // Keep the raw-access counter on the per-line
+                        // trajectory, including after an early MAC-failure
+                        // return (k+1 line reads for a failure at line k).
+                        mem.access_count += 1;
+                    }
+                    let off = (pa.0.max(line_base) - line_base) as usize;
+                    let take = (LINE_SIZE as usize - off).min(buf.len() - done);
+                    if self.integrity {
+                        self.stats.mac_checks += 1;
+                        let valid = match self.macs.get(line_base / LINE_SIZE) {
+                            Some(tag) => tags[i] == tag,
+                            None => false,
+                        };
+                        if !valid {
+                            self.stats.mac_failures += 1;
+                            return Err(MemFault::IntegrityViolation { pa: line_base });
+                        }
+                    }
+                    buf[done..done + take].copy_from_slice(&line[off..off + take]);
+                    done += take;
+                }
+                return Ok(());
+            }
+            // Fall through: fault at exactly the line the scalar path would.
+        }
+        let mut done = 0usize;
+        let mut addr = pa.0;
+        while done < buf.len() {
+            let line_base = addr & !(LINE_SIZE - 1);
+            let off = (addr - line_base) as usize;
+            let take = (LINE_SIZE as usize - off).min(buf.len() - done);
+            let mut line = [0u8; LINE_SIZE as usize];
+            mem.read(PhysAddr(line_base), &mut line)?;
+            Self::keystream(slot, line_base, &mut line);
+            if self.integrity {
+                self.stats.mac_checks += 1;
+                let valid = match self.macs.get(line_base / LINE_SIZE) {
+                    Some(tag) => mac28(&slot.mac_key, line_base, &line) == tag,
+                    None => false,
+                };
+                if !valid {
+                    self.stats.mac_failures += 1;
+                    return Err(MemFault::IntegrityViolation { pa: line_base });
+                }
+            }
+            buf[done..done + take].copy_from_slice(&line[off..off + take]);
+            done += take;
+            addr += take as u64;
+        }
+        Ok(())
+    }
+
+    /// The seed's scalar write path (per-line RMW, cloned key slot, scalar
+    /// AES/Keccak), kept verbatim as the differential oracle and the
+    /// "before" measurement of the tracked benchmark pipeline. Shares the
+    /// key and MAC state with the optimized path, so the two can be
+    /// interleaved freely.
+    ///
+    /// # Errors
+    ///
+    /// As [`MktmeEngine::write`].
+    pub fn write_ref(
         &mut self,
         mem: &mut PhysMemory,
         pa: PhysAddr,
@@ -145,19 +455,15 @@ impl MktmeEngine {
             let line_base = addr & !(LINE_SIZE - 1);
             let off = (addr - line_base) as usize;
             let take = (LINE_SIZE as usize - off).min(data.len() - written);
-            // Fetch the current line ciphertext and decrypt it.
             let mut line = [0u8; LINE_SIZE as usize];
             mem.read(PhysAddr(line_base), &mut line)?;
-            Self::keystream(&slot, line_base, &mut line);
-            // Splice in the new plaintext bytes.
+            Self::keystream_ref(&slot, line_base, &mut line);
             line[off..off + take].copy_from_slice(&data[written..written + take]);
-            // Refresh the MAC over the plaintext line.
             if self.integrity {
-                let tag = mac28(&slot.mac_key, line_base, &line);
-                self.macs.insert(line_base, tag);
+                let tag = mac28_ref(&slot.mac_key, line_base, &line);
+                self.macs.insert(line_base / LINE_SIZE, tag);
             }
-            // Re-encrypt and store.
-            Self::keystream(&slot, line_base, &mut line);
+            Self::keystream_ref(&slot, line_base, &mut line);
             mem.write(PhysAddr(line_base), &line)?;
             written += take;
             addr += take as u64;
@@ -165,14 +471,13 @@ impl MktmeEngine {
         Ok(())
     }
 
-    /// Reads through `key` into `buf`.
+    /// The seed's scalar read path — differential oracle and benchmark
+    /// baseline for [`MktmeEngine::read`].
     ///
     /// # Errors
     ///
-    /// [`MemFault::IntegrityViolation`] when a MAC check fails (tampering,
-    /// wrong KeyID, or unauthenticated data); [`MemFault::BusError`] for
-    /// unprogrammed encrypted KeyIDs or out-of-range addresses.
-    pub fn read(
+    /// As [`MktmeEngine::read`].
+    pub fn read_ref(
         &mut self,
         mem: &mut PhysMemory,
         pa: PhysAddr,
@@ -196,11 +501,11 @@ impl MktmeEngine {
             let take = (LINE_SIZE as usize - off).min(buf.len() - done);
             let mut line = [0u8; LINE_SIZE as usize];
             mem.read(PhysAddr(line_base), &mut line)?;
-            Self::keystream(&slot, line_base, &mut line);
+            Self::keystream_ref(&slot, line_base, &mut line);
             if self.integrity {
                 self.stats.mac_checks += 1;
-                let valid = match self.macs.get(&line_base) {
-                    Some(&tag) => mac28(&slot.mac_key, line_base, &line) == tag,
+                let valid = match self.macs.get(line_base / LINE_SIZE) {
+                    Some(tag) => mac28_ref(&slot.mac_key, line_base, &line) == tag,
                     None => false,
                 };
                 if !valid {

@@ -19,6 +19,7 @@
 
 use crate::addr::{KeyId, PhysAddr, Ppn, VirtAddr, PAGE_SIZE};
 use crate::phys::PhysMemory;
+use crate::walkcache::WalkCache;
 use crate::MemFault;
 
 /// Access permissions of a mapping.
@@ -336,8 +337,8 @@ impl PageTable {
         mem.write_u64(addr, Pte::leaf(pte.ppn(), perms, pte.key()).0)
     }
 
-    /// Finds the leaf-slot address and current PTE for `va`.
-    fn leaf_slot(&self, va: VirtAddr, mem: &mut PhysMemory) -> Result<(PhysAddr, Pte), MemFault> {
+    /// Walks the two upper levels, returning the leaf-table frame.
+    fn leaf_table(&self, va: VirtAddr, mem: &mut PhysMemory) -> Result<Ppn, MemFault> {
         let idx = va.sv39_indices();
         let mut table = self.root;
         for &index in idx.iter().take(2) {
@@ -347,7 +348,13 @@ impl PageTable {
             }
             table = pte.ppn();
         }
-        let addr = Self::pte_addr(table, idx[2]);
+        Ok(table)
+    }
+
+    /// Finds the leaf-slot address and current PTE for `va`.
+    fn leaf_slot(&self, va: VirtAddr, mem: &mut PhysMemory) -> Result<(PhysAddr, Pte), MemFault> {
+        let table = self.leaf_table(va, mem)?;
+        let addr = Self::pte_addr(table, va.sv39_indices()[2]);
         let pte = Pte(mem.read_u64(addr)?);
         if !pte.valid() {
             return Err(MemFault::PageFault { va: va.0 });
@@ -368,6 +375,51 @@ impl PageTable {
     ) -> Result<Translation, MemFault> {
         let (addr, pte) = self.leaf_slot(va, mem)?;
         // Hardware A/D update.
+        mem.write_u64(addr, pte.touch(set_dirty).0)?;
+        Ok(Translation {
+            ppn: pte.ppn(),
+            perms: pte.perms(),
+            key: pte.key(),
+            levels_touched: 3,
+        })
+    }
+
+    /// [`PageTable::walk`] through a page-walk cache: a cached leaf-table
+    /// pointer skips the two intermediate PTE reads.
+    ///
+    /// The result, the A/D side effects, the reported `levels_touched`, and
+    /// the raw physical-access trajectory are all identical to an uncached
+    /// walk — only host wall-clock differs (charge invariance).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::PageFault`] when no valid leaf exists.
+    pub fn walk_cached(
+        &self,
+        va: VirtAddr,
+        set_dirty: bool,
+        mem: &mut PhysMemory,
+        cache: &mut WalkCache,
+    ) -> Result<Translation, MemFault> {
+        let region = va.vpn().0 >> 9;
+        let table = match cache.lookup(self.root, region) {
+            Some(table) => {
+                // Keep the raw-access counter on the uncached trajectory
+                // (the two intermediate PTE reads the hit skipped).
+                mem.access_count += 2;
+                table
+            }
+            None => {
+                let table = self.leaf_table(va, mem)?;
+                cache.insert(self.root, region, table);
+                table
+            }
+        };
+        let addr = Self::pte_addr(table, va.sv39_indices()[2]);
+        let pte = Pte(mem.read_u64(addr)?);
+        if !pte.valid() {
+            return Err(MemFault::PageFault { va: va.0 });
+        }
         mem.write_u64(addr, pte.touch(set_dirty).0)?;
         Ok(Translation {
             ppn: pte.ppn(),

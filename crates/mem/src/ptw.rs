@@ -14,6 +14,7 @@ use crate::bitmap::EnclaveBitmap;
 use crate::pagetable::{AccessKind, PageTable};
 use crate::phys::PhysMemory;
 use crate::tlb::TlbEntry;
+use crate::walkcache::WalkCache;
 use crate::MemFault;
 
 /// Walker event counters (timing-model input: each walk costs
@@ -34,11 +35,19 @@ pub struct PtwStats {
 /// `enclave_mode` is false. On success returns a TLB entry ready for
 /// insertion, with `checked` set according to the performed check.
 ///
+/// The walk goes through `cache` (the per-core page-walk cache); a hit is
+/// functionally and charge-wise identical to a full walk — see
+/// [`crate::walkcache`].
+///
 /// # Errors
 ///
 /// * [`MemFault::PageFault`] — no valid mapping.
 /// * [`MemFault::BitmapViolation`] — non-enclave access to an enclave page.
 /// * [`MemFault::BusError`] — walk left installed memory.
+// The signature mirrors the hardware walker's inputs (table root, request,
+// mode bit, bitmap, memory, counters, walk cache); bundling them into a
+// struct would just move the argument list.
+#[allow(clippy::too_many_arguments)]
 pub fn translate(
     pt: &PageTable,
     va: VirtAddr,
@@ -47,8 +56,9 @@ pub fn translate(
     bitmap: &EnclaveBitmap,
     mem: &mut PhysMemory,
     stats: &mut PtwStats,
+    cache: &mut WalkCache,
 ) -> Result<TlbEntry, MemFault> {
-    let tr = match pt.walk(va, kind == AccessKind::Write, mem) {
+    let tr = match pt.walk_cached(va, kind == AccessKind::Write, mem, cache) {
         Ok(tr) => tr,
         Err(e @ MemFault::PageFault { .. }) => {
             stats.page_faults += 1;
@@ -95,6 +105,7 @@ mod tests {
         pt.map(va, Ppn(2000), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
             .unwrap();
         let mut stats = PtwStats::default();
+        let mut cache = WalkCache::new(8);
         let entry = translate(
             &pt,
             va,
@@ -103,6 +114,7 @@ mod tests {
             &bitmap,
             &mut mem,
             &mut stats,
+            &mut cache,
         )
         .unwrap();
         assert_eq!(entry.ppn, Ppn(2000));
@@ -121,6 +133,7 @@ mod tests {
             .unwrap();
         bitmap.set(Ppn(3000), true, &mut mem).unwrap();
         let mut stats = PtwStats::default();
+        let mut cache = WalkCache::new(8);
         let err = translate(
             &pt,
             va,
@@ -129,6 +142,7 @@ mod tests {
             &bitmap,
             &mut mem,
             &mut stats,
+            &mut cache,
         )
         .unwrap_err();
         assert_eq!(err, MemFault::BitmapViolation { ppn: 3000 });
@@ -143,6 +157,7 @@ mod tests {
             .unwrap();
         bitmap.set(Ppn(3001), true, &mut mem).unwrap();
         let mut stats = PtwStats::default();
+        let mut cache = WalkCache::new(8);
         let entry = translate(
             &pt,
             va,
@@ -151,6 +166,7 @@ mod tests {
             &bitmap,
             &mut mem,
             &mut stats,
+            &mut cache,
         )
         .unwrap();
         assert_eq!(entry.key, KeyId(5));
@@ -162,6 +178,7 @@ mod tests {
     fn unmapped_counts_page_fault() {
         let (mut mem, _alloc, pt, bitmap) = setup();
         let mut stats = PtwStats::default();
+        let mut cache = WalkCache::new(8);
         let err = translate(
             &pt,
             VirtAddr(0x0dea_d000),
@@ -170,6 +187,7 @@ mod tests {
             &bitmap,
             &mut mem,
             &mut stats,
+            &mut cache,
         )
         .unwrap_err();
         assert!(matches!(err, MemFault::PageFault { .. }));
@@ -184,6 +202,7 @@ mod tests {
         pt.map(va, Ppn(2001), Perms::RW, KeyId::HOST, &mut alloc, &mut mem)
             .unwrap();
         let mut stats = PtwStats::default();
+        let mut cache = WalkCache::new(8);
         translate(
             &pt,
             va,
@@ -192,6 +211,7 @@ mod tests {
             &bitmap,
             &mut mem,
             &mut stats,
+            &mut cache,
         )
         .unwrap();
         assert!(pt.inspect(va, &mut mem).unwrap().dirty());

@@ -12,6 +12,7 @@ use crate::pagetable::{AccessKind, PageTable};
 use crate::phys::PhysMemory;
 use crate::ptw::{self, PtwStats};
 use crate::tlb::Tlb;
+use crate::walkcache::WalkCache;
 use crate::MemFault;
 
 /// SoC-global memory state.
@@ -49,11 +50,16 @@ impl MemorySystem {
     }
 }
 
+/// Entries in each core's page-walk cache (small, like silicon walkers).
+pub const WALK_CACHE_ENTRIES: usize = 8;
+
 /// Per-core MMU state.
 #[derive(Debug)]
 pub struct CoreMmu {
     /// The TLB.
     pub tlb: Tlb,
+    /// The page-walk cache (intermediate-level PTE cache).
+    pub walk_cache: WalkCache,
     /// Current page-table root (satp); `None` means bare/physical mode.
     pub table: Option<PageTable>,
     /// IS_ENCLAVE register: whether the core currently runs an enclave.
@@ -65,17 +71,28 @@ impl CoreMmu {
     pub fn new(tlb_entries: usize) -> Self {
         CoreMmu {
             tlb: Tlb::new(tlb_entries),
+            walk_cache: WalkCache::new(WALK_CACHE_ENTRIES),
             table: None,
             enclave_mode: false,
         }
     }
 
-    /// Switches the address space (satp write) — flushes the TLB, as EMCall
-    /// does on every enclave context switch (§IV-B).
+    /// Switches the address space (satp write) — flushes the TLB and the
+    /// walk cache, as EMCall does on every enclave context switch (§IV-B).
     pub fn switch_table(&mut self, table: Option<PageTable>, enclave_mode: bool) {
         self.table = table;
         self.enclave_mode = enclave_mode;
+        self.flush_translations();
+    }
+
+    /// Drops all cached translation state — TLB entries *and* walk-cache
+    /// pointers. Mapping teardown (EFREE/EDESTROY, shm detach) must call
+    /// this rather than flushing the TLB alone: a freed page-table frame
+    /// can be reused for data, and a stale walk-cache pointer would then
+    /// interpret attacker-controlled bytes as PTEs.
+    pub fn flush_translations(&mut self) {
         self.tlb.flush_all();
+        self.walk_cache.flush_all();
     }
 
     fn translate(
@@ -99,6 +116,7 @@ impl CoreMmu {
             &sys.bitmap,
             &mut sys.phys,
             &mut sys.ptw_stats,
+            &mut self.walk_cache,
         )?;
         if !entry.perms.allows(kind) {
             return Err(MemFault::PermissionDenied { va: va.0 });

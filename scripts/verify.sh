@@ -35,6 +35,12 @@ cargo run --release --offline -p hypertee-bench --bin fig6_slo -- --live --smoke
 echo "==> lockstep model-check smoke (release, fixed seed)"
 cargo run --release --offline --example model_smoke
 
+echo "==> bench_report smoke (release, reduced iterations, schema-validated)"
+cargo run --release --offline -p hypertee-bench --bin bench_report -- --smoke \
+    --out target/BENCH_perf_smoke.json > /dev/null
+cargo run --release --offline -p hypertee-bench --bin bench_report -- \
+    --check target/BENCH_perf_smoke.json
+
 echo "==> cargo doc --no-deps (warnings denied, offline)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

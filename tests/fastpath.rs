@@ -1,0 +1,207 @@
+//! Differential tests pinning the optimized data plane to the seed's
+//! scalar reference paths.
+//!
+//! The memory engine's span/full-line fast paths and the batched line MAC
+//! ([`mac28_lines`]) only change host wall-clock, never behaviour: every
+//! byte stored, every counter trajectory, and every fault must match what
+//! the verbatim seed code ([`MktmeEngine::write_ref`]/[`read_ref`])
+//! produces. These tests drive both planes through identical operation
+//! mixes — aligned, unaligned, and line-straddling — plus the wrong-key and
+//! tamper fault paths, and check the walk-cache flush discipline at the
+//! EFREE/EDESTROY teardown sites.
+
+use hypertee_repro::hypertee::machine::Machine;
+use hypertee_repro::hypertee::manifest::EnclaveManifest;
+use hypertee_repro::mem::addr::{KeyId, PhysAddr, VirtAddr};
+use hypertee_repro::mem::mktme::MktmeEngine;
+use hypertee_repro::mem::phys::PhysMemory;
+use hypertee_repro::mem::MemFault;
+
+/// A deterministic xorshift so the operation mix is reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn range(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn pair() -> (PhysMemory, MktmeEngine, PhysMemory, MktmeEngine) {
+    let opt_mem = PhysMemory::new(4 << 20);
+    let ref_mem = PhysMemory::new(4 << 20);
+    let mut opt = MktmeEngine::new(true);
+    let mut re = MktmeEngine::new(true);
+    for e in [&mut opt, &mut re] {
+        e.program_key(KeyId(1), &[0x11; 16], &[0xa1; 32]);
+        e.program_key(KeyId(2), &[0x22; 16], &[0xa2; 32]);
+    }
+    (opt_mem, opt, ref_mem, re)
+}
+
+/// The optimized write/read paths must be byte-, counter-, and
+/// fault-equivalent to the seed's scalar paths over a randomized mix of
+/// aligned, unaligned, and line-straddling accesses of many sizes —
+/// including spans long enough to exercise the eight-line batched MAC and
+/// its remainder handling.
+#[test]
+fn optimized_and_reference_data_planes_agree() {
+    let (mut opt_mem, mut opt, mut ref_mem, mut re) = pair();
+    let mut rng = Rng(0x5eed_cafe);
+    // Sizes chosen to hit: sub-line, exactly one line, a few lines (below
+    // the 8-line batch), exactly one batch, batch + remainder, a full 4 KiB
+    // page (8 batches), and page + remainder.
+    let sizes = [1, 7, 63, 64, 65, 192, 448, 512, 520, 4096, 4160];
+    for round in 0..200 {
+        let size = sizes[(round as usize) % sizes.len()];
+        // A line-aligned base plus a random in-line offset, so accesses
+        // land aligned, unaligned, and straddling line boundaries.
+        let pa = PhysAddr(0x10_000 + (rng.range(0x8_000) & !63) + rng.range(64));
+        let key = KeyId(1);
+        let mut data = vec![0u8; size];
+        for b in data.iter_mut() {
+            *b = rng.next() as u8;
+        }
+        let wa = opt.write(&mut opt_mem, pa, key, &data);
+        let wb = re.write_ref(&mut ref_mem, pa, key, &data);
+        assert_eq!(wa, wb, "write result diverged at round {round}");
+        let mut got_a = vec![0u8; size];
+        let mut got_b = vec![0u8; size];
+        let ra = opt.read(&mut opt_mem, pa, key, &mut got_a);
+        let rb = re.read_ref(&mut ref_mem, pa, key, &mut got_b);
+        assert_eq!(ra, rb, "read result diverged at round {round}");
+        assert_eq!(got_a, got_b, "read data diverged at round {round}");
+        assert_eq!(got_a, data, "roundtrip corrupted at round {round}");
+    }
+    // The modelled charges — raw accesses, byte counters, MAC checks — must
+    // ride the same trajectory on both planes.
+    assert_eq!(opt_mem.access_count, ref_mem.access_count);
+    assert_eq!(opt.stats.bytes_encrypted, re.stats.bytes_encrypted);
+    assert_eq!(opt.stats.bytes_decrypted, re.stats.bytes_decrypted);
+    assert_eq!(opt.stats.mac_checks, re.stats.mac_checks);
+    assert_eq!(opt.stats.mac_failures, re.stats.mac_failures);
+    // And the ciphertext itself is identical: interleaving the planes over
+    // the same state would be sound.
+    let mut raw_a = vec![0u8; 0x20_000];
+    let mut raw_b = vec![0u8; 0x20_000];
+    opt_mem.read(PhysAddr(0x10_000), &mut raw_a).unwrap();
+    ref_mem.read(PhysAddr(0x10_000), &mut raw_b).unwrap();
+    assert_eq!(raw_a, raw_b, "physical ciphertext diverged");
+}
+
+/// Wrong-KeyID reads fault identically on both planes: same fault, same
+/// faulting line, same access and MAC-check counts after the early return.
+#[test]
+fn wrong_key_fault_parity() {
+    let (mut opt_mem, mut opt, mut ref_mem, mut re) = pair();
+    let pa = PhysAddr(0x40_000);
+    opt.write(&mut opt_mem, pa, KeyId(1), &[0x5a; 4096])
+        .unwrap();
+    re.write_ref(&mut ref_mem, pa, KeyId(1), &[0x5a; 4096])
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let fa = opt.read(&mut opt_mem, pa, KeyId(2), &mut buf);
+    let fb = re.read_ref(&mut ref_mem, pa, KeyId(2), &mut buf);
+    assert!(matches!(fa, Err(MemFault::IntegrityViolation { pa: p }) if p == pa.0));
+    assert_eq!(fa, fb, "fault diverged");
+    assert_eq!(opt_mem.access_count, ref_mem.access_count);
+    assert_eq!(opt.stats.mac_checks, re.stats.mac_checks);
+    assert_eq!(opt.stats.mac_failures, re.stats.mac_failures);
+}
+
+/// Ciphertext tampering in the middle of a span faults at exactly the
+/// tampered line on both planes, with the per-line access-count trajectory
+/// (k+1 line reads for a failure at line k) preserved by the span fast path.
+#[test]
+fn tamper_fault_parity_mid_span() {
+    let (mut opt_mem, mut opt, mut ref_mem, mut re) = pair();
+    let pa = PhysAddr(0x50_000);
+    opt.write(&mut opt_mem, pa, KeyId(1), &[7u8; 4096]).unwrap();
+    re.write_ref(&mut ref_mem, pa, KeyId(1), &[7u8; 4096])
+        .unwrap();
+    // Flip one ciphertext bit in line 13 of the page, on both memories.
+    let victim = PhysAddr(pa.0 + 13 * 64 + 5);
+    for mem in [&mut opt_mem, &mut ref_mem] {
+        let mut raw = [0u8; 1];
+        mem.read(victim, &mut raw).unwrap();
+        raw[0] ^= 0x40;
+        mem.write(victim, &raw).unwrap();
+    }
+    let opt_base = opt_mem.access_count;
+    let ref_base = ref_mem.access_count;
+    let mut buf = [0u8; 4096];
+    let fa = opt.read(&mut opt_mem, pa, KeyId(1), &mut buf);
+    let fb = re.read_ref(&mut ref_mem, pa, KeyId(1), &mut buf);
+    assert!(
+        matches!(fa, Err(MemFault::IntegrityViolation { pa: p }) if p == pa.0 + 13 * 64),
+        "must fault at the first tampered line, got {fa:?}"
+    );
+    assert_eq!(fa, fb, "fault diverged");
+    // 14 line reads each (lines 0..=13), despite the span round trip.
+    assert_eq!(opt_mem.access_count - opt_base, 14);
+    assert_eq!(ref_mem.access_count - ref_base, 14);
+    assert_eq!(opt.stats.mac_checks, re.stats.mac_checks);
+    assert_eq!(opt.stats.mac_failures, re.stats.mac_failures);
+}
+
+/// EFREE must drop the freeing hart's walk-cache pointers along with its
+/// TLB entries: the freed page-table frames return to the pool, and a stale
+/// intermediate-level pointer would let the walker interpret reused frames
+/// as PTEs.
+#[test]
+fn efree_flushes_walk_cache() {
+    let manifest = EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
+    let mut m = Machine::boot_default();
+    let e = m
+        .create_enclave(0, &manifest, b"walk cache victim")
+        .unwrap();
+    m.enter(0, e).unwrap();
+    let va = m.ealloc(0, 64 * 1024).unwrap();
+    // Touch several pages so the walker populates its cache.
+    for page in 0..8u64 {
+        m.enclave_store(0, VirtAddr(va.0 + page * 4096), &[page as u8; 32])
+            .unwrap();
+    }
+    assert!(
+        !m.harts[0].mmu.walk_cache.is_empty(),
+        "test premise: walking populated the cache"
+    );
+    let flushes_before = m.harts[0].mmu.walk_cache.stats.flushes;
+    m.efree(0, va, 64 * 1024).unwrap();
+    assert!(
+        m.harts[0].mmu.walk_cache.is_empty(),
+        "EFREE left stale walk-cache pointers"
+    );
+    assert!(m.harts[0].mmu.walk_cache.stats.flushes > flushes_before);
+    m.exit(0).unwrap();
+    m.destroy(0, e).unwrap();
+}
+
+/// EDESTROY must drop walk-cache pointers on *every* hart, not just the
+/// caller's: another hart that previously ran the enclave may still hold
+/// intermediate pointers into the now-recycled page-table frames.
+#[test]
+fn edestroy_flushes_walk_caches_on_all_harts() {
+    let manifest = EnclaveManifest::parse("heap = 16M\nstack = 64K\nhost_shared = 64K").unwrap();
+    let mut m = Machine::boot_default();
+    let e = m
+        .create_enclave(1, &manifest, b"multi-hart teardown")
+        .unwrap();
+    m.enter(1, e).unwrap();
+    let va = m.ealloc(1, 32 * 1024).unwrap();
+    m.enclave_store(1, va, b"resident data").unwrap();
+    m.exit(1).unwrap();
+    m.destroy(1, e).unwrap();
+    for (i, hart) in m.harts.iter().enumerate() {
+        assert!(
+            hart.mmu.walk_cache.is_empty(),
+            "hart {i} kept stale walk-cache pointers across EDESTROY"
+        );
+    }
+}
