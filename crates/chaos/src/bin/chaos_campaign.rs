@@ -1,0 +1,182 @@
+//! Chaos campaign runner: seeded fault campaigns under live open-loop
+//! traffic, emitting the schema-stable `BENCH_chaos.json` (see
+//! `hypertee_chaos::report`).
+//!
+//! The full campaign drives ≥ 10,000 requests across ≥ 1,000 enclaves
+//! with live faults, scripted EMS crash-restarts, and mid-traffic CVM
+//! migrations, then re-runs the same seed and insists on a bit-identical
+//! trace hash. `--smoke` is the seconds-scale CI slice with the same
+//! structure and the same determinism check.
+//!
+//! ```text
+//! chaos_campaign [--smoke] [--seed N] [--out PATH]  # run + emit
+//! chaos_campaign --check PATH                       # validate a report
+//! ```
+
+use std::process::ExitCode;
+
+use hypertee_chaos::campaign::{run, ChaosConfig};
+use hypertee_chaos::report::{render_report, validate};
+
+struct Cli {
+    smoke: bool,
+    seed: u64,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        smoke: false,
+        seed: 0xC4A0_5EED,
+        out: String::new(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+            }
+            "--out" => cli.out = args.next().ok_or("--out needs a path")?,
+            "--check" => cli.check = Some(args.next().ok_or("--check needs a path")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if cli.out.is_empty() {
+        cli.out = "BENCH_chaos.json".to_string();
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos_campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &cli.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("chaos_campaign: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&text) {
+            Ok(()) => {
+                println!("{path}: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cfg = if cli.smoke {
+        ChaosConfig::smoke(cli.seed)
+    } else {
+        ChaosConfig::fleet(cli.seed)
+    };
+    eprintln!(
+        "chaos_campaign: mode={} seed={:#x} sessions={} (faults, {} crashes, {} migrations)",
+        cfg.label, cfg.seed, cfg.traffic.sessions, cfg.scripted_crashes, cfg.migrations
+    );
+    let out = run(&cfg);
+    eprintln!(
+        "chaos_campaign: {} requests, {} ok ({} recovered), shed={} expired={} timeouts={}, \
+         {} enclaves created, {} crash-restarts, audits={} ({}), lockstep={}",
+        out.requests,
+        out.ok_responses,
+        out.recovered,
+        out.shed,
+        out.expired,
+        out.timeouts,
+        out.enclaves_created,
+        out.crash_restarts,
+        out.audits,
+        if out.audit_ok { "green" } else { "RED" },
+        if out.lockstep_ok { "green" } else { "DIVERGED" },
+    );
+
+    // Determinism gate: the identical seed must reproduce the identical
+    // event stream, bit for bit.
+    let replay = run(&cfg);
+    if replay.trace_hash != out.trace_hash {
+        eprintln!(
+            "chaos_campaign: NON-DETERMINISTIC: trace {:#x} != replay {:#x}",
+            out.trace_hash, replay.trace_hash
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "chaos_campaign: replay reproduced trace {:#018x}",
+        out.trace_hash
+    );
+
+    let mut failed = false;
+    if !out.audit_ok {
+        eprintln!(
+            "chaos_campaign: consistency audit failed: {:?}",
+            out.first_audit_error
+        );
+        failed = true;
+    }
+    if !out.lockstep_ok {
+        eprintln!(
+            "chaos_campaign: lockstep divergence: {:?}",
+            out.first_divergence
+        );
+        failed = true;
+    }
+    if out.stalled {
+        eprintln!("chaos_campaign: campaign stalled before draining");
+        failed = true;
+    }
+    if !cli.smoke {
+        // Acceptance floor for the committed fleet campaign.
+        if out.requests < 10_000 {
+            eprintln!(
+                "chaos_campaign: only {} requests (< 10,000 floor)",
+                out.requests
+            );
+            failed = true;
+        }
+        if out.enclaves_created < 1_000 {
+            eprintln!(
+                "chaos_campaign: only {} enclaves (< 1,000 floor)",
+                out.enclaves_created
+            );
+            failed = true;
+        }
+    }
+
+    let text = render_report(&out);
+    if let Err(e) = validate(&text) {
+        eprintln!("chaos_campaign: emitted report fails validation: {e}");
+        failed = true;
+    }
+    if let Err(e) = std::fs::write(&cli.out, &text) {
+        eprintln!("chaos_campaign: cannot write {}: {e}", cli.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} mode, blackout p50/p99 = {}/{} cycles)",
+        cli.out,
+        out.label,
+        out.blackout_percentile(50),
+        out.blackout_percentile(99),
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,301 @@
+//! `BENCH_chaos.json`: schema-stable serialization of a campaign outcome,
+//! plus the validator `scripts/verify.sh` gates on.
+//!
+//! The emitter is hand-rolled (the workspace takes no external
+//! dependencies) in the exact style of `hypertee_bench::report`, and the
+//! validator reuses that crate's JSON parser. Renaming or removing a key,
+//! or bumping [`SCHEMA_VERSION`], is a breaking change and must be called
+//! out in the PR description.
+
+use hypertee_bench::report::{parse_json, Json};
+
+use crate::campaign::ChaosOutcome;
+
+/// Version of the emitted JSON schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Suite identifier baked into every report.
+pub const SUITE: &str = "hypertee-chaos";
+
+/// Counter keys every report must carry (all finite non-negative numbers).
+const REQUIRED_COUNTERS: [&str; 22] = [
+    "ticks",
+    "requests",
+    "completions",
+    "ok_responses",
+    "recovered",
+    "rejections",
+    "timeouts",
+    "shed",
+    "expired",
+    "retries",
+    "sessions",
+    "sessions_done",
+    "sessions_failed",
+    "enclaves_created",
+    "enclaves_destroyed",
+    "leaked_enclaves",
+    "faults_injected",
+    "crash_restarts",
+    "crash_dropped_requests",
+    "audits",
+    "migrations_completed",
+    "migrations_failed",
+];
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    // u64 counters must survive the f64 round trip of the validator.
+    assert!(
+        v < (1u64 << 53),
+        "counter '{key}' = {v} would lose precision in JSON"
+    );
+    out.push_str(&format!("  \"{key}\": {v},\n"));
+}
+
+/// Serializes a campaign outcome as `BENCH_chaos.json`.
+pub fn render_report(out: &ChaosOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"suite\": \"{SUITE}\",\n"));
+    s.push_str("  \"mode\": ");
+    push_str(&mut s, out.label);
+    s.push_str(",\n");
+    // Seed and trace hash are hex strings: full u64 range, no f64 loss.
+    s.push_str(&format!("  \"seed\": \"0x{:016x}\",\n", out.seed));
+    s.push_str(&format!(
+        "  \"trace_hash\": \"0x{:016x}\",\n",
+        out.trace_hash
+    ));
+    push_kv_u64(&mut s, "ticks", out.ticks);
+    push_kv_u64(&mut s, "requests", out.requests);
+    push_kv_u64(&mut s, "completions", out.completions);
+    push_kv_u64(&mut s, "ok_responses", out.ok_responses);
+    push_kv_u64(&mut s, "recovered", out.recovered);
+    push_kv_u64(&mut s, "rejections", out.rejections);
+    push_kv_u64(&mut s, "timeouts", out.timeouts);
+    push_kv_u64(&mut s, "shed", out.shed);
+    push_kv_u64(&mut s, "expired", out.expired);
+    push_kv_u64(&mut s, "retries", out.retries);
+    push_kv_u64(&mut s, "sessions", out.sessions as u64);
+    push_kv_u64(&mut s, "sessions_done", out.sessions_done as u64);
+    push_kv_u64(&mut s, "sessions_failed", out.sessions_failed as u64);
+    push_kv_u64(&mut s, "enclaves_created", out.enclaves_created);
+    push_kv_u64(&mut s, "enclaves_destroyed", out.enclaves_destroyed);
+    push_kv_u64(&mut s, "leaked_enclaves", out.leaked_enclaves);
+    push_kv_u64(&mut s, "faults_injected", out.faults_injected);
+    push_kv_u64(&mut s, "crash_restarts", out.crash_restarts);
+    push_kv_u64(&mut s, "crash_dropped_requests", out.crash_dropped_requests);
+    push_kv_u64(&mut s, "queue_depth_hwm", out.queue_depth_hwm as u64);
+    push_kv_u64(&mut s, "in_flight_hwm", out.in_flight_hwm as u64);
+    push_kv_u64(&mut s, "audits", out.audits);
+    s.push_str(&format!("  \"audit_ok\": {},\n", out.audit_ok));
+    push_kv_u64(&mut s, "lockstep_rounds", u64::from(out.lockstep_rounds));
+    s.push_str(&format!("  \"lockstep_ok\": {},\n", out.lockstep_ok));
+    push_kv_u64(
+        &mut s,
+        "migrations_completed",
+        u64::from(out.migrations_completed),
+    );
+    push_kv_u64(
+        &mut s,
+        "migrations_failed",
+        u64::from(out.migrations_failed),
+    );
+    push_kv_u64(&mut s, "blackout_p50_cycles", out.blackout_percentile(50));
+    push_kv_u64(&mut s, "blackout_p99_cycles", out.blackout_percentile(99));
+    push_kv_u64(&mut s, "clock_cycles", out.clock_cycles);
+    s.push_str(&format!("  \"stalled\": {},\n", out.stalled));
+    s.push_str("  \"slo_cdf\": [\n");
+    for (i, (mult, frac)) in out.slo_cdf.iter().enumerate() {
+        assert!(frac.is_finite(), "refusing to emit non-finite fraction");
+        s.push_str(&format!(
+            "    {{ \"round_trip_multiple\": {mult}, \"fraction\": {frac:.6} }}"
+        ));
+        if i + 1 < out.slo_cdf.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn counter(doc: &Json, key: &str) -> Result<f64, String> {
+    match doc.get(key) {
+        Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => Ok(*v),
+        Some(Json::Num(v)) => Err(format!("'{key}' must be a finite non-negative number: {v}")),
+        Some(_) => Err(format!("'{key}' has the wrong type")),
+        None => Err(format!("missing key '{key}'")),
+    }
+}
+
+fn boolean(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+        None => Err(format!("missing key '{key}'")),
+    }
+}
+
+/// Validates a `BENCH_chaos.json` document: schema version and suite,
+/// every counter present and finite, the audit and lockstep verdicts
+/// green, the campaign drained, and a sane (monotone, `[0, 1]`-bounded)
+/// SLO CDF. This is the gate `scripts/verify.sh` runs against the smoke
+/// report.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+        None => return Err("missing schema_version".to_string()),
+    }
+    match doc.get("suite").and_then(Json::as_str) {
+        Some(SUITE) => {}
+        Some(other) => return Err(format!("wrong suite '{other}'")),
+        None => return Err("missing suite".to_string()),
+    }
+    if doc.get("mode").and_then(Json::as_str).is_none() {
+        return Err("missing mode".to_string());
+    }
+    for key in ["seed", "trace_hash"] {
+        match doc.get(key).and_then(Json::as_str) {
+            Some(s) if s.starts_with("0x") && s.len() == 18 => {}
+            Some(s) => return Err(format!("'{key}' is not a 0x-prefixed u64: '{s}'")),
+            None => return Err(format!("missing key '{key}'")),
+        }
+    }
+    for key in REQUIRED_COUNTERS {
+        counter(&doc, key)?;
+    }
+    for key in [
+        "queue_depth_hwm",
+        "in_flight_hwm",
+        "blackout_p50_cycles",
+        "blackout_p99_cycles",
+        "clock_cycles",
+    ] {
+        counter(&doc, key)?;
+    }
+    if !boolean(&doc, "audit_ok")? {
+        return Err("audit_ok is false: a consistency audit failed".to_string());
+    }
+    if !boolean(&doc, "lockstep_ok")? {
+        return Err("lockstep_ok is false: the reference model diverged".to_string());
+    }
+    if boolean(&doc, "stalled")? {
+        return Err("stalled is true: the campaign did not drain".to_string());
+    }
+    // Conservation: every offered session must have terminated.
+    let sessions = counter(&doc, "sessions")?;
+    let done = counter(&doc, "sessions_done")?;
+    let failed = counter(&doc, "sessions_failed")?;
+    if done + failed != sessions {
+        return Err(format!(
+            "session conservation violated: {done} done + {failed} failed != {sessions}"
+        ));
+    }
+    if counter(&doc, "blackout_p99_cycles")? < counter(&doc, "blackout_p50_cycles")? {
+        return Err("blackout p99 < p50".to_string());
+    }
+    let Some(Json::Arr(cdf)) = doc.get("slo_cdf") else {
+        return Err("missing or non-array slo_cdf".to_string());
+    };
+    if cdf.is_empty() {
+        return Err("slo_cdf is empty".to_string());
+    }
+    let mut prev_mult = 0.0f64;
+    let mut prev_frac = -1.0f64;
+    for row in cdf {
+        let mult = counter(row, "round_trip_multiple")?;
+        let frac = counter(row, "fraction")?;
+        if mult <= prev_mult {
+            return Err("slo_cdf multiples must be strictly increasing".to_string());
+        }
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(format!("slo_cdf fraction {frac} out of [0, 1]"));
+        }
+        if frac < prev_frac {
+            return Err("slo_cdf fractions must be non-decreasing".to_string());
+        }
+        prev_mult = mult;
+        prev_frac = frac;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run, ChaosConfig};
+    use crate::traffic::TrafficConfig;
+
+    fn tiny_outcome() -> ChaosOutcome {
+        run(&ChaosConfig {
+            seed: 0x7e57,
+            label: "tiny",
+            traffic: TrafficConfig {
+                sessions: 10,
+                mean_interarrival_ticks: 4.0,
+                burst_pm: 100,
+                burst_size_max: 2,
+                max_live: 8,
+                tenants: TrafficConfig::default_tenants(),
+            },
+            faults: Some(ChaosConfig::chaos_faults()),
+            deadline_cycles: Some(20_000_000),
+            shed_backlog_limit: Some(10),
+            scripted_crashes: 1,
+            migrations: 1,
+            audit_every_ticks: 64,
+            ewb_every_ticks: 0,
+            lockstep_rounds: 0,
+            lockstep_commands: 0,
+            max_ticks: 60_000,
+        })
+    }
+
+    #[test]
+    fn report_round_trips_the_validator() {
+        let out = tiny_outcome();
+        let text = render_report(&out);
+        validate(&text).expect("fresh report must validate");
+    }
+
+    #[test]
+    fn validator_rejects_red_verdicts() {
+        let out = tiny_outcome();
+        let text = render_report(&out);
+        let broken = text.replace("\"audit_ok\": true", "\"audit_ok\": false");
+        assert!(validate(&broken).unwrap_err().contains("audit_ok"));
+        let broken = text.replace("\"lockstep_ok\": true", "\"lockstep_ok\": false");
+        assert!(validate(&broken).unwrap_err().contains("lockstep_ok"));
+        let broken = text.replace("\"suite\": \"hypertee-chaos\"", "\"suite\": \"nope\"");
+        assert!(validate(&broken).unwrap_err().contains("suite"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_counter() {
+        let out = tiny_outcome();
+        let text = render_report(&out);
+        let broken = text.replace("  \"recovered\":", "  \"recovered_zzz\":");
+        assert!(validate(&broken).unwrap_err().contains("recovered"));
+    }
+}

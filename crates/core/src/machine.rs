@@ -57,6 +57,14 @@ pub enum MachineError {
     /// The primitive round trip kept failing (lost packets, repeated
     /// aborts) past the retry budget of [`RetryPolicy`].
     Timeout,
+    /// The submission was shed at the gate: the EMS backlog exceeded
+    /// [`DegradePolicy::shed_backlog_limit`]. Nothing was enqueued — the
+    /// caller should back off and resubmit later.
+    Backpressure,
+    /// The call outlived [`DegradePolicy::deadline`] on the submitting
+    /// hart's clock and was expired by the pipeline watchdog (terminal:
+    /// the request will not be retried further).
+    DeadlineExpired,
 }
 
 impl From<EmCallError> for MachineError {
@@ -82,6 +90,8 @@ impl core::fmt::Display for MachineError {
             MachineError::WrongMode => write!(f, "hart in wrong mode"),
             MachineError::UnknownEnclave => write!(f, "unknown enclave handle"),
             MachineError::Timeout => write!(f, "primitive retries exhausted"),
+            MachineError::Backpressure => write!(f, "submission shed: EMS backlog saturated"),
+            MachineError::DeadlineExpired => write!(f, "request deadline expired"),
         }
     }
 }
@@ -116,6 +126,23 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Graceful-degradation knobs for the pipeline under overload and faults.
+///
+/// Both default to `None`, which disables the machinery entirely: a machine
+/// that never sets them behaves exactly as before (no shed, no expiry —
+/// only the bounded [`RetryPolicy`] limits a faulted call's lifetime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradePolicy {
+    /// When the request backlog (mailbox + EMS Rx ring) is at or above this
+    /// at submission time, [`Machine::submit`] sheds the call with
+    /// [`MachineError::Backpressure`] instead of enqueueing it.
+    pub shed_backlog_limit: Option<usize>,
+    /// Total per-call lifetime budget on the submitting hart's clock. A
+    /// call still in flight past this is expired by the pump watchdog with
+    /// the terminal [`MachineError::DeadlineExpired`].
+    pub deadline: Option<Cycles>,
+}
+
 /// The simulated HyperTEE SoC.
 pub struct Machine {
     /// SoC memory (physical memory, bitmap, encryption engine).
@@ -140,6 +167,8 @@ pub struct Machine {
     pub book: LatencyBook,
     /// Poll/retry budget for primitive round trips under faults.
     pub retry: RetryPolicy,
+    /// Load-shedding and deadline policy (disabled by default).
+    pub degrade: DegradePolicy,
     /// Simulated-time clock: the max-merge over the per-hart clocks, so
     /// functional runs also report SoC (wall) time.
     pub clock: Cycles,
@@ -229,6 +258,7 @@ impl Machine {
             config,
             book: LatencyBook::default(),
             retry: RetryPolicy::default(),
+            degrade: DegradePolicy::default(),
             clock: Cycles::ZERO,
             hart_clock: vec![Cycles::ZERO; cs_cores],
             pipeline: crate::pipeline::Pipeline::new(ems_cores, seed),
@@ -246,6 +276,16 @@ impl Machine {
             os_frames: &mut self.os,
         };
         self.ems.service(&mut ctx)
+    }
+
+    /// Crashes and warm-restarts the EMS firmware (a scripted
+    /// [`hypertee_faults::FaultKind::EmsCrash`]): the Rx task queue is
+    /// lost and the free-KeyID list is reconstructed from the authoritative
+    /// tables. Returns how many staged requests were dropped — the
+    /// pipeline's loss detection resubmits each under its original req_id,
+    /// so no request is ever executed twice or lost for good.
+    pub fn crash_restart_ems(&mut self) -> usize {
+        self.ems.crash_restart()
     }
 
     /// Arms every fault site in the SoC — mailbox, DMA whitelist, and the

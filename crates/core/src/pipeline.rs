@@ -50,6 +50,9 @@ pub struct Completion {
     /// Modelled response latency on the submitting hart's clock, from
     /// submission to collection (includes queueing, retries, back-off).
     pub latency: Cycles,
+    /// Retry attempts the call needed (0 = first submission succeeded). An
+    /// `Ok` completion with `attempts > 0` is a *recovered* request.
+    pub attempts: u32,
 }
 
 /// Pipeline observability counters, reachable via
@@ -73,6 +76,12 @@ pub struct PipelineStats {
     pub retries: u64,
     /// Calls that exhausted the retry budget.
     pub timeouts: u64,
+    /// Submissions shed at the gate by
+    /// [`crate::machine::DegradePolicy::shed_backlog_limit`].
+    pub shed: u64,
+    /// Calls expired by the
+    /// [`crate::machine::DegradePolicy::deadline`] watchdog.
+    pub expired: u64,
     /// Stale duplicate responses currently quarantined in the mailbox.
     pub stale_duplicates: usize,
     /// MKTME writes that took the full-line fast path (no RMW fetch-decrypt).
@@ -132,6 +141,10 @@ pub(crate) struct Pipeline {
     queue_depth_hwm: usize,
     retries: u64,
     timeouts: u64,
+    shed: u64,
+    expired: u64,
+    /// Seed for the deterministic retry-back-off jitter.
+    jitter_seed: u64,
 }
 
 impl Pipeline {
@@ -150,6 +163,9 @@ impl Pipeline {
             queue_depth_hwm: 0,
             retries: 0,
             timeouts: 0,
+            shed: 0,
+            expired: 0,
+            jitter_seed: seed ^ 0x6a69_7474_6572,
         }
     }
 }
@@ -258,7 +274,10 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`MachineError::Gate`] when EMCall blocks the request.
+    /// [`MachineError::Gate`] when EMCall blocks the request;
+    /// [`MachineError::Backpressure`] when the request backlog is at or
+    /// above the configured shed limit (graceful degradation — nothing was
+    /// enqueued, resubmit later).
     pub fn submit(
         &mut self,
         hart_id: usize,
@@ -266,6 +285,13 @@ impl Machine {
         args: Vec<u64>,
         payload: Vec<u8>,
     ) -> MachineResult<PendingCall> {
+        if let Some(limit) = self.degrade.shed_backlog_limit {
+            let backlog = self.hub.mailbox.pending_requests() + self.ems.rx_backlog();
+            if backlog >= limit {
+                self.pipeline.shed += 1;
+                return Err(MachineError::Backpressure);
+            }
+        }
         let req_id = {
             let hart = &self.harts[hart_id];
             self.emcall.submit_tracked(
@@ -382,6 +408,19 @@ impl Machine {
             return false;
         };
         let hart_id = inf.call.hart_id;
+        // Deadline watchdog: a call that outlived its total lifetime budget
+        // is expired terminally — no further retries, the ticket is retired
+        // so a late response is quarantined rather than delivered.
+        if let Some(deadline) = self.degrade.deadline {
+            if self.hart_clock[hart_id] - inf.issued_at > deadline {
+                self.emcall
+                    .retire_tracked(self.harts[hart_id].hart_id, inf.req_id);
+                self.pipeline.service_done.remove(&inf.req_id);
+                self.pipeline.expired += 1;
+                self.finish_call(inf, Err(MachineError::DeadlineExpired));
+                return true;
+            }
+        }
         let polled =
             self.emcall
                 .poll_tracked(&mut self.hub, self.harts[hart_id].hart_id, inf.req_id);
@@ -415,7 +454,7 @@ impl Machine {
                     self.finish_call(inf, Err(MachineError::Timeout));
                     return true;
                 }
-                let backoff = self.backoff(inf.attempt);
+                let backoff = self.backoff(inf.attempt, inf.call.id);
                 let round_trip = self.book.mailbox_round_trip();
                 self.charge_hart(hart_id, Cycles((round_trip + backoff).round() as u64));
                 let resubmitted = {
@@ -475,7 +514,7 @@ impl Machine {
                     return true;
                 }
                 let waited = f64::from(inf.polls.max(inf.age)) * self.book.emcall_poll;
-                let backoff = self.backoff(inf.attempt);
+                let backoff = self.backoff(inf.attempt, inf.call.id);
                 self.charge_hart(hart_id, Cycles((waited + backoff).round() as u64));
                 // Resubmit under the same req_id: if EMS in fact completed
                 // the request, its response cache replays the completion
@@ -516,10 +555,27 @@ impl Machine {
         }
     }
 
-    /// Exponential back-off for retry `attempt` (1-based), as charged by
-    /// the old synchronous loop.
-    fn backoff(&self, attempt: u32) -> f64 {
-        self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16))
+    /// Exponential back-off for retry `attempt` (1-based) with seeded
+    /// deterministic jitter. The base doubles per attempt as the old
+    /// synchronous loop charged it; the jitter scales it by a factor in
+    /// [0.5, 1.5) hashed from `(seed, call id, attempt)`, so concurrent
+    /// harts whose requests fail in the same round back off to *different*
+    /// points instead of retrying in lockstep (retry storms), while the
+    /// same seed still replays the exact same trace.
+    fn backoff(&self, attempt: u32, call_id: u64) -> f64 {
+        let base = self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16));
+        // splitmix64 finalizer: stateless, so the jitter draw order can
+        // never perturb any other random stream.
+        let mut x = self.pipeline.jitter_seed
+            ^ call_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+        base * (0.5 + frac)
     }
 
     /// Moves a call into the completed set.
@@ -534,6 +590,7 @@ impl Machine {
                 hart_id,
                 result,
                 latency,
+                attempts: inf.attempt,
             },
         );
     }
@@ -562,6 +619,8 @@ impl Machine {
             queue_depth_hwm: self.pipeline.queue_depth_hwm,
             retries: self.pipeline.retries,
             timeouts: self.pipeline.timeouts,
+            shed: self.pipeline.shed,
+            expired: self.pipeline.expired,
             stale_duplicates: self.hub.mailbox.stale_duplicates(),
             mktme_full_line_writes: self.sys.engine.stats.full_line_writes,
             mktme_keystream_blocks_batched: self.sys.engine.stats.keystream_blocks_batched,

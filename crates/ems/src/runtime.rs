@@ -53,6 +53,8 @@ pub struct EmsStats {
     pub sanity_rejects: u64,
     /// Enclaves suspended to free KeyIDs.
     pub keyid_suspensions: u64,
+    /// EMS firmware crash-restart cycles survived.
+    pub crash_restarts: u64,
 }
 
 /// A read-only snapshot of one enclave's control state, exposed for external
@@ -372,6 +374,12 @@ impl Ems {
     /// primitives processed. (The multi-core EMS of Fig. 6 is modelled in
     /// `hypertee-sim::queueing`; functionally, service order is FIFO.)
     pub fn service(&mut self, ctx: &mut EmsContext<'_>) -> usize {
+        // An injected firmware crash loses this round and all volatile
+        // state; the warm restart reconstructs what it can.
+        if self.injector.roll(FaultKind::EmsCrash) {
+            self.crash_restart();
+            return 0;
+        }
         // An injected core stall skips this entire service round; requests
         // stay queued in the mailbox and are served next round.
         if self.injector.roll(FaultKind::EmsStall) {
@@ -402,6 +410,45 @@ impl Ems {
             served += 1;
         }
         served
+    }
+
+    /// Crashes and warm-restarts the EMS firmware, returning how many staged
+    /// requests were lost.
+    ///
+    /// Volatile state — the Rx task queue — is dropped: staged requests were
+    /// fetched from the mailbox but never executed, so the caller-side
+    /// pipeline's loss detection resubmits them under the same req_id and
+    /// nothing ever runs twice. Everything in EMS private memory survives a
+    /// warm restart: the key vault, ownership table, memory pool, control
+    /// structures, and the completion journal backing the response cache
+    /// (which keeps post-crash resubmissions of *already completed* requests
+    /// idempotent). The free-KeyID list is volatile bookkeeping, so it is
+    /// reconstructed from the authoritative tables by scanning every keyed
+    /// object — enclaves, encrypted shared regions, and CVMs.
+    pub fn crash_restart(&mut self) -> usize {
+        let dropped = self.rx.len();
+        self.rx = Ring::new(RX_RING_CAPACITY);
+        let mut in_use: BTreeSet<u16> = BTreeSet::new();
+        for e in self.enclaves.values() {
+            if let Some(k) = e.key {
+                in_use.insert(k.0);
+            }
+        }
+        for s in self.shms.values() {
+            if s.key.is_encrypted() {
+                in_use.insert(s.key.0);
+            }
+        }
+        for c in self.cvms.values() {
+            if let Some(k) = c.key {
+                in_use.insert(k.0);
+            }
+        }
+        self.free_keyids = (1..self.next_keyid)
+            .filter(|k| !in_use.contains(k))
+            .collect();
+        self.stats.crash_restarts += 1;
+        dropped
     }
 
     /// Executes one primitive request: privilege check, sanity check,

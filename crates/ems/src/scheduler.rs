@@ -134,17 +134,26 @@ impl Ems {
     /// One scheduling round of the multi-core EMS: stages pending mailbox
     /// requests into the Rx task queue, pops up to `max_requests` of them
     /// as this round's batch, plans the batch across the cores, executes in
-    /// plan order, and pushes the responses. Injected EMS/ring stalls apply
-    /// exactly as in [`Ems::service`]: a core stall skips the round, a ring
-    /// stall wedges one pop. Anything not drained stays queued for the next
-    /// round.
+    /// plan order, and pushes the responses. Injected EMS crashes and
+    /// EMS/ring stalls apply exactly as in [`Ems::service`]: a crash
+    /// warm-restarts the firmware and loses the round, a core stall skips
+    /// the round, a ring stall wedges one pop. Anything not drained stays
+    /// queued for the next round.
     pub fn service_round(
         &mut self,
         ctx: &mut EmsContext<'_>,
         scheduler: &mut EmsScheduler,
         max_requests: usize,
     ) -> Vec<ServiceRecord> {
-        if max_requests == 0 || self.injector.roll(FaultKind::EmsStall) {
+        if max_requests == 0 {
+            return Vec::new();
+        }
+        // An injected firmware crash loses the round and all volatile state.
+        if self.injector.roll(FaultKind::EmsCrash) {
+            self.crash_restart();
+            return Vec::new();
+        }
+        if self.injector.roll(FaultKind::EmsStall) {
             return Vec::new();
         }
         loop {

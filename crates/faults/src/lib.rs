@@ -40,11 +40,14 @@ pub enum FaultKind {
     TransientExhausted,
     /// The EMS core skips an entire service round.
     EmsStall,
+    /// The EMS firmware crashes and warm-restarts: volatile state (the Rx
+    /// ring) is lost, persistent state is reconstructed on the way back up.
+    EmsCrash,
 }
 
 impl FaultKind {
     /// All fault kinds, in stable order (indexes [`FaultStats`] counters).
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::MailboxDropRequest,
         FaultKind::MailboxDropResponse,
         FaultKind::MailboxDuplicateResponse,
@@ -55,6 +58,7 @@ impl FaultKind {
         FaultKind::PrimitiveAbort,
         FaultKind::TransientExhausted,
         FaultKind::EmsStall,
+        FaultKind::EmsCrash,
     ];
 
     /// Stable index of this kind into [`FaultStats`] counters.
@@ -78,6 +82,7 @@ impl FaultKind {
             FaultKind::PrimitiveAbort => "primitive-abort",
             FaultKind::TransientExhausted => "transient-exhausted",
             FaultKind::EmsStall => "ems-stall",
+            FaultKind::EmsCrash => "ems-crash",
         }
     }
 }
@@ -110,6 +115,8 @@ pub struct FaultConfig {
     pub exhausted_pm: u32,
     /// Rate for [`FaultKind::EmsStall`].
     pub ems_stall_pm: u32,
+    /// Rate for [`FaultKind::EmsCrash`].
+    pub crash_pm: u32,
     /// Upper bound (inclusive) on how many polls a delayed response is held.
     pub delay_polls_max: u32,
 }
@@ -129,6 +136,7 @@ impl FaultConfig {
             abort_step_max: 8,
             exhausted_pm: 0,
             ems_stall_pm: 0,
+            crash_pm: 0,
             delay_polls_max: 8,
         }
     }
@@ -148,6 +156,7 @@ impl FaultConfig {
             abort_step_max: 8,
             exhausted_pm: 30,
             ems_stall_pm: 40,
+            crash_pm: 10,
             delay_polls_max: 8,
         }
     }
@@ -170,6 +179,7 @@ impl FaultConfig {
             abort_step_max: 6,
             exhausted_pm: 25,
             ems_stall_pm: 30,
+            crash_pm: 0,
             delay_polls_max: 6,
         }
     }
@@ -189,6 +199,7 @@ impl FaultConfig {
             abort_step_max: 12,
             exhausted_pm: 100,
             ems_stall_pm: 150,
+            crash_pm: 30,
             delay_polls_max: 12,
         }
     }
@@ -205,6 +216,7 @@ impl FaultConfig {
             FaultKind::PrimitiveAbort => self.abort_pm,
             FaultKind::TransientExhausted => self.exhausted_pm,
             FaultKind::EmsStall => self.ems_stall_pm,
+            FaultKind::EmsCrash => self.crash_pm,
         }
     }
 }

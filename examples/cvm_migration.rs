@@ -1,8 +1,10 @@
 //! Confidential-VM lifecycle and migration (§IX): deploy an encrypted VM
 //! image, snapshot it with AES + Merkle-tree integrity, and migrate it to a
-//! second attested HyperTEE node over an encrypted channel.
+//! second attested HyperTEE node over an encrypted channel — first on idle
+//! nodes, then repeated on a node serving live enclave traffic with faults
+//! injected, measuring the blackout window each migration costs.
 //!
-//! Run with: `cargo run --example cvm_migration`
+//! Run with: `cargo run --release --example cvm_migration`
 
 use hypertee_repro::crypto::aes::{ctr_iv, Aes128};
 use hypertee_repro::crypto::chacha::ChaChaRng;
@@ -105,5 +107,32 @@ fn main() {
     println!(
         "source-side state: {:?} (no longer owns the CVM)",
         source.ems.cvm_state(cvm).unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // The same move under fire: the chaos engine boots a machine, floods
+    // it with open-loop enclave traffic and injected faults (including
+    // EMS crash-restarts), and runs migrations mid-campaign. The blackout
+    // window is the source clock's advance while the CVM is in neither
+    // place — i.e. what a tenant of the *moving* VM actually loses while
+    // the rest of the fleet keeps running.
+    // ------------------------------------------------------------------
+    println!("\n--- migration under load (seeded chaos campaign) ---");
+    let mut cfg = hypertee_repro::chaos::ChaosConfig::smoke(0x4356_4d4d);
+    cfg.migrations = 3;
+    let out = hypertee_repro::chaos::run(&cfg);
+    assert!(out.audit_ok, "consistency audit failed under load");
+    println!(
+        "campaign: {} requests over {} sessions, {} crash-restarts, {} faults injected",
+        out.requests, out.sessions, out.crash_restarts, out.faults_injected
+    );
+    println!(
+        "migrations under load: {} completed, {} refused (pool pressure)",
+        out.migrations_completed, out.migrations_failed
+    );
+    println!(
+        "blackout window: p50 = {} cycles, p99 = {} cycles",
+        out.blackout_percentile(50),
+        out.blackout_percentile(99)
     );
 }

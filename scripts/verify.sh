@@ -41,6 +41,12 @@ cargo run --release --offline -p hypertee-bench --bin bench_report -- --smoke \
 cargo run --release --offline -p hypertee-bench --bin bench_report -- \
     --check target/BENCH_perf_smoke.json
 
+echo "==> chaos campaign smoke (release, seeded, schema-validated)"
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke \
+    --out target/BENCH_chaos_smoke.json > /dev/null
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
+    --check target/BENCH_chaos_smoke.json
+
 echo "==> cargo doc --no-deps (warnings denied, offline)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

@@ -6,6 +6,7 @@
 //! [`hypertee`], the core crate implementing the paper's primary contribution.
 
 pub use hypertee;
+pub use hypertee_chaos as chaos;
 pub use hypertee_cpu;
 pub use hypertee_crypto as crypto;
 pub use hypertee_emcall as emcall;

@@ -298,3 +298,273 @@ fn disarmed_machine_never_retries() {
     assert_eq!(m.emcall.stats.resubmissions, 0);
     assert_eq!(m.fault_stats().total(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Degradation satellites: seeded back-off jitter, deadline expiry, abort
+// resume/rollback, and EMS crash-restart recovery on the async pipeline.
+// ---------------------------------------------------------------------------
+
+use hypertee_repro::faults::FaultKind;
+use hypertee_repro::sim::clock::Cycles;
+use hypertee_repro::sim::config::SocConfig;
+
+/// Boots a machine, creates one enclave fault-free, then fires a batch of
+/// EMEAS probes through the async pipeline under `config`, pumping to
+/// drain. Returns the final SoC clock and (retries, timeouts, expired).
+fn pipeline_probe(boot_seed: u64, plan_seed: u64, config: FaultConfig) -> (u64, u64, u64, u64) {
+    let mut m = Machine::boot(SocConfig::default(), boot_seed).unwrap();
+    let _enclave = m.create_enclave(0, &manifest(), b"jitter probe").unwrap();
+    m.arm_faults(&FaultPlan::new(plan_seed, config));
+    for _ in 0..16 {
+        m.submit_as(
+            0,
+            hypertee_repro::fabric::message::Privilege::Os,
+            Primitive::Ewb,
+            vec![1],
+            vec![],
+        )
+        .unwrap();
+    }
+    for _ in 0..20_000 {
+        if m.pipeline_stats().in_flight == 0 {
+            break;
+        }
+        m.pump();
+    }
+    let stats = m.pipeline_stats();
+    assert_eq!(stats.in_flight, 0, "probe batch never drained");
+    m.audit().expect("audit after probe");
+    (m.clock.0, stats.retries, stats.timeouts, stats.expired)
+}
+
+/// Satellite (a): the pump's retry back-off jitter is seeded. The same
+/// (boot seed, fault seed) pair reproduces the machine clock cycle for
+/// cycle; a different boot seed decorrelates the back-off schedule even
+/// under the identical fault plan.
+#[test]
+fn backoff_jitter_is_seeded_and_decorrelated() {
+    let _guard = SeedReporter {
+        seed: 0x717e_4a11,
+        test: "backoff_jitter_is_seeded_and_decorrelated",
+    };
+    let drops = FaultConfig {
+        drop_response_pm: 300_000,
+        ..FaultConfig::disabled()
+    };
+    let a = pipeline_probe(7, 0x717e_4a11, drops.clone());
+    let b = pipeline_probe(7, 0x717e_4a11, drops.clone());
+    assert_eq!(a, b, "same seeds must replay the identical schedule");
+    assert!(a.1 > 0, "probe too calm: no retries, jitter never drawn");
+
+    // Same fault plan, different boot seed: the losses are identical but
+    // the jittered back-off (and thus the clock) must decorrelate.
+    let c = pipeline_probe(8, 0x717e_4a11, drops);
+    assert!(c.1 > 0, "decorrelation probe saw no retries");
+    assert_ne!(a.0, c.0, "boot seed did not decorrelate the back-off");
+}
+
+/// Satellite (b): a bounded deadline policy turns stuck calls into the
+/// terminal `DeadlineExpired` instead of letting retries run their full
+/// course, and without a deadline the retry budget still bounds every
+/// call's lifetime with a terminal `Timeout`. Either way: no hangs, no
+/// unclean errors, audit green.
+#[test]
+fn deadline_and_retry_budget_terminate_stuck_calls() {
+    let _guard = SeedReporter {
+        seed: 0xdead_11fe,
+        test: "deadline_and_retry_budget_terminate_stuck_calls",
+    };
+    let storm = FaultConfig {
+        drop_response_pm: 850_000,
+        ..FaultConfig::disabled()
+    };
+
+    // Without a deadline the retry budget is the only bound: heavy loss
+    // must surface as Timeout, never as a hang.
+    let (_, retries, timeouts, expired) = pipeline_probe(9, 0xdead_11fe, storm.clone());
+    assert!(retries > 0);
+    assert!(timeouts >= 1, "no call exhausted its retry budget");
+    assert_eq!(expired, 0, "no deadline was set, nothing may expire");
+
+    // With a tight deadline the watchdog expires stuck calls first.
+    let mut m = Machine::boot(SocConfig::default(), 9).unwrap();
+    let _enclave = m.create_enclave(0, &manifest(), b"deadline probe").unwrap();
+    m.degrade.deadline = Some(Cycles((4.0 * m.book.mailbox_round_trip()) as u64));
+    m.arm_faults(&FaultPlan::new(0xdead_11fe, storm));
+    let calls: Vec<_> = (0..16)
+        .map(|_| {
+            m.submit_as(
+                0,
+                hypertee_repro::fabric::message::Privilege::Os,
+                Primitive::Ewb,
+                vec![1],
+                vec![],
+            )
+            .unwrap()
+        })
+        .collect();
+    for _ in 0..20_000 {
+        if m.pipeline_stats().in_flight == 0 {
+            break;
+        }
+        m.pump();
+    }
+    assert_eq!(
+        m.pipeline_stats().in_flight,
+        0,
+        "deadline batch never drained"
+    );
+    assert!(
+        m.pipeline_stats().expired >= 1,
+        "watchdog never fired under 85% response loss"
+    );
+    let mut terminal = 0usize;
+    for call in calls {
+        match m
+            .take_completion(call)
+            .expect("every call completes")
+            .result
+        {
+            Ok(_) => {}
+            Err(MachineError::DeadlineExpired) | Err(MachineError::Timeout) => terminal += 1,
+            Err(e) => panic!("unclean terminal status: {e}"),
+        }
+    }
+    assert!(terminal >= 1, "storm produced no terminal completions");
+    m.audit().expect("audit after deadline storm");
+}
+
+/// Satellite (c), resume half: EDESTROY is resumable. With aborts injected
+/// mid-destroy the reclaim must make monotone progress across bounded
+/// retries — audit green after every attempt — and finally complete.
+#[test]
+fn aborted_destroy_resumes_to_completion() {
+    let _guard = SeedReporter {
+        seed: 0xde57_0a11,
+        test: "aborted_destroy_resumes_to_completion",
+    };
+    let mut m = Machine::boot_default();
+    let h = m
+        .create_enclave(0, &manifest(), b"interrupted reclaim")
+        .unwrap();
+    m.arm_faults(&FaultPlan::new(
+        0xde57_0a11,
+        FaultConfig {
+            abort_pm: 400_000,
+            abort_step_max: 3,
+            ..FaultConfig::disabled()
+        },
+    ));
+    let mut destroyed = false;
+    for _ in 0..64 {
+        match m.destroy(0, h) {
+            Ok(()) => {
+                destroyed = true;
+            }
+            Err(e) => assert!(
+                !matches!(e, MachineError::Gate(_) | MachineError::Boot(_)),
+                "unclean mid-destroy failure: {e}"
+            ),
+        }
+        m.audit()
+            .unwrap_or_else(|e| panic!("audit violated mid-destroy: {e}"));
+        if destroyed {
+            break;
+        }
+    }
+    assert!(destroyed, "EDESTROY never completed within 64 resumes");
+    assert!(
+        m.fault_stats().count(FaultKind::PrimitiveAbort) >= 1,
+        "campaign too tame: no abort ever fired"
+    );
+}
+
+/// Satellite (c), rollback half: an abort in the middle of ECREATE's
+/// multi-step transaction rolls the whole primitive back — no new enclave
+/// becomes visible, the audit stays green, and the machine keeps working
+/// once the storm passes.
+#[test]
+fn aborted_create_rolls_back_the_transaction() {
+    let _guard = SeedReporter {
+        seed: 0xab0f_7ed0,
+        test: "aborted_create_rolls_back_the_transaction",
+    };
+    let mut m = Machine::boot_default();
+    let views_before = m.enclave_views().len();
+    m.arm_faults(&FaultPlan::new(
+        0xab0f_7ed0,
+        FaultConfig {
+            abort_pm: 1_000_000,
+            abort_step_max: 2,
+            ..FaultConfig::disabled()
+        },
+    ));
+    let err = m
+        .create_enclave(0, &manifest(), b"never born")
+        .expect_err("a certain abort must fail the create");
+    assert!(
+        !matches!(err, MachineError::Gate(_) | MachineError::Boot(_)),
+        "unclean create failure: {err}"
+    );
+    assert_eq!(
+        m.enclave_views().len(),
+        views_before,
+        "aborted ECREATE leaked a partially-built enclave"
+    );
+    m.audit().expect("audit after rolled-back create");
+
+    // Calm weather again: the machine is undamaged and fully usable.
+    m.arm_faults(&FaultPlan::new(0, FaultConfig::disabled()));
+    let h = m.create_enclave(0, &manifest(), b"born after all").unwrap();
+    m.destroy(0, h).unwrap();
+    m.audit().expect("final audit");
+}
+
+/// Satellite: an EMS firmware crash-restart mid-batch loses the volatile
+/// Rx ring, but the pipeline's loss detection resubmits every in-flight
+/// request under its original req_id — the whole batch still completes
+/// `Ok`, persistent state is reconstructed, and the audit holds.
+#[test]
+fn crash_restart_recovers_the_in_flight_batch() {
+    let _guard = SeedReporter {
+        seed: 0xc4a5_4e57,
+        test: "crash_restart_recovers_the_in_flight_batch",
+    };
+    let mut m = Machine::boot_default();
+    let _enclave = m.create_enclave(0, &manifest(), b"crash survivor").unwrap();
+    let calls: Vec<_> = (0..8)
+        .map(|_| {
+            m.submit_as(
+                0,
+                hypertee_repro::fabric::message::Privilege::Os,
+                Primitive::Ewb,
+                vec![1],
+                vec![],
+            )
+            .unwrap()
+        })
+        .collect();
+    // Pump once so part of the batch is staged on the EMS Rx ring, then
+    // crash the firmware: the staged requests are dropped on the floor.
+    m.pump();
+    let dropped = m.crash_restart_ems();
+    assert!(dropped > 0, "crash hit an empty ring; nothing was tested");
+    assert_eq!(m.ems.stats.crash_restarts, 1);
+
+    for _ in 0..20_000 {
+        if m.pipeline_stats().in_flight == 0 {
+            break;
+        }
+        m.pump();
+    }
+    let mut recovered = 0u32;
+    for call in calls {
+        let done = m.take_completion(call).expect("batch must drain");
+        done.result.expect("every request recovers Ok");
+        if done.attempts > 0 {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 1, "no request needed the resubmit path");
+    m.audit().expect("audit after crash-restart");
+}
