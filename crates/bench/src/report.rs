@@ -10,6 +10,7 @@
 //!   "schema_version": 1,
 //!   "suite": "hypertee-perf",
 //!   "mode": "full" | "smoke",
+//!   "threads": 4,            // optional: worker-pool width of threads_* rows
 //!   "benches": [
 //!     { "name": "...", "ns_per_op": 123.4, "gb_per_sec": 1.2|null,
 //!       "baseline_ns_per_op": 456.7|null, "speedup": 3.7|null }, ...
@@ -71,6 +72,9 @@ impl PerfBench {
 pub struct PerfReport {
     /// `"full"` for the committed trajectory, `"smoke"` for the CI gate.
     pub mode: String,
+    /// Worker-pool width used by the `threads_*` scaling rows, when the
+    /// run measured any. `None` keeps the pre-sharding schema byte-stable.
+    pub threads: Option<u64>,
     /// Benchmark rows.
     pub benches: Vec<PerfBench>,
 }
@@ -110,6 +114,9 @@ impl PerfReport {
         out.push_str(&format!("  \"suite\": \"{SUITE}\",\n"));
         out.push_str("  \"mode\": ");
         push_str(&mut out, &self.mode);
+        if let Some(t) = self.threads {
+            out.push_str(&format!(",\n  \"threads\": {t}"));
+        }
         out.push_str(",\n  \"benches\": [\n");
         for (i, b) in self.benches.iter().enumerate() {
             out.push_str("    { \"name\": ");
@@ -383,6 +390,11 @@ pub fn validate(text: &str) -> Result<(), String> {
         Some("full") | Some("smoke") => {}
         _ => return Err("mode must be \"full\" or \"smoke\"".to_string()),
     }
+    match root.get("threads") {
+        None => {}
+        Some(Json::Num(t)) if t.is_finite() && *t >= 1.0 && t.fract() == 0.0 => {}
+        Some(_) => return Err("threads must be an integer >= 1".to_string()),
+    }
     let benches = match root.get("benches") {
         Some(Json::Arr(items)) if !items.is_empty() => items,
         Some(Json::Arr(_)) => return Err("benches array is empty".to_string()),
@@ -412,6 +424,7 @@ mod tests {
     fn sample() -> PerfReport {
         PerfReport {
             mode: "smoke".to_string(),
+            threads: None,
             benches: vec![
                 PerfBench::from_timings("aes", 10.0, 4096, Some(40.0)),
                 PerfBench::from_timings("walk", 25.0, 0, None),
@@ -431,6 +444,25 @@ mod tests {
         assert!((b.speedup.unwrap() - 4.0).abs() < 1e-9);
         // 4096 bytes / 10 ns = 409.6 GB/s.
         assert!((b.gb_per_sec.unwrap() - 409.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_dimension_roundtrips_and_is_validated() {
+        let mut r = sample();
+        r.threads = Some(4);
+        let json = r.to_json();
+        assert!(json.contains("\"threads\": 4"));
+        validate(&json).unwrap();
+        // Absent threads stays valid (pre-sharding reports).
+        validate(&sample().to_json()).unwrap();
+        // Zero, fractional, or non-numeric widths are rejected.
+        for bad in ["0", "2.5", "\"4\""] {
+            let doctored = json.replace("\"threads\": 4", &format!("\"threads\": {bad}"));
+            assert!(
+                validate(&doctored).is_err(),
+                "threads={bad} must be invalid"
+            );
+        }
     }
 
     #[test]
@@ -457,6 +489,7 @@ mod tests {
         // Missing benches.
         let empty = PerfReport {
             mode: "full".to_string(),
+            threads: None,
             benches: vec![],
         };
         assert!(validate(&empty.to_json()).is_err());
@@ -478,6 +511,7 @@ mod tests {
     fn emitter_refuses_nan() {
         let r = PerfReport {
             mode: "full".to_string(),
+            threads: None,
             benches: vec![PerfBench {
                 name: "bad".to_string(),
                 ns_per_op: f64::NAN,

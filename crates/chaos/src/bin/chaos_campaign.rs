@@ -9,20 +9,30 @@
 //! structure and the same determinism check.
 //!
 //! ```text
-//! chaos_campaign [--smoke] [--seed N] [--out PATH]  # run + emit
-//! chaos_campaign --check PATH                       # validate a report
+//! chaos_campaign [--smoke] [--seed N] [--out PATH]   # run + emit
+//! chaos_campaign --shards 4 --threads 4 [...]        # sharded campaign
+//! chaos_campaign --check PATH                        # validate a report
 //! ```
+//!
+//! `--shards` fixes the logical split (part of the seeded configuration);
+//! `--threads` only sizes the worker pool, so the emitted report is
+//! byte-identical at any thread count. Wall-clock timing goes to stderr
+//! and never into the report.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use hypertee_chaos::campaign::{run, ChaosConfig};
-use hypertee_chaos::report::{render_report, validate};
+use hypertee_chaos::campaign::{run, ChaosConfig, ChaosOutcome};
+use hypertee_chaos::report::{render_report, render_sharded_report, validate};
+use hypertee_chaos::sharded::{run_sharded, ShardedChaosConfig};
 
 struct Cli {
     smoke: bool,
     seed: u64,
     out: String,
     check: Option<String>,
+    shards: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -31,6 +41,8 @@ fn parse_args() -> Result<Cli, String> {
         seed: 0xC4A0_5EED,
         out: String::new(),
         check: None,
+        shards: 1,
+        threads: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +54,22 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--out" => cli.out = args.next().ok_or("--out needs a path")?,
             "--check" => cli.check = Some(args.next().ok_or("--check needs a path")?),
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                cli.shards = v.parse().map_err(|_| format!("bad --shards value '{v}'"))?;
+                if cli.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                cli.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value '{v}'"))?;
+                if cli.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -86,10 +114,66 @@ fn main() -> ExitCode {
         ChaosConfig::fleet(cli.seed)
     };
     eprintln!(
-        "chaos_campaign: mode={} seed={:#x} sessions={} (faults, {} crashes, {} migrations)",
-        cfg.label, cfg.seed, cfg.traffic.sessions, cfg.scripted_crashes, cfg.migrations
+        "chaos_campaign: mode={} seed={:#x} sessions={} shards={} threads={} \
+         (faults, {} crashes, {} migrations)",
+        cfg.label,
+        cfg.seed,
+        cfg.traffic.sessions,
+        cli.shards,
+        cli.threads,
+        cfg.scripted_crashes,
+        cfg.migrations
     );
-    let out = run(&cfg);
+    // Wall-clock timing is observability only: it goes to stderr, never
+    // into the report, which stays byte-identical at any --threads width.
+    let started = Instant::now();
+    let (out, text): (ChaosOutcome, String) = if cli.shards > 1 {
+        let scfg = ShardedChaosConfig {
+            base: cfg.clone(),
+            shards: cli.shards,
+            threads: cli.threads,
+        };
+        let sharded = run_sharded(&scfg);
+        eprintln!(
+            "chaos_campaign: {} shards on {} threads in {:.2}s wall, \
+             simulated speedup {:.2}x (sum {} / max {} cycles)",
+            sharded.shards,
+            sharded.threads,
+            started.elapsed().as_secs_f64(),
+            sharded.simulated_speedup(),
+            sharded.sequential_clock_cycles(),
+            sharded.merged.clock_cycles,
+        );
+        // Determinism gate: the identical seed must reproduce the
+        // identical merged event stream at any worker width — replay on
+        // one inline thread and insist on a bit-identical hash.
+        let mut replay_cfg = scfg.clone();
+        replay_cfg.threads = 1;
+        let replay = run_sharded(&replay_cfg);
+        if replay.merged.trace_hash != sharded.merged.trace_hash {
+            eprintln!(
+                "chaos_campaign: NON-DETERMINISTIC across widths: trace {:#x} != replay {:#x}",
+                sharded.merged.trace_hash, replay.merged.trace_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        let text = render_sharded_report(&sharded);
+        (sharded.merged, text)
+    } else {
+        let out = run(&cfg);
+        // Determinism gate: the identical seed must reproduce the
+        // identical event stream, bit for bit.
+        let replay = run(&cfg);
+        if replay.trace_hash != out.trace_hash {
+            eprintln!(
+                "chaos_campaign: NON-DETERMINISTIC: trace {:#x} != replay {:#x}",
+                out.trace_hash, replay.trace_hash
+            );
+            return ExitCode::FAILURE;
+        }
+        let text = render_report(&out);
+        (out, text)
+    };
     eprintln!(
         "chaos_campaign: {} requests, {} ok ({} recovered), shed={} expired={} timeouts={}, \
          {} enclaves created, {} crash-restarts, audits={} ({}), lockstep={}",
@@ -105,17 +189,6 @@ fn main() -> ExitCode {
         if out.audit_ok { "green" } else { "RED" },
         if out.lockstep_ok { "green" } else { "DIVERGED" },
     );
-
-    // Determinism gate: the identical seed must reproduce the identical
-    // event stream, bit for bit.
-    let replay = run(&cfg);
-    if replay.trace_hash != out.trace_hash {
-        eprintln!(
-            "chaos_campaign: NON-DETERMINISTIC: trace {:#x} != replay {:#x}",
-            out.trace_hash, replay.trace_hash
-        );
-        return ExitCode::FAILURE;
-    }
     eprintln!(
         "chaos_campaign: replay reproduced trace {:#018x}",
         out.trace_hash
@@ -158,7 +231,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let text = render_report(&out);
     if let Err(e) = validate(&text) {
         eprintln!("chaos_campaign: emitted report fails validation: {e}");
         failed = true;

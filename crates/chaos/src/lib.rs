@@ -29,8 +29,10 @@
 pub mod campaign;
 pub mod migration;
 pub mod report;
+pub mod sharded;
 pub mod traffic;
 
 pub use campaign::{run, ChaosConfig, ChaosOutcome};
-pub use report::{render_report, validate};
+pub use report::{render_report, render_sharded_report, validate};
+pub use sharded::{run_sharded, ShardedChaosConfig, ShardedChaosOutcome};
 pub use traffic::{schedule, Arrival, TenantProfile, TrafficConfig};

@@ -10,6 +10,7 @@
 use hypertee_bench::report::{parse_json, Json};
 
 use crate::campaign::ChaosOutcome;
+use crate::sharded::ShardedChaosOutcome;
 
 /// Version of the emitted JSON schema.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -67,6 +68,20 @@ fn push_kv_u64(out: &mut String, key: &str, v: u64) {
 
 /// Serializes a campaign outcome as `BENCH_chaos.json`.
 pub fn render_report(out: &ChaosOutcome) -> String {
+    render(out, None)
+}
+
+/// Serializes a *sharded* campaign outcome: the merged counters plus a
+/// `sharding` section of per-shard seeds and trace hashes. Every emitted
+/// field is deterministic in `(seed, shards)` — the worker-thread count and
+/// wall-clock time are deliberately excluded, so reports produced at
+/// different `--threads` widths are byte-identical (the parallel-determinism
+/// smoke in `scripts/verify.sh` compares them with `cmp`).
+pub fn render_sharded_report(out: &ShardedChaosOutcome) -> String {
+    render(&out.merged, Some(out))
+}
+
+fn render(out: &ChaosOutcome, sharding: Option<&ShardedChaosOutcome>) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
@@ -119,6 +134,28 @@ pub fn render_report(out: &ChaosOutcome) -> String {
     push_kv_u64(&mut s, "blackout_p99_cycles", out.blackout_percentile(99));
     push_kv_u64(&mut s, "clock_cycles", out.clock_cycles);
     s.push_str(&format!("  \"stalled\": {},\n", out.stalled));
+    if let Some(sh) = sharding {
+        s.push_str("  \"sharding\": {\n");
+        s.push_str(&format!("    \"shards\": {},\n", sh.shards));
+        s.push_str(&format!(
+            "    \"simulated_speedup\": {:.4},\n",
+            sh.simulated_speedup()
+        ));
+        s.push_str("    \"per_shard\": [\n");
+        for (i, p) in sh.per_shard.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{ \"shard\": {i}, \"seed\": \"0x{:016x}\", \
+                 \"trace_hash\": \"0x{:016x}\", \"requests\": {}, \
+                 \"clock_cycles\": {} }}",
+                p.seed, p.trace_hash, p.requests, p.clock_cycles
+            ));
+            if i + 1 < sh.per_shard.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("    ]\n  },\n");
+    }
     s.push_str("  \"slo_cdf\": [\n");
     for (i, (mult, frac)) in out.slo_cdf.iter().enumerate() {
         assert!(frac.is_finite(), "refusing to emit non-finite fraction");
@@ -214,6 +251,42 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     if counter(&doc, "blackout_p99_cycles")? < counter(&doc, "blackout_p50_cycles")? {
         return Err("blackout p99 < p50".to_string());
+    }
+    // Optional sharded-campaign section: shard count must match the
+    // per-shard rows, every row well-formed, and the shard requests must
+    // sum to the merged counter (the merge is a plain sum).
+    if let Some(sharding) = doc.get("sharding") {
+        let shards = counter(sharding, "shards")?;
+        counter(sharding, "simulated_speedup")?;
+        let Some(Json::Arr(rows)) = sharding.get("per_shard") else {
+            return Err("sharding.per_shard missing or not an array".to_string());
+        };
+        if rows.len() as f64 != shards {
+            return Err(format!(
+                "sharding.shards = {shards} but {} per_shard rows",
+                rows.len()
+            ));
+        }
+        let mut shard_requests = 0.0f64;
+        for (i, row) in rows.iter().enumerate() {
+            if counter(row, "shard")? != i as f64 {
+                return Err(format!("per_shard row {i} out of shard order"));
+            }
+            for key in ["seed", "trace_hash"] {
+                match row.get(key).and_then(Json::as_str) {
+                    Some(s) if s.starts_with("0x") && s.len() == 18 => {}
+                    _ => return Err(format!("per_shard row {i}: bad '{key}'")),
+                }
+            }
+            counter(row, "clock_cycles")?;
+            shard_requests += counter(row, "requests")?;
+        }
+        if shard_requests != counter(&doc, "requests")? {
+            return Err(format!(
+                "shard requests sum to {shard_requests}, merged counter says {}",
+                counter(&doc, "requests")?
+            ));
+        }
     }
     let Some(Json::Arr(cdf)) = doc.get("slo_cdf") else {
         return Err("missing or non-array slo_cdf".to_string());

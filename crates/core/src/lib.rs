@@ -39,6 +39,7 @@ pub mod machine;
 pub mod manifest;
 pub mod pipeline;
 pub mod sdk;
+pub mod shard;
 
 pub use machine::Machine;
 pub use manifest::EnclaveManifest;

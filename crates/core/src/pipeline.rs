@@ -27,6 +27,7 @@ use hypertee_ems::scheduler::{EmsScheduler, ServiceRecord};
 use hypertee_fabric::message::{Primitive, Privilege, Response, Status};
 use hypertee_sim::clock::Cycles;
 use hypertee_sim::config::CoreConfig;
+use hypertee_sim::rng;
 use std::collections::BTreeMap;
 
 /// Handle to a submitted-but-not-yet-completed primitive call.
@@ -564,18 +565,16 @@ impl Machine {
     /// same seed still replays the exact same trace.
     fn backoff(&self, attempt: u32, call_id: u64) -> f64 {
         let base = self.book.retry_backoff * f64::from(1u32 << (attempt - 1).min(16));
-        // splitmix64 finalizer: stateless, so the jitter draw order can
-        // never perturb any other random stream.
-        let mut x = self.pipeline.jitter_seed
-            ^ call_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03);
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-        x ^= x >> 31;
-        let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
-        base * (0.5 + frac)
+        // splitmix64 finalizer (shared via `hypertee_sim::rng`): stateless,
+        // so the jitter draw can never perturb any other random stream, and
+        // in a sharded machine the jitter seed is itself derived from the
+        // shard's splitmix stream, keeping jitter thread-count-invariant.
+        let x = rng::mix(
+            self.pipeline.jitter_seed
+                ^ call_id.wrapping_mul(rng::GOLDEN_GAMMA)
+                ^ u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03),
+        );
+        base * (0.5 + rng::unit(x))
     }
 
     /// Moves a call into the completed set.

@@ -17,7 +17,7 @@
 use crate::error::EmsResult;
 use crate::runtime::{Ems, EmsContext};
 use hypertee_crypto::chacha::ChaChaRng;
-use hypertee_fabric::message::{Primitive, Response};
+use hypertee_fabric::message::{Primitive, Request, Response};
 use hypertee_faults::FaultKind;
 use hypertee_mem::ownership::EnclaveId;
 
@@ -130,31 +130,66 @@ pub struct ServiceRecord {
     pub response: Response,
 }
 
+/// A planned-but-not-yet-executed scheduling round: the batch popped from
+/// the Rx ring plus the randomized core/slot plan for it.
+///
+/// The plan/execute split is what lets a sharded machine run EMS rounds in
+/// parallel: each shard's [`Ems::plan_round`] draws from that shard's own
+/// scheduler stream (all the randomness of the round happens here), and the
+/// resulting `RoundPlan`s can then be serviced by [`Ems::execute_plan`] on
+/// worker threads without any further draws — so execution timing cannot
+/// perturb any random stream. [`Ems::service_round`] composes the two
+/// back-to-back and remains the single-threaded reference behavior.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    batch: Vec<Request>,
+    plan: Vec<Assignment>,
+}
+
+impl RoundPlan {
+    /// Whether the round has nothing to execute (crashed, stalled, or no
+    /// pending requests).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Requests in the round's batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// The core/slot assignments, in execution (merged) order.
+    #[must_use]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.plan
+    }
+}
+
 impl Ems {
-    /// One scheduling round of the multi-core EMS: stages pending mailbox
-    /// requests into the Rx task queue, pops up to `max_requests` of them
-    /// as this round's batch, plans the batch across the cores, executes in
-    /// plan order, and pushes the responses. Injected EMS crashes and
-    /// EMS/ring stalls apply exactly as in [`Ems::service`]: a crash
-    /// warm-restarts the firmware and loses the round, a core stall skips
-    /// the round, a ring stall wedges one pop. Anything not drained stays
-    /// queued for the next round.
-    pub fn service_round(
+    /// The *plan* half of a scheduling round: rolls the round's fault
+    /// injections (an injected firmware crash warm-restarts and loses the
+    /// round; a core stall skips it; a ring stall wedges one pop), stages
+    /// pending mailbox requests into the Rx task queue, pops up to
+    /// `max_requests` as this round's batch, and plans the batch across the
+    /// cores. Every random draw of the round happens here.
+    pub fn plan_round(
         &mut self,
         ctx: &mut EmsContext<'_>,
         scheduler: &mut EmsScheduler,
         max_requests: usize,
-    ) -> Vec<ServiceRecord> {
+    ) -> RoundPlan {
         if max_requests == 0 {
-            return Vec::new();
+            return RoundPlan::default();
         }
         // An injected firmware crash loses the round and all volatile state.
         if self.injector.roll(FaultKind::EmsCrash) {
             self.crash_restart();
-            return Vec::new();
+            return RoundPlan::default();
         }
         if self.injector.roll(FaultKind::EmsStall) {
-            return Vec::new();
+            return RoundPlan::default();
         }
         loop {
             if self.rx.is_full() {
@@ -175,7 +210,18 @@ impl Ems {
         }
         let callers: Vec<Option<EnclaveId>> = batch.iter().map(|r| r.caller.enclave).collect();
         let plan = scheduler.plan(&callers);
-        // Execute in plan order (slot-major per the merged sequence).
+        RoundPlan { batch, plan }
+    }
+
+    /// The *service* half of a scheduling round: executes a [`RoundPlan`]
+    /// in plan order (slot-major per the merged sequence) and pushes the
+    /// responses back through the mailbox. Draws no randomness.
+    pub fn execute_plan(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        round: RoundPlan,
+    ) -> Vec<ServiceRecord> {
+        let RoundPlan { batch, plan } = round;
         let mut records = Vec::with_capacity(plan.len());
         for a in &plan {
             let req = batch[a.request_index].clone();
@@ -195,6 +241,26 @@ impl Ems {
             ctx.hub.ems_push_response(&self.cap, r.response.clone());
         }
         records
+    }
+
+    /// One scheduling round of the multi-core EMS: stages pending mailbox
+    /// requests into the Rx task queue, pops up to `max_requests` of them
+    /// as this round's batch, plans the batch across the cores, executes in
+    /// plan order, and pushes the responses. Injected EMS crashes and
+    /// EMS/ring stalls apply exactly as in [`Ems::service`]: a crash
+    /// warm-restarts the firmware and loses the round, a core stall skips
+    /// the round, a ring stall wedges one pop. Anything not drained stays
+    /// queued for the next round.
+    ///
+    /// Exactly [`Ems::plan_round`] followed by [`Ems::execute_plan`].
+    pub fn service_round(
+        &mut self,
+        ctx: &mut EmsContext<'_>,
+        scheduler: &mut EmsScheduler,
+        max_requests: usize,
+    ) -> Vec<ServiceRecord> {
+        let round = self.plan_round(ctx, scheduler, max_requests);
+        self.execute_plan(ctx, round)
     }
 
     /// Drains the mailbox in scheduler order: fetches every pending request

@@ -1,0 +1,326 @@
+//! Ownership-partitioned physical memory for sharded simulation.
+//!
+//! A sharded machine (see `hypertee::shard`) gives each shard domain a
+//! disjoint slice of the global physical frame space. This module is the
+//! *contract* for that split:
+//!
+//! * [`MemPartition`] — one shard's slice: `[base, base + frames)`.
+//! * [`PartitionMap`] — the validated set of slices. Construction rejects
+//!   empty or overlapping slices outright, so a machine can never be built
+//!   on an ambiguous ownership map (the overlap-rejection regression test
+//!   rides on this).
+//! * [`PartitionMap::reconcile`] — the audit-visible half: after a barrier,
+//!   every frame a shard reports as allocated is checked against the
+//!   shard's own slice. A frame outside it is a [`PartitionError::
+//!   ForeignFrame`], surfaced through the machine's `ConsistencyAudit`
+//!   path rather than silently merged.
+//!
+//! Frames are named by *global* [`Ppn`]s throughout; a shard's local
+//! allocator covers exactly its slice, so local→global translation is just
+//! "is it inside my partition".
+
+use crate::addr::Ppn;
+use std::fmt;
+
+/// One shard's slice of the global physical frame space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPartition {
+    /// Owning shard (dense, `0..shards`).
+    pub shard_id: usize,
+    /// First frame of the slice (global PPN).
+    pub base: Ppn,
+    /// Slice length in frames (must be non-zero).
+    pub frames: u64,
+}
+
+impl MemPartition {
+    /// One-past-the-end frame of the slice.
+    #[must_use]
+    pub fn end(&self) -> Ppn {
+        Ppn(self.base.0 + self.frames)
+    }
+
+    /// Whether `ppn` falls inside this slice.
+    #[must_use]
+    pub fn contains(&self, ppn: Ppn) -> bool {
+        ppn >= self.base && ppn < self.end()
+    }
+}
+
+/// Why a partition map or reconciliation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// No partitions were supplied.
+    Empty,
+    /// A partition has zero frames (shard id attached).
+    EmptyPartition(usize),
+    /// Two partitions overlap (the two shard ids).
+    Overlap(usize, usize),
+    /// Shard ids are not dense `0..shards` (the offending id).
+    BadShardId(usize),
+    /// A partition's frame count does not match the shard's machine.
+    SizeMismatch {
+        /// The shard whose slice is mis-sized.
+        shard: usize,
+        /// Frames the shard's machine actually manages.
+        expected: u64,
+        /// Frames the supplied partition covers.
+        got: u64,
+    },
+    /// Reconciliation found shard `shard` holding global frame `ppn`
+    /// outside its own slice.
+    ForeignFrame {
+        /// The shard that reported the frame.
+        shard: usize,
+        /// The out-of-slice frame.
+        ppn: Ppn,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Empty => write!(f, "no memory partitions supplied"),
+            PartitionError::EmptyPartition(s) => {
+                write!(f, "shard {s} has an empty memory partition")
+            }
+            PartitionError::Overlap(a, b) => {
+                write!(f, "memory partitions of shards {a} and {b} overlap")
+            }
+            PartitionError::BadShardId(s) => {
+                write!(f, "shard ids are not dense 0..n (saw {s})")
+            }
+            PartitionError::SizeMismatch {
+                shard,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shard {shard} partition covers {got} frames, machine manages {expected}"
+            ),
+            PartitionError::ForeignFrame { shard, ppn } => write!(
+                f,
+                "shard {shard} holds frame {:#x} outside its partition",
+                ppn.0
+            ),
+        }
+    }
+}
+
+/// Outcome of an audit-time reconciliation pass over every shard's
+/// allocated-frame report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartitionReconciliation {
+    /// Frames checked across all shards.
+    pub frames_checked: u64,
+    /// Shards reconciled.
+    pub shards: usize,
+}
+
+/// A validated, non-overlapping set of shard memory partitions.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    parts: Vec<MemPartition>,
+}
+
+impl PartitionMap {
+    /// Validates `parts` into a map. Shard ids must be dense `0..n` (in any
+    /// order), every slice non-empty, and no two slices may overlap.
+    pub fn new(mut parts: Vec<MemPartition>) -> Result<PartitionMap, PartitionError> {
+        if parts.is_empty() {
+            return Err(PartitionError::Empty);
+        }
+        let n = parts.len();
+        let mut seen = vec![false; n];
+        for p in &parts {
+            if p.frames == 0 {
+                return Err(PartitionError::EmptyPartition(p.shard_id));
+            }
+            if p.shard_id >= n || seen[p.shard_id] {
+                return Err(PartitionError::BadShardId(p.shard_id));
+            }
+            seen[p.shard_id] = true;
+        }
+        // Sort by base; any overlap is then between neighbours.
+        parts.sort_by_key(|p| p.base);
+        for w in parts.windows(2) {
+            if w[1].base < w[0].end() {
+                return Err(PartitionError::Overlap(w[0].shard_id, w[1].shard_id));
+            }
+        }
+        // Store in shard-id order: the stable merge order of the sharded
+        // machine must never depend on where the slices sit in memory.
+        parts.sort_by_key(|p| p.shard_id);
+        Ok(PartitionMap { parts })
+    }
+
+    /// An even split of `[base, base + total_frames)` into `shards` slices
+    /// (remainder frames go to the low shards). The canonical layout the
+    /// sharded machine boots with.
+    pub fn split_even(
+        base: Ppn,
+        total_frames: u64,
+        shards: usize,
+    ) -> Result<PartitionMap, PartitionError> {
+        if shards == 0 {
+            return Err(PartitionError::Empty);
+        }
+        let n = shards as u64;
+        if total_frames < n {
+            return Err(PartitionError::EmptyPartition(shards - 1));
+        }
+        let per = total_frames / n;
+        let rem = total_frames % n;
+        let mut parts = Vec::with_capacity(shards);
+        let mut cursor = base.0;
+        for shard_id in 0..shards {
+            let frames = per + u64::from((shard_id as u64) < rem);
+            parts.push(MemPartition {
+                shard_id,
+                base: Ppn(cursor),
+                frames,
+            });
+            cursor += frames;
+        }
+        PartitionMap::new(parts)
+    }
+
+    /// The partitions, in stable shard-id order.
+    #[must_use]
+    pub fn partitions(&self) -> &[MemPartition] {
+        &self.parts
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The slice owned by `shard_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_id` is out of range (construction guarantees
+    /// dense ids, so in-range lookups cannot fail).
+    #[must_use]
+    pub fn partition(&self, shard_id: usize) -> MemPartition {
+        self.parts[shard_id]
+    }
+
+    /// Which shard owns global frame `ppn`, if any.
+    #[must_use]
+    pub fn owner_of(&self, ppn: Ppn) -> Option<usize> {
+        self.parts
+            .iter()
+            .find(|p| p.contains(ppn))
+            .map(|p| p.shard_id)
+    }
+
+    /// Audit-visible reconciliation: `held[s]` is the list of global frames
+    /// shard `s` currently holds allocated. Every frame must fall inside
+    /// shard `s`'s own slice; the first violation (in shard-id order, so
+    /// the verdict is deterministic) is returned as
+    /// [`PartitionError::ForeignFrame`].
+    pub fn reconcile(&self, held: &[Vec<Ppn>]) -> Result<PartitionReconciliation, PartitionError> {
+        let mut checked = 0u64;
+        for (shard, frames) in held.iter().enumerate() {
+            let part = self
+                .parts
+                .get(shard)
+                .copied()
+                .ok_or(PartitionError::BadShardId(shard))?;
+            for &ppn in frames {
+                if !part.contains(ppn) {
+                    return Err(PartitionError::ForeignFrame { shard, ppn });
+                }
+                checked += 1;
+            }
+        }
+        Ok(PartitionReconciliation {
+            frames_checked: checked,
+            shards: held.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(shard_id: usize, base: u64, frames: u64) -> MemPartition {
+        MemPartition {
+            shard_id,
+            base: Ppn(base),
+            frames,
+        }
+    }
+
+    #[test]
+    fn split_even_covers_exactly_and_in_order() {
+        let map = PartitionMap::split_even(Ppn(64), 1003, 4).unwrap();
+        assert_eq!(map.shards(), 4);
+        let total: u64 = map.partitions().iter().map(|p| p.frames).sum();
+        assert_eq!(total, 1003);
+        let mut cursor = 64;
+        for (i, p) in map.partitions().iter().enumerate() {
+            assert_eq!(p.shard_id, i);
+            assert_eq!(p.base.0, cursor);
+            cursor = p.end().0;
+        }
+        assert_eq!(map.owner_of(Ppn(64)), Some(0));
+        assert_eq!(map.owner_of(Ppn(64 + 1002)), Some(3));
+        assert_eq!(map.owner_of(Ppn(63)), None);
+        assert_eq!(map.owner_of(Ppn(64 + 1003)), None);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let err = PartitionMap::new(vec![part(0, 0, 100), part(1, 99, 100)]).unwrap_err();
+        assert_eq!(err, PartitionError::Overlap(0, 1));
+        // Adjacent (touching) slices are fine.
+        assert!(PartitionMap::new(vec![part(0, 0, 100), part(1, 100, 100)]).is_ok());
+    }
+
+    #[test]
+    fn degenerate_maps_are_rejected() {
+        assert_eq!(
+            PartitionMap::new(vec![]).unwrap_err(),
+            PartitionError::Empty
+        );
+        assert_eq!(
+            PartitionMap::new(vec![part(0, 0, 0)]).unwrap_err(),
+            PartitionError::EmptyPartition(0)
+        );
+        assert_eq!(
+            PartitionMap::new(vec![part(0, 0, 10), part(0, 20, 10)]).unwrap_err(),
+            PartitionError::BadShardId(0)
+        );
+        assert_eq!(
+            PartitionMap::new(vec![part(2, 0, 10)]).unwrap_err(),
+            PartitionError::BadShardId(2)
+        );
+        assert_eq!(
+            PartitionMap::split_even(Ppn(0), 3, 4).unwrap_err(),
+            PartitionError::EmptyPartition(3)
+        );
+    }
+
+    #[test]
+    fn reconcile_accepts_owned_and_flags_foreign() {
+        let map = PartitionMap::new(vec![part(0, 0, 100), part(1, 100, 100)]).unwrap();
+        let ok = map
+            .reconcile(&[vec![Ppn(0), Ppn(99)], vec![Ppn(100), Ppn(199)]])
+            .unwrap();
+        assert_eq!(ok.frames_checked, 4);
+        assert_eq!(ok.shards, 2);
+        let err = map.reconcile(&[vec![Ppn(0)], vec![Ppn(99)]]).unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::ForeignFrame {
+                shard: 1,
+                ppn: Ppn(99)
+            }
+        );
+    }
+}

@@ -37,4 +37,5 @@ pub mod latency;
 pub mod noc;
 pub mod perf;
 pub mod queueing;
+pub mod rng;
 pub mod stats;

@@ -47,6 +47,15 @@ cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke 
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
     --check target/BENCH_chaos_smoke.json
 
+echo "==> parallel determinism smoke (sharded chaos, 1 vs 4 threads, byte-compared)"
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke --shards 4 \
+    --threads 1 --out target/BENCH_chaos_shard_t1.json > /dev/null
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke --shards 4 \
+    --threads 4 --out target/BENCH_chaos_shard_t4.json > /dev/null
+cmp target/BENCH_chaos_shard_t1.json target/BENCH_chaos_shard_t4.json
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
+    --check target/BENCH_chaos_shard_t4.json
+
 echo "==> cargo doc --no-deps (warnings denied, offline)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
