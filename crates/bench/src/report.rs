@@ -92,7 +92,10 @@ fn push_opt(out: &mut String, v: Option<f64>) {
     }
 }
 
-fn push_str(out: &mut String, s: &str) {
+/// Appends `s` as a JSON string literal (with escaping). Shared by every
+/// report emitter in the workspace (`bench_report`, `chaos_campaign`,
+/// `serving_bench`) so the escaping rules cannot drift between suites.
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -103,6 +106,70 @@ fn push_str(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+fn push_str(out: &mut String, s: &str) {
+    push_json_str(out, s);
+}
+
+/// Appends a `"key": value,` counter line at two-space indent.
+///
+/// # Panics
+///
+/// Panics when `v` would lose precision in the validator's `f64` round
+/// trip (counters past 2^53 have no business in a report).
+pub fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    assert!(
+        v < (1u64 << 53),
+        "counter '{key}' = {v} would lose precision in JSON"
+    );
+    out.push_str(&format!("  \"{key}\": {v},\n"));
+}
+
+/// Validator helper: `key` must be a finite non-negative number.
+///
+/// # Errors
+///
+/// A human-readable description of the violation.
+pub fn req_counter(doc: &Json, key: &str) -> Result<f64, String> {
+    match doc.get(key) {
+        Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => Ok(*v),
+        Some(Json::Num(v)) => Err(format!("'{key}' must be a finite non-negative number: {v}")),
+        Some(_) => Err(format!("'{key}' has the wrong type")),
+        None => Err(format!("missing key '{key}'")),
+    }
+}
+
+/// Validator helper: `key` must be a boolean.
+///
+/// # Errors
+///
+/// A human-readable description of the violation.
+pub fn req_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+        None => Err(format!("missing key '{key}'")),
+    }
+}
+
+/// Validator helper: `key` must be a `"0x"`-prefixed 16-hex-digit u64.
+///
+/// # Errors
+///
+/// A human-readable description of the violation.
+pub fn req_hex_u64(doc: &Json, key: &str) -> Result<(), String> {
+    match doc.get(key).and_then(Json::as_str) {
+        Some(s)
+            if s.starts_with("0x")
+                && s.len() == 18
+                && s[2..].bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            Ok(())
+        }
+        Some(s) => Err(format!("'{key}' is not a 0x-prefixed u64: '{s}'")),
+        None => Err(format!("missing key '{key}'")),
+    }
 }
 
 impl PerfReport {

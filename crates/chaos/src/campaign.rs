@@ -33,6 +33,7 @@ use hypertee_sim::clock::Cycles;
 use hypertee_sim::config::{CoreConfig, EmsCluster, SocConfig};
 
 use crate::migration::MigrationEngine;
+use crate::storm::{StormConfig, StormDriver, StormOutcome};
 use crate::traffic::{schedule, TenantProfile, TrafficConfig};
 
 /// Bytes each entered session allocates (and frees) per EALLOC round.
@@ -82,6 +83,9 @@ pub struct ChaosConfig {
     /// Hard tick ceiling (a stuck campaign reports `stalled` instead of
     /// spinning forever).
     pub max_ticks: u64,
+    /// Attestation storm riding on top of the session traffic (`None` =
+    /// no service facade in the campaign).
+    pub storm: Option<StormConfig>,
 }
 
 impl ChaosConfig {
@@ -103,6 +107,22 @@ impl ChaosConfig {
             ems_stall_pm: 10,
             crash_pm: 1,
             delay_polls_max: 6,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// [`ChaosConfig::chaos_faults`] with the service-transport sites armed
+    /// at [`FaultConfig::service_storm`] rates on top.
+    pub fn serving_faults() -> FaultConfig {
+        let service = FaultConfig::service_storm();
+        FaultConfig {
+            rpc_drop_pm: service.rpc_drop_pm,
+            rpc_duplicate_pm: service.rpc_duplicate_pm,
+            rpc_delay_pm: service.rpc_delay_pm,
+            rpc_replay_pm: service.rpc_replay_pm,
+            stale_quote_pm: service.stale_quote_pm,
+            token_forge_pm: service.token_forge_pm,
+            ..ChaosConfig::chaos_faults()
         }
     }
 
@@ -123,6 +143,7 @@ impl ChaosConfig {
             lockstep_rounds: 2,
             lockstep_commands: 96,
             max_ticks: 600_000,
+            storm: None,
         }
     }
 
@@ -142,6 +163,30 @@ impl ChaosConfig {
             lockstep_rounds: 1,
             lockstep_commands: 48,
             max_ticks: 200_000,
+            storm: None,
+        }
+    }
+
+    /// The serving acceptance campaign: the fleet campaign with the
+    /// service-transport fault sites armed and an attestation storm
+    /// hammering the facade for the whole run — through every scripted
+    /// crash-restart and migration.
+    pub fn serving_fleet(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            label: "serving-fleet",
+            faults: Some(ChaosConfig::serving_faults()),
+            storm: Some(StormConfig::fleet()),
+            ..ChaosConfig::fleet(seed)
+        }
+    }
+
+    /// A seconds-scale serving campaign for CI smoke.
+    pub fn serving_smoke(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            label: "serving-smoke",
+            faults: Some(ChaosConfig::serving_faults()),
+            storm: Some(StormConfig::smoke()),
+            ..ChaosConfig::smoke(seed)
         }
     }
 }
@@ -187,6 +232,10 @@ pub struct ChaosOutcome {
     pub enclaves_destroyed: u64,
     /// Enclaves (or suspected orphans) the driver had to abandon.
     pub leaked_enclaves: u64,
+    /// Leaked enclaves the post-drain reaper recovered with resumable
+    /// EDESTROY retries. Leaks with a known enclave id must all come back;
+    /// only deliberate taints (id never learned) stay unreclaimed.
+    pub reclaimed_enclaves: u64,
     /// Faults the armed plan actually injected.
     pub faults_injected: u64,
     /// EMS crash-restarts (scripted + organic).
@@ -220,6 +269,8 @@ pub struct ChaosOutcome {
     /// SLO CDF under faults: `(multiple of the clean mailbox round trip,
     /// fraction of Ok completions at or under it)`.
     pub slo_cdf: Vec<(u32, f64)>,
+    /// What the attestation storm measured (when the config armed one).
+    pub storm: Option<StormOutcome>,
     /// Final machine clock in cycles.
     pub clock_cycles: u64,
     /// FNV-1a fold over the full campaign event stream.
@@ -366,6 +417,10 @@ struct Driver {
     enclaves_created: u64,
     enclaves_destroyed: u64,
     leaked_enclaves: u64,
+    /// Leaks whose enclave id is known: candidates for the post-drain
+    /// reaper. Deliberate taints (id never learned) are not recorded.
+    leaked_eids: Vec<u64>,
+    reclaimed_enclaves: u64,
     ok_responses: u64,
     recovered: u64,
     rejections: u64,
@@ -424,6 +479,9 @@ impl Driver {
             // A known enclave we could not destroy, or a tainted early step
             // (the EMS may have registered the window): leak, don't free.
             self.leaked_enclaves += 1;
+            if self.sessions[s].eid != 0 {
+                self.leaked_eids.push(self.sessions[s].eid);
+            }
             self.sessions[s].window = None;
         }
         let window = self.sessions[s].window.take();
@@ -718,9 +776,59 @@ impl Driver {
             // EMS may still reference the window: leaked, not freed.
             sess.window = None;
             sess.state = SessionState::Failed;
+            let eid = sess.eid;
             self.leaked_enclaves += 1;
+            if eid != 0 {
+                self.leaked_eids.push(eid);
+            }
             self.sessions_failed += 1;
             self.live -= 1;
+        }
+    }
+
+    /// Post-drain reaper: with the traffic gone and the pipeline quiet,
+    /// every leak with a known enclave id gets a bounded second chance.
+    /// EDESTROY is resumable and idempotent (`NotFound` means an earlier
+    /// attempt's lost response was nevertheless executed), so synchronous
+    /// retries here recover everything the fault plan merely delayed.
+    fn reap_leaks(&mut self, tick: u64) {
+        let eids = std::mem::take(&mut self.leaked_eids);
+        for eid in eids {
+            let mut reclaimed = false;
+            for _ in 0..DESTROY_TRY_MAX {
+                match self.destroy_once(eid) {
+                    Ok(_) => {
+                        self.enclaves_destroyed += 1;
+                        reclaimed = true;
+                    }
+                    Err(MachineError::Primitive(Status::NotFound)) => reclaimed = true,
+                    Err(MachineError::Primitive(Status::Exhausted))
+                    | Err(MachineError::Timeout)
+                    | Err(MachineError::DeadlineExpired)
+                    | Err(MachineError::Backpressure) => continue,
+                    Err(_) => {}
+                }
+                break;
+            }
+            if reclaimed {
+                self.reclaimed_enclaves += 1;
+            }
+            fold(&mut self.hash, &[9, tick, eid, u64::from(reclaimed)]);
+        }
+    }
+
+    /// One synchronous OS-privileged EDESTROY through the pipeline (EMCall
+    /// gates the primitive to OS callers; [`Machine::invoke`] would submit
+    /// at the hart's resting privilege and be refused at the gate).
+    fn destroy_once(&mut self, eid: u64) -> Result<Response, MachineError> {
+        let call = self
+            .m
+            .submit_as(0, Privilege::Os, Primitive::Edestroy, vec![eid], vec![])?;
+        loop {
+            self.m.pump();
+            if let Some(done) = self.m.take_completion(call) {
+                return done.result;
+            }
         }
     }
 
@@ -769,6 +877,8 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
         enclaves_created: 0,
         enclaves_destroyed: 0,
         leaked_enclaves: 0,
+        leaked_eids: Vec::new(),
+        reclaimed_enclaves: 0,
         ok_responses: 0,
         recovered: 0,
         rejections: 0,
@@ -785,6 +895,19 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
     if let Some(fc) = &cfg.faults {
         d.m.arm_faults(&FaultPlan::new(cfg.seed, fc.clone()));
     }
+
+    // The attestation storm rides the same seed and fault plan; its
+    // injector draws from a fresh site stream ("service"), so arming it
+    // never perturbs the mailbox/DMA fault schedules of plain campaigns.
+    let mut storm = cfg.storm.clone().map(|sc| {
+        let plan = FaultPlan::new(
+            cfg.seed,
+            cfg.faults.clone().unwrap_or_else(FaultConfig::disabled),
+        );
+        let mut s = StormDriver::new(sc, cfg.seed, plan.injector("service"));
+        s.boot(&mut d.m);
+        s
+    });
 
     let arrivals = schedule(cfg.seed, &cfg.traffic);
     let span = arrivals.last().map(|a| a.tick).unwrap_or(0).max(1);
@@ -827,7 +950,8 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
         let events_pending = next_crash < crash_ticks.len()
             || next_migration < migration_ticks.len()
             || live_migration.is_some();
-        if drained && !events_pending && d.m.pipeline_stats().in_flight == 0 {
+        let storm_pending = storm.as_ref().is_some_and(|s| !s.done());
+        if drained && !events_pending && !storm_pending && d.m.pipeline_stats().in_flight == 0 {
             break;
         }
         if tick >= cfg.max_ticks {
@@ -857,6 +981,11 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
             d.crash_dropped += dropped;
             fold(&mut d.hash, &[4, tick, dropped]);
             d.run_audit(tick);
+            // Supervised recovery: the facade notices the epoch bump,
+            // revokes every session, and re-probes before serving again.
+            if let Some(st) = storm.as_mut() {
+                st.on_crash(&mut d.m, tick);
+            }
             next_crash += 1;
         }
 
@@ -894,6 +1023,12 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
                 d.route.insert(call.id, Route::Background);
                 fold(&mut d.hash, &[1, tick, u64::MAX, 9]);
             }
+        }
+
+        // The storm interleaves its handshakes and authenticated calls
+        // with the session traffic (deterministic point in the tick).
+        if let Some(st) = storm.as_mut() {
+            st.step(&mut d.m, tick, drained && !events_pending);
         }
 
         // Session submissions (deterministic order: ascending session id).
@@ -952,8 +1087,30 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
 
         tick += 1;
     }
-    // Final audit over the drained machine.
+    // Leaked-enclave reaper, then the final audit over the drained machine
+    // (the audit thereby also covers the reaper's destroys).
+    if !stalled {
+        d.reap_leaks(tick);
+    }
     d.run_audit(tick);
+
+    // Fold the storm's verdict into the trace before the final fold.
+    let storm_outcome = storm.map(StormDriver::finish);
+    if let Some(so) = &storm_outcome {
+        fold(
+            &mut d.hash,
+            &[
+                10,
+                so.handshakes_attempted,
+                so.handshakes_completed,
+                so.calls_ok,
+                so.accepted_attacks(),
+                so.breaker_to_open,
+                so.reprobes,
+                so.service_faults_injected,
+            ],
+        );
+    }
 
     // Lockstep rounds: replay seeded traces against the PR 3 reference
     // model under the model-checking fault campaign; any divergence is a
@@ -1039,7 +1196,11 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
         enclaves_created: d.enclaves_created,
         enclaves_destroyed: d.enclaves_destroyed,
         leaked_enclaves: d.leaked_enclaves,
-        faults_injected: d.m.fault_stats().total(),
+        reclaimed_enclaves: d.reclaimed_enclaves,
+        faults_injected: d.m.fault_stats().total()
+            + storm_outcome
+                .as_ref()
+                .map_or(0, |s| s.service_faults_injected),
         crash_restarts,
         crash_dropped_requests: d.crash_dropped,
         queue_depth_hwm: stats.queue_depth_hwm,
@@ -1054,6 +1215,7 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
         migrations_failed: migration.failed,
         blackouts: migration.blackouts,
         slo_cdf,
+        storm: storm_outcome,
         clock_cycles: d.m.clock.0,
         trace_hash: d.hash,
         stalled,
@@ -1087,6 +1249,7 @@ mod tests {
             lockstep_rounds: 0,
             lockstep_commands: 0,
             max_ticks: 60_000,
+            storm: None,
         }
     }
 
@@ -1144,5 +1307,66 @@ mod tests {
         // Under faults, every offered session terminates one way or the
         // other — nothing hangs.
         assert_eq!(out.sessions_done + out.sessions_failed, out.sessions);
+    }
+
+    #[test]
+    fn storm_rides_the_campaign_and_stays_fail_closed() {
+        let mut cfg = tiny(0x44);
+        cfg.faults = Some(ChaosConfig::serving_faults());
+        cfg.storm = Some(StormConfig {
+            clients: 4,
+            handshakes_per_client: 3,
+            calls_per_handshake: 2,
+            ..StormConfig::smoke()
+        });
+        let out = run(&cfg);
+        assert!(!out.stalled);
+        assert!(out.audit_ok, "audit: {:?}", out.first_audit_error);
+        let storm = out.storm.as_ref().expect("storm configured");
+        assert!(storm.handshakes_completed >= 12, "storm: {storm:?}");
+        assert!(storm.calls_ok > 0);
+        assert_eq!(storm.accepted_attacks(), 0, "fail-closed: {storm:?}");
+        assert!(storm.pre_ready_attempts > 0);
+        // The scripted crash revokes sessions and forces re-attestation.
+        assert!(storm.reprobes >= 1, "storm: {storm:?}");
+        // Bit-identical replay, storm included.
+        let again = run(&cfg);
+        assert_eq!(out.trace_hash, again.trace_hash);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn reaper_reclaims_every_leak_with_a_known_eid() {
+        // A high transient-exhaustion rate drives sessions out of the
+        // destroy path with live enclave ids (five consecutive `Exhausted`
+        // rejections exhaust `STEP_RETRY_MAX`), and — because `Exhausted`
+        // failures are clean — every leak this config produces carries a
+        // known eid. The post-drain reaper must win back all of them.
+        let mut reclaimed_seen = false;
+        for seed in [0x51u64, 0x52, 0x53, 0x54] {
+            let mut cfg = tiny(seed);
+            cfg.faults = Some(FaultConfig {
+                exhausted_pm: 650,
+                ..FaultConfig::disabled()
+            });
+            cfg.deadline_cycles = None;
+            cfg.scripted_crashes = 0;
+            cfg.lockstep_rounds = 0;
+            let out = run(&cfg);
+            assert!(!out.stalled);
+            assert!(out.audit_ok, "audit: {:?}", out.first_audit_error);
+            assert_eq!(
+                out.reclaimed_enclaves, out.leaked_enclaves,
+                "seed {seed:#x}: reclaimed {} of {} known-eid leaks",
+                out.reclaimed_enclaves, out.leaked_enclaves
+            );
+            reclaimed_seen |= out.reclaimed_enclaves > 0;
+        }
+        // At least one of the seeds must actually exercise the reaper, or
+        // this test is vacuous.
+        assert!(
+            reclaimed_seen,
+            "no seed produced a reclaim; retune the test"
+        );
     }
 }

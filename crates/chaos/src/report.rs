@@ -7,7 +7,9 @@
 //! or bumping [`SCHEMA_VERSION`], is a breaking change and must be called
 //! out in the PR description.
 
-use hypertee_bench::report::{parse_json, Json};
+use hypertee_bench::report::{
+    parse_json, push_json_str, push_kv_u64, req_bool, req_counter, req_hex_u64, Json,
+};
 
 use crate::campaign::ChaosOutcome;
 use crate::sharded::ShardedChaosOutcome;
@@ -19,7 +21,7 @@ pub const SCHEMA_VERSION: u64 = 1;
 pub const SUITE: &str = "hypertee-chaos";
 
 /// Counter keys every report must carry (all finite non-negative numbers).
-const REQUIRED_COUNTERS: [&str; 22] = [
+const REQUIRED_COUNTERS: [&str; 23] = [
     "ticks",
     "requests",
     "completions",
@@ -36,6 +38,7 @@ const REQUIRED_COUNTERS: [&str; 22] = [
     "enclaves_created",
     "enclaves_destroyed",
     "leaked_enclaves",
+    "reclaimed_enclaves",
     "faults_injected",
     "crash_restarts",
     "crash_dropped_requests",
@@ -43,28 +46,6 @@ const REQUIRED_COUNTERS: [&str; 22] = [
     "migrations_completed",
     "migrations_failed",
 ];
-
-fn push_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_kv_u64(out: &mut String, key: &str, v: u64) {
-    // u64 counters must survive the f64 round trip of the validator.
-    assert!(
-        v < (1u64 << 53),
-        "counter '{key}' = {v} would lose precision in JSON"
-    );
-    out.push_str(&format!("  \"{key}\": {v},\n"));
-}
 
 /// Serializes a campaign outcome as `BENCH_chaos.json`.
 pub fn render_report(out: &ChaosOutcome) -> String {
@@ -87,7 +68,7 @@ fn render(out: &ChaosOutcome, sharding: Option<&ShardedChaosOutcome>) -> String 
     s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"suite\": \"{SUITE}\",\n"));
     s.push_str("  \"mode\": ");
-    push_str(&mut s, out.label);
+    push_json_str(&mut s, out.label);
     s.push_str(",\n");
     // Seed and trace hash are hex strings: full u64 range, no f64 loss.
     s.push_str(&format!("  \"seed\": \"0x{:016x}\",\n", out.seed));
@@ -111,6 +92,7 @@ fn render(out: &ChaosOutcome, sharding: Option<&ShardedChaosOutcome>) -> String 
     push_kv_u64(&mut s, "enclaves_created", out.enclaves_created);
     push_kv_u64(&mut s, "enclaves_destroyed", out.enclaves_destroyed);
     push_kv_u64(&mut s, "leaked_enclaves", out.leaked_enclaves);
+    push_kv_u64(&mut s, "reclaimed_enclaves", out.reclaimed_enclaves);
     push_kv_u64(&mut s, "faults_injected", out.faults_injected);
     push_kv_u64(&mut s, "crash_restarts", out.crash_restarts);
     push_kv_u64(&mut s, "crash_dropped_requests", out.crash_dropped_requests);
@@ -171,22 +153,8 @@ fn render(out: &ChaosOutcome, sharding: Option<&ShardedChaosOutcome>) -> String 
     s
 }
 
-fn counter(doc: &Json, key: &str) -> Result<f64, String> {
-    match doc.get(key) {
-        Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => Ok(*v),
-        Some(Json::Num(v)) => Err(format!("'{key}' must be a finite non-negative number: {v}")),
-        Some(_) => Err(format!("'{key}' has the wrong type")),
-        None => Err(format!("missing key '{key}'")),
-    }
-}
-
-fn boolean(doc: &Json, key: &str) -> Result<bool, String> {
-    match doc.get(key) {
-        Some(Json::Bool(b)) => Ok(*b),
-        Some(_) => Err(format!("'{key}' must be a boolean")),
-        None => Err(format!("missing key '{key}'")),
-    }
-}
+use req_bool as boolean;
+use req_counter as counter;
 
 /// Validates a `BENCH_chaos.json` document: schema version and suite,
 /// every counter present and finite, the audit and lockstep verdicts
@@ -213,11 +181,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         return Err("missing mode".to_string());
     }
     for key in ["seed", "trace_hash"] {
-        match doc.get(key).and_then(Json::as_str) {
-            Some(s) if s.starts_with("0x") && s.len() == 18 => {}
-            Some(s) => return Err(format!("'{key}' is not a 0x-prefixed u64: '{s}'")),
-            None => return Err(format!("missing key '{key}'")),
-        }
+        req_hex_u64(&doc, key)?;
     }
     for key in REQUIRED_COUNTERS {
         counter(&doc, key)?;
@@ -273,10 +237,7 @@ pub fn validate(text: &str) -> Result<(), String> {
                 return Err(format!("per_shard row {i} out of shard order"));
             }
             for key in ["seed", "trace_hash"] {
-                match row.get(key).and_then(Json::as_str) {
-                    Some(s) if s.starts_with("0x") && s.len() == 18 => {}
-                    _ => return Err(format!("per_shard row {i}: bad '{key}'")),
-                }
+                req_hex_u64(row, key).map_err(|e| format!("per_shard row {i}: {e}"))?;
             }
             counter(row, "clock_cycles")?;
             shard_requests += counter(row, "requests")?;
@@ -342,6 +303,7 @@ mod tests {
             lockstep_rounds: 0,
             lockstep_commands: 0,
             max_ticks: 60_000,
+            storm: None,
         })
     }
 

@@ -1,0 +1,300 @@
+//! `BENCH_serving.json`: schema-stable serialization of an attestation-storm
+//! campaign, plus the validator `scripts/verify.sh` gates on.
+//!
+//! The report is the artifact form of the fail-closed proof: every
+//! `*_accepted` attack counter is emitted **and pinned to zero by the
+//! validator**, alongside handshake latency percentiles, breaker
+//! transitions, and the storm SLO CDF. Emitter and validator share the
+//! hand-rolled JSON helpers in `hypertee_bench::report`.
+
+use hypertee_bench::report::{
+    parse_json, push_json_str, push_kv_u64, req_bool, req_counter, req_hex_u64, Json,
+};
+
+use crate::campaign::ChaosOutcome;
+
+/// Version of the emitted JSON schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Suite identifier baked into every report.
+pub const SUITE: &str = "hypertee-serving";
+
+/// Counter keys every report must carry (finite non-negative numbers).
+const REQUIRED_COUNTERS: [&str; 30] = [
+    "clients",
+    "handshakes_attempted",
+    "handshakes_completed",
+    "handshake_retries",
+    "calls_attempted",
+    "calls_ok",
+    "reattestations",
+    "pre_ready_attempts",
+    "pre_ready_accepted",
+    "stale_quote_attempts",
+    "stale_quote_accepted",
+    "replay_attempts",
+    "replay_accepted",
+    "duplicate_attempts",
+    "duplicate_accepted",
+    "forged_token_attempts",
+    "forged_token_accepted",
+    "breaker_to_open",
+    "breaker_to_half_open",
+    "breaker_to_closed",
+    "breaker_shed",
+    "reprobes",
+    "sessions_revoked",
+    "not_ready_rejects",
+    "stale_challenge_rejects",
+    "service_faults_injected",
+    "handshake_p50_ticks",
+    "handshake_p99_ticks",
+    "crash_restarts",
+    "fleet_requests",
+];
+
+/// Accepted-attack counters the validator pins to zero: any non-zero value
+/// means the facade served an attack and the artifact is rejected.
+const MUST_BE_ZERO: [&str; 5] = [
+    "pre_ready_accepted",
+    "stale_quote_accepted",
+    "replay_accepted",
+    "duplicate_accepted",
+    "forged_token_accepted",
+];
+
+/// Serializes a storm campaign outcome as `BENCH_serving.json`.
+///
+/// # Panics
+///
+/// Panics when the outcome carries no storm (the campaign was run without
+/// `ChaosConfig::storm`) — a serving report without a storm is meaningless.
+pub fn render_serving_report(out: &ChaosOutcome) -> String {
+    let storm = out
+        .storm
+        .as_ref()
+        .expect("serving report requires a storm campaign outcome");
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"suite\": \"{SUITE}\",\n"));
+    s.push_str("  \"mode\": ");
+    push_json_str(&mut s, out.label);
+    s.push_str(",\n");
+    s.push_str(&format!("  \"seed\": \"0x{:016x}\",\n", out.seed));
+    s.push_str(&format!(
+        "  \"trace_hash\": \"0x{:016x}\",\n",
+        out.trace_hash
+    ));
+    push_kv_u64(&mut s, "clients", storm.clients as u64);
+    push_kv_u64(&mut s, "handshakes_attempted", storm.handshakes_attempted);
+    push_kv_u64(&mut s, "handshakes_completed", storm.handshakes_completed);
+    push_kv_u64(&mut s, "handshake_retries", storm.handshake_retries);
+    push_kv_u64(&mut s, "calls_attempted", storm.calls_attempted);
+    push_kv_u64(&mut s, "calls_ok", storm.calls_ok);
+    push_kv_u64(&mut s, "reattestations", storm.reattestations);
+    push_kv_u64(&mut s, "pre_ready_attempts", storm.pre_ready_attempts);
+    push_kv_u64(&mut s, "pre_ready_accepted", storm.pre_ready_accepted);
+    push_kv_u64(&mut s, "stale_quote_attempts", storm.stale_quote_attempts);
+    push_kv_u64(&mut s, "stale_quote_accepted", storm.stale_quote_accepted);
+    push_kv_u64(&mut s, "replay_attempts", storm.replay_attempts);
+    push_kv_u64(&mut s, "replay_accepted", storm.replay_accepted);
+    push_kv_u64(&mut s, "duplicate_attempts", storm.duplicate_attempts);
+    push_kv_u64(&mut s, "duplicate_accepted", storm.duplicate_accepted);
+    push_kv_u64(&mut s, "forged_token_attempts", storm.forged_token_attempts);
+    push_kv_u64(&mut s, "forged_token_accepted", storm.forged_token_accepted);
+    push_kv_u64(&mut s, "breaker_to_open", storm.breaker_to_open);
+    push_kv_u64(&mut s, "breaker_to_half_open", storm.breaker_to_half_open);
+    push_kv_u64(&mut s, "breaker_to_closed", storm.breaker_to_closed);
+    push_kv_u64(&mut s, "breaker_shed", storm.breaker_shed);
+    push_kv_u64(&mut s, "reprobes", storm.reprobes);
+    push_kv_u64(&mut s, "sessions_revoked", storm.sessions_revoked);
+    push_kv_u64(&mut s, "not_ready_rejects", storm.not_ready_rejects);
+    push_kv_u64(
+        &mut s,
+        "stale_challenge_rejects",
+        storm.stale_challenge_rejects,
+    );
+    push_kv_u64(&mut s, "epoch_rejects", storm.epoch_rejects);
+    push_kv_u64(&mut s, "expired_token_rejects", storm.expired_token_rejects);
+    push_kv_u64(
+        &mut s,
+        "service_faults_injected",
+        storm.service_faults_injected,
+    );
+    push_kv_u64(&mut s, "handshake_p50_ticks", storm.handshake_p50_ticks);
+    push_kv_u64(&mut s, "handshake_p99_ticks", storm.handshake_p99_ticks);
+    // Campaign context the storm rode through.
+    push_kv_u64(&mut s, "crash_restarts", out.crash_restarts);
+    push_kv_u64(
+        &mut s,
+        "migrations_completed",
+        u64::from(out.migrations_completed),
+    );
+    push_kv_u64(&mut s, "fleet_requests", out.requests);
+    push_kv_u64(&mut s, "reclaimed_enclaves", out.reclaimed_enclaves);
+    s.push_str(&format!("  \"audit_ok\": {},\n", out.audit_ok));
+    s.push_str(&format!("  \"lockstep_ok\": {},\n", out.lockstep_ok));
+    s.push_str(&format!("  \"stalled\": {},\n", out.stalled));
+    s.push_str("  \"slo_cdf\": [\n");
+    for (i, (bound, frac)) in storm.slo_cdf.iter().enumerate() {
+        assert!(frac.is_finite(), "refusing to emit non-finite fraction");
+        s.push_str(&format!(
+            "    {{ \"tick_bound\": {bound}, \"fraction\": {frac:.6} }}"
+        ));
+        if i + 1 < storm.slo_cdf.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+use req_bool as boolean;
+use req_counter as counter;
+
+/// Validates a `BENCH_serving.json` document: schema and suite, every
+/// counter present, **every accepted-attack counter exactly zero**, green
+/// audit/lockstep verdicts, a drained campaign, consistent handshake
+/// accounting, ordered percentiles, and a sane SLO CDF.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_serving(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+        None => return Err("missing schema_version".to_string()),
+    }
+    match doc.get("suite").and_then(Json::as_str) {
+        Some(SUITE) => {}
+        Some(other) => return Err(format!("wrong suite '{other}'")),
+        None => return Err("missing suite".to_string()),
+    }
+    if doc.get("mode").and_then(Json::as_str).is_none() {
+        return Err("missing mode".to_string());
+    }
+    for key in ["seed", "trace_hash"] {
+        req_hex_u64(&doc, key)?;
+    }
+    for key in REQUIRED_COUNTERS {
+        counter(&doc, key)?;
+    }
+    // The fail-closed verdict: the facade must not have served a single
+    // attack — before readiness, stale, replayed, duplicated, or forged.
+    for key in MUST_BE_ZERO {
+        let v = counter(&doc, key)?;
+        if v != 0.0 {
+            return Err(format!(
+                "{key} = {v}: the facade served an attack (fail-closed violated)"
+            ));
+        }
+    }
+    if !boolean(&doc, "audit_ok")? {
+        return Err("audit_ok is false: a consistency audit failed".to_string());
+    }
+    if !boolean(&doc, "lockstep_ok")? {
+        return Err("lockstep_ok is false: the reference model diverged".to_string());
+    }
+    if boolean(&doc, "stalled")? {
+        return Err("stalled is true: the campaign did not drain".to_string());
+    }
+    // Handshake accounting: completions never exceed attempts, and the
+    // storm must actually have attested something.
+    let attempted = counter(&doc, "handshakes_attempted")?;
+    let completed = counter(&doc, "handshakes_completed")?;
+    if completed > attempted {
+        return Err(format!(
+            "handshakes_completed {completed} > handshakes_attempted {attempted}"
+        ));
+    }
+    if completed == 0.0 {
+        return Err("handshakes_completed is zero: the storm never attested".to_string());
+    }
+    if counter(&doc, "pre_ready_attempts")? == 0.0 {
+        return Err("pre_ready_attempts is zero: fail-closed startup untested".to_string());
+    }
+    if counter(&doc, "handshake_p99_ticks")? < counter(&doc, "handshake_p50_ticks")? {
+        return Err("handshake p99 < p50".to_string());
+    }
+    let Some(Json::Arr(cdf)) = doc.get("slo_cdf") else {
+        return Err("missing or non-array slo_cdf".to_string());
+    };
+    if cdf.is_empty() {
+        return Err("slo_cdf is empty".to_string());
+    }
+    let mut prev_bound = 0.0f64;
+    let mut prev_frac = -1.0f64;
+    for row in cdf {
+        let bound = counter(row, "tick_bound")?;
+        let frac = counter(row, "fraction")?;
+        if bound <= prev_bound {
+            return Err("slo_cdf tick bounds must be strictly increasing".to_string());
+        }
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(format!("slo_cdf fraction {frac} out of [0, 1]"));
+        }
+        if frac < prev_frac {
+            return Err("slo_cdf fractions must be non-decreasing".to_string());
+        }
+        prev_bound = bound;
+        prev_frac = frac;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run, ChaosConfig};
+    use crate::storm::StormConfig;
+
+    fn tiny_serving_outcome() -> ChaosOutcome {
+        let mut cfg = ChaosConfig::serving_smoke(0x5e71);
+        cfg.traffic.sessions = 24;
+        cfg.scripted_crashes = 1;
+        cfg.migrations = 0;
+        cfg.lockstep_rounds = 0;
+        cfg.storm = Some(StormConfig {
+            clients: 4,
+            handshakes_per_client: 2,
+            calls_per_handshake: 2,
+            ..StormConfig::smoke()
+        });
+        run(&cfg)
+    }
+
+    #[test]
+    fn serving_report_round_trips_the_validator() {
+        let out = tiny_serving_outcome();
+        let text = render_serving_report(&out);
+        validate_serving(&text).expect("fresh serving report must validate");
+    }
+
+    #[test]
+    fn serving_validator_rejects_accepted_attacks() {
+        let out = tiny_serving_outcome();
+        let text = render_serving_report(&out);
+        for key in MUST_BE_ZERO {
+            let broken = text.replace(&format!("\"{key}\": 0,"), &format!("\"{key}\": 1,"));
+            let err = validate_serving(&broken).unwrap_err();
+            assert!(err.contains(key), "want {key} in error, got: {err}");
+            assert!(err.contains("fail-closed"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn serving_validator_rejects_wrong_suite_and_missing_counter() {
+        let out = tiny_serving_outcome();
+        let text = render_serving_report(&out);
+        let broken = text.replace("\"suite\": \"hypertee-serving\"", "\"suite\": \"nope\"");
+        assert!(validate_serving(&broken).unwrap_err().contains("suite"));
+        let broken = text.replace("  \"reattestations\":", "  \"reattestations_zzz\":");
+        assert!(validate_serving(&broken)
+            .unwrap_err()
+            .contains("reattestations"));
+    }
+}

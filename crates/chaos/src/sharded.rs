@@ -100,6 +100,9 @@ pub fn shard_config(base: &ChaosConfig, shards: usize, shard: usize) -> ChaosCon
         lockstep_rounds: u32_split(base.lockstep_rounds),
         lockstep_commands: base.lockstep_commands,
         max_ticks: base.max_ticks,
+        // The attestation storm is a single-facade workload: it does not
+        // shard. Storm campaigns run unsharded (`serving_bench`).
+        storm: None,
     }
 }
 
@@ -209,6 +212,7 @@ fn merge(base: &ChaosConfig, shards: &[ChaosOutcome]) -> ChaosOutcome {
         enclaves_created: shards.iter().map(|s| s.enclaves_created).sum(),
         enclaves_destroyed: shards.iter().map(|s| s.enclaves_destroyed).sum(),
         leaked_enclaves: shards.iter().map(|s| s.leaked_enclaves).sum(),
+        reclaimed_enclaves: shards.iter().map(|s| s.reclaimed_enclaves).sum(),
         faults_injected: shards.iter().map(|s| s.faults_injected).sum(),
         crash_restarts: shards.iter().map(|s| s.crash_restarts).sum(),
         crash_dropped_requests: shards.iter().map(|s| s.crash_dropped_requests).sum(),
@@ -226,6 +230,8 @@ fn merge(base: &ChaosConfig, shards: &[ChaosOutcome]) -> ChaosOutcome {
         migrations_failed: shards.iter().map(|s| s.migrations_failed).sum(),
         blackouts,
         slo_cdf,
+        // Shards never carry a storm (see `shard_config`).
+        storm: None,
         clock_cycles: shards.iter().map(|s| s.clock_cycles).max().unwrap_or(0),
         trace_hash: hash,
         stalled: shards.iter().any(|s| s.stalled),

@@ -173,6 +173,19 @@ impl SigmaInitiator {
         (SigmaInitiator { ecdh, nonce }, msg)
     }
 
+    /// Step ① with a caller-supplied nonce: used by challenge-response
+    /// services that issue the freshness nonce server-side, so the quote in
+    /// [`SigmaMsg2`] is bound to *that* challenge (the responder's replay
+    /// guard and the service's challenge registry both key on it).
+    pub fn start_with_nonce(rng: &mut ChaChaRng, nonce: [u8; 32]) -> (SigmaInitiator, SigmaMsg1) {
+        let ecdh = EcdhPrivate::generate(rng);
+        let msg = SigmaMsg1 {
+            user_pub: ecdh.public,
+            nonce,
+        };
+        (SigmaInitiator { ecdh, nonce }, msg)
+    }
+
     /// Step ③: verifies the platform reply. On success returns the shared
     /// session key.
     ///
@@ -262,13 +275,44 @@ impl Ems {
     ///
     /// # Errors
     ///
-    /// `BadState` before EMEAS; `AccessDenied` for a degenerate user key.
+    /// `BadState` before EMEAS; `AccessDenied` for a degenerate user key or
+    /// a replayed `msg1` nonce.
     pub fn sigma_respond(&mut self, eid: u64, msg1: &SigmaMsg1) -> EmsResult<SigmaMsg2> {
+        self.sigma_respond_keyed(eid, msg1).map(|(msg2, _)| msg2)
+    }
+
+    /// Step ② of SIGMA, returning the derived session key alongside the
+    /// reply. The key never leaves the platform in the message — a service
+    /// facade running *inside* the trust boundary uses it to MAC-bind
+    /// session tokens and responses to this exact handshake.
+    ///
+    /// A bounded journal of recently seen `msg1` nonces rejects replays
+    /// fail-closed: answering the same opening message twice would let an
+    /// eavesdropper correlate quotes across sessions. The journal lives in
+    /// EMS private memory and survives crash-restart (it is persistent
+    /// state, like the ownership table).
+    ///
+    /// # Errors
+    ///
+    /// `BadState` before EMEAS; `AccessDenied` for a degenerate user key or
+    /// a replayed `msg1` nonce.
+    pub fn sigma_respond_keyed(
+        &mut self,
+        eid: u64,
+        msg1: &SigmaMsg1,
+    ) -> EmsResult<(SigmaMsg2, [u8; 32])> {
         let enclave_measurement = self
             .enclave(eid)?
             .measurement
             .digest()
             .ok_or(EmsError::BadState)?;
+        if self.sigma_seen.contains(&msg1.nonce) {
+            return Err(EmsError::AccessDenied);
+        }
+        if self.sigma_seen.len() >= crate::runtime::SIGMA_SEEN_CAP {
+            self.sigma_seen.pop_front();
+        }
+        self.sigma_seen.push_back(msg1.nonce);
         let eph = EcdhPrivate::generate(&mut self.rng);
         let th = transcript_hash(&msg1.user_pub, &msg1.nonce, &eph.public);
         let quote = self.quote_for(enclave_measurement, th);
@@ -276,11 +320,14 @@ impl Ems {
             .shared_key(&msg1.user_pub)
             .map_err(|_| EmsError::AccessDenied)?;
         let mac = hmac_sha256(&session, &th);
-        Ok(SigmaMsg2 {
-            enclave_pub: eph.public,
-            quote,
-            mac,
-        })
+        Ok((
+            SigmaMsg2 {
+                enclave_pub: eph.public,
+                quote,
+                mac,
+            },
+            session,
+        ))
     }
 
     /// Local attestation, verifier side: EMS MACs the verifier's

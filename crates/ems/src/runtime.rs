@@ -156,9 +156,15 @@ pub struct Ems {
     resp_cache: BTreeMap<u64, Response>,
     /// Insertion order of `resp_cache` (bounds it to a FIFO window).
     resp_order: VecDeque<u64>,
+    /// Recently answered SIGMA `msg1` nonces: a bounded FIFO replay guard
+    /// (persistent state — survives crash-restart like the ownership table).
+    pub(crate) sigma_seen: VecDeque<[u8; 32]>,
     /// The Rx task queue requests are fetched into before dispatch.
     pub(crate) rx: Ring<Request>,
 }
+
+/// Capacity of the SIGMA `msg1` replay journal.
+pub(crate) const SIGMA_SEEN_CAP: usize = 256;
 
 impl core::fmt::Debug for Ems {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -201,6 +207,7 @@ impl Ems {
             poisoned: BTreeSet::new(),
             resp_cache: BTreeMap::new(),
             resp_order: VecDeque::new(),
+            sigma_seen: VecDeque::new(),
             rx: Ring::new(RX_RING_CAPACITY),
         }
     }

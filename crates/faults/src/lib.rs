@@ -43,11 +43,25 @@ pub enum FaultKind {
     /// The EMS firmware crashes and warm-restarts: volatile state (the Rx
     /// ring) is lost, persistent state is reconstructed on the way back up.
     EmsCrash,
+    /// A service RPC frame is dropped on the wire (client sees a timeout).
+    RpcDropFrame,
+    /// A service RPC frame is delivered twice (the facade must reject the
+    /// duplicate via its per-session sequence counter).
+    RpcDuplicateFrame,
+    /// A service RPC frame is held back for extra ticks before delivery.
+    RpcDelayFrame,
+    /// An old, already-consumed RPC frame is re-injected (replay attack).
+    RpcReplayFrame,
+    /// A previously captured attestation quote (`SigmaMsg2`) is substituted
+    /// for the fresh reply (stale-quote replay attack).
+    StaleQuoteReplay,
+    /// A forged or bit-flipped session token / request MAC is presented.
+    TokenForge,
 }
 
 impl FaultKind {
     /// All fault kinds, in stable order (indexes [`FaultStats`] counters).
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 17] = [
         FaultKind::MailboxDropRequest,
         FaultKind::MailboxDropResponse,
         FaultKind::MailboxDuplicateResponse,
@@ -59,6 +73,12 @@ impl FaultKind {
         FaultKind::TransientExhausted,
         FaultKind::EmsStall,
         FaultKind::EmsCrash,
+        FaultKind::RpcDropFrame,
+        FaultKind::RpcDuplicateFrame,
+        FaultKind::RpcDelayFrame,
+        FaultKind::RpcReplayFrame,
+        FaultKind::StaleQuoteReplay,
+        FaultKind::TokenForge,
     ];
 
     /// Stable index of this kind into [`FaultStats`] counters.
@@ -83,6 +103,12 @@ impl FaultKind {
             FaultKind::TransientExhausted => "transient-exhausted",
             FaultKind::EmsStall => "ems-stall",
             FaultKind::EmsCrash => "ems-crash",
+            FaultKind::RpcDropFrame => "rpc-drop-frame",
+            FaultKind::RpcDuplicateFrame => "rpc-duplicate-frame",
+            FaultKind::RpcDelayFrame => "rpc-delay-frame",
+            FaultKind::RpcReplayFrame => "rpc-replay-frame",
+            FaultKind::StaleQuoteReplay => "stale-quote-replay",
+            FaultKind::TokenForge => "token-forge",
         }
     }
 }
@@ -119,6 +145,18 @@ pub struct FaultConfig {
     pub crash_pm: u32,
     /// Upper bound (inclusive) on how many polls a delayed response is held.
     pub delay_polls_max: u32,
+    /// Rate for [`FaultKind::RpcDropFrame`] (service-transport site).
+    pub rpc_drop_pm: u32,
+    /// Rate for [`FaultKind::RpcDuplicateFrame`].
+    pub rpc_duplicate_pm: u32,
+    /// Rate for [`FaultKind::RpcDelayFrame`].
+    pub rpc_delay_pm: u32,
+    /// Rate for [`FaultKind::RpcReplayFrame`].
+    pub rpc_replay_pm: u32,
+    /// Rate for [`FaultKind::StaleQuoteReplay`].
+    pub stale_quote_pm: u32,
+    /// Rate for [`FaultKind::TokenForge`].
+    pub token_forge_pm: u32,
 }
 
 impl FaultConfig {
@@ -138,6 +176,12 @@ impl FaultConfig {
             ems_stall_pm: 0,
             crash_pm: 0,
             delay_polls_max: 8,
+            rpc_drop_pm: 0,
+            rpc_duplicate_pm: 0,
+            rpc_delay_pm: 0,
+            rpc_replay_pm: 0,
+            stale_quote_pm: 0,
+            token_forge_pm: 0,
         }
     }
 
@@ -158,6 +202,23 @@ impl FaultConfig {
             ems_stall_pm: 40,
             crash_pm: 10,
             delay_polls_max: 8,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Service-transport faults only: every RPC-layer attack and loss mode
+    /// armed at storm rates, the fabric/EMS sites quiet. Compose with
+    /// another preset by overwriting the six `rpc_*`/`stale_quote_pm`/
+    /// `token_forge_pm` fields.
+    pub fn service_storm() -> FaultConfig {
+        FaultConfig {
+            rpc_drop_pm: 60,
+            rpc_duplicate_pm: 40,
+            rpc_delay_pm: 60,
+            rpc_replay_pm: 40,
+            stale_quote_pm: 40,
+            token_forge_pm: 40,
+            ..FaultConfig::disabled()
         }
     }
 
@@ -181,6 +242,7 @@ impl FaultConfig {
             ems_stall_pm: 30,
             crash_pm: 0,
             delay_polls_max: 6,
+            ..FaultConfig::disabled()
         }
     }
 
@@ -201,6 +263,7 @@ impl FaultConfig {
             ems_stall_pm: 150,
             crash_pm: 30,
             delay_polls_max: 12,
+            ..FaultConfig::disabled()
         }
     }
 
@@ -217,6 +280,12 @@ impl FaultConfig {
             FaultKind::TransientExhausted => self.exhausted_pm,
             FaultKind::EmsStall => self.ems_stall_pm,
             FaultKind::EmsCrash => self.crash_pm,
+            FaultKind::RpcDropFrame => self.rpc_drop_pm,
+            FaultKind::RpcDuplicateFrame => self.rpc_duplicate_pm,
+            FaultKind::RpcDelayFrame => self.rpc_delay_pm,
+            FaultKind::RpcReplayFrame => self.rpc_replay_pm,
+            FaultKind::StaleQuoteReplay => self.stale_quote_pm,
+            FaultKind::TokenForge => self.token_forge_pm,
         }
     }
 }

@@ -1,0 +1,228 @@
+//! The client-side circuit breaker: an explicit Closed → Open → HalfOpen
+//! state machine, so a faulted facade sheds load instead of queueing it.
+//!
+//! The breaker is tick-driven and allocation-free; the chaos storm folds
+//! its transition counters into the trace hash, so breaker behaviour is
+//! part of the deterministic replay contract.
+
+/// Breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Tripped: requests are shed locally until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of trial requests decide recovery.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures in `Closed` that trip the breaker.
+    pub failure_threshold: u32,
+    /// Ticks the breaker stays `Open` before probing.
+    pub open_cooldown_ticks: u64,
+    /// Successful probes in `HalfOpen` required to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 4,
+            open_cooldown_ticks: 32,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Counts of state transitions (for reports and trace folding).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerTransitions {
+    /// Trips into `Open` (from `Closed` or a failed `HalfOpen` probe).
+    pub to_open: u64,
+    /// Cooldown expiries into `HalfOpen`.
+    pub to_half_open: u64,
+    /// Recoveries into `Closed`.
+    pub to_closed: u64,
+    /// Requests shed locally while `Open` (or beyond the probe budget).
+    pub shed: u64,
+}
+
+/// The circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probes_in_flight: u32,
+    probe_successes: u32,
+    transitions: BreakerTransitions,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counters so far.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// Admission check at `now`. `false` means shed the request locally —
+    /// do not touch the transport. `Open` flips to `HalfOpen` once the
+    /// cooldown has elapsed; `HalfOpen` admits at most the configured
+    /// number of outstanding probes.
+    pub fn allow(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.saturating_sub(self.opened_at) >= self.config.open_cooldown_ticks {
+                    self.state = BreakerState::HalfOpen;
+                    self.transitions.to_half_open += 1;
+                    self.probes_in_flight = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    self.transitions.shed += 1;
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.config.half_open_probes {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    self.transitions.shed += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful request.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.transitions.to_closed += 1;
+                    self.consecutive_failures = 0;
+                }
+            }
+            // A success while Open (late response) does not reopen traffic.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed request at `now`.
+    pub fn on_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            // One failed probe re-trips immediately.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.transitions.to_open += 1;
+        self.consecutive_failures = 0;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown_ticks: 10,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_sheds() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            assert!(b.allow(t));
+            b.on_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(5), "open breaker sheds before cooldown");
+        assert_eq!(b.transitions().to_open, 1);
+        assert_eq!(b.transitions().shed, 1);
+    }
+
+    #[test]
+    fn half_open_recovers_after_enough_probes() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.allow(t);
+            b.on_failure(t);
+        }
+        // Cooldown elapses at tick 12: first allow becomes a probe.
+        assert!(b.allow(12));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(12), "second probe fits the budget");
+        assert!(!b.allow(12), "third concurrent probe is shed");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions().to_closed, 1);
+    }
+
+    #[test]
+    fn failed_probe_retrips() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.allow(t);
+            b.on_failure(t);
+        }
+        assert!(b.allow(12));
+        b.on_failure(12);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().to_open, 2);
+        // And the cooldown restarts from the re-trip instant.
+        assert!(!b.allow(20));
+        assert!(b.allow(22));
+    }
+}

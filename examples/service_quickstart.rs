@@ -1,0 +1,98 @@
+//! Service quickstart: the fail-closed attestation-gated facade end to end.
+//!
+//! Boot the SoC, watch the facade refuse traffic until its startup probes
+//! verify the boot measurement chain and the EMS self-attestation, run the
+//! nonce-bound challenge-response handshake, issue authenticated calls,
+//! crash-restart the EMS, and recover through supervised re-probing and
+//! client re-attestation.
+//!
+//! Run with: `cargo run --example service_quickstart`
+
+use hypertee_repro::hypertee::machine::Machine;
+use hypertee_repro::service::{
+    ClientOutcome, ServiceClient, ServiceConfig, ServiceError, ServiceFacade, ServiceOp,
+};
+
+fn main() {
+    // 1. Secure boot, then construct the facade. It starts in `Booting`:
+    //    live (the process is up) but NOT ready (nothing is served).
+    let mut machine = Machine::boot_default();
+    let mut facade =
+        ServiceFacade::new(ServiceConfig::production(0x5EC5)).expect("production config");
+    println!(
+        "facade up: healthz={} readyz={}",
+        facade.healthz(),
+        facade.readyz()
+    );
+
+    // 2. Fail closed: before the probes pass, every RPC is refused — even
+    //    asking for a challenge.
+    let refused = facade.issue_challenge(1, 0).unwrap_err();
+    assert_eq!(refused, ServiceError::NotReady);
+    println!("pre-probe challenge refused: {refused:?}");
+
+    // 3. Startup probes: the boot measurement chain against the pinned
+    //    platform measurement, then an EMS self-attestation quote for the
+    //    service enclave. Only now does readiness flip.
+    facade.probe(&mut machine, 0).expect("probes pass");
+    println!("probed: readyz={}", facade.readyz());
+
+    // 4. A client pins the platform EK and the probed service measurement,
+    //    then runs the nonce-bound SIGMA handshake for a session token.
+    let mut client = ServiceClient::new(
+        1,
+        0xC11E,
+        machine.ek_public(),
+        facade.service_measurement().expect("probed"),
+    );
+    client
+        .handshake(&mut facade, &mut machine, 1)
+        .expect("handshake");
+    println!("attested: client holds a session token");
+
+    // 5. Authenticated calls: seal a secret, then unseal it.
+    let sealed = match client.call(
+        &mut facade,
+        &mut machine,
+        &ServiceOp::Seal(b"precious".to_vec()),
+        2,
+    ) {
+        ClientOutcome::Ok(reply) => reply.payload,
+        other => panic!("seal failed: {other:?}"),
+    };
+    println!("sealed {} bytes", sealed.len());
+    match client.call(&mut facade, &mut machine, &ServiceOp::Unseal(sealed), 3) {
+        ClientOutcome::Ok(reply) => assert_eq!(reply.payload, b"precious"),
+        other => panic!("unseal failed: {other:?}"),
+    }
+    println!("unsealed the secret back");
+
+    // 6. Crash-restart the EMS. Supervision notices the epoch bump,
+    //    re-probes the restarted platform, and revokes every session.
+    machine.crash_restart_ems();
+    let reprobed = facade.supervise(&mut machine, 50).expect("recovers");
+    println!(
+        "crash-restart: reprobed={} revoked={} live_sessions={}",
+        reprobed,
+        facade.stats.sessions_revoked,
+        facade.live_sessions()
+    );
+
+    // 7. The client's next call finds its session revoked, re-attests
+    //    automatically, and is served under the new epoch.
+    match client.call(
+        &mut facade,
+        &mut machine,
+        &ServiceOp::Ping(b"still here".to_vec()),
+        51,
+    ) {
+        ClientOutcome::Ok(reply) => assert_eq!(reply.payload, b"still here"),
+        other => panic!("post-crash call failed: {other:?}"),
+    }
+    println!(
+        "re-attested and served: handshakes={} reattestations={}",
+        client.stats.handshakes, client.stats.reattestations
+    );
+    assert_eq!(client.stats.reattestations, 1);
+    println!("service quickstart complete");
+}

@@ -47,6 +47,17 @@ cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke 
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
     --check target/BENCH_chaos_smoke.json
 
+echo "==> service facade smoke (boot, fail closed, attest, crash, re-attest)"
+cargo run --release --offline --example service_quickstart > /dev/null
+
+echo "==> serving storm smoke (release, seeded, fail-closed gated, schema-validated)"
+cargo run --release --offline -p hypertee-chaos --bin serving_bench -- --smoke \
+    --out target/BENCH_serving_smoke.json > /dev/null
+cargo run --release --offline -p hypertee-chaos --bin serving_bench -- \
+    --check target/BENCH_serving_smoke.json
+cargo run --release --offline -p hypertee-chaos --bin serving_bench -- \
+    --check BENCH_serving.json
+
 echo "==> parallel determinism smoke (sharded chaos, 1 vs 4 threads, byte-compared)"
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke --shards 4 \
     --threads 1 --out target/BENCH_chaos_shard_t1.json > /dev/null

@@ -15,5 +15,6 @@ pub use hypertee_fabric as fabric;
 pub use hypertee_faults as faults;
 pub use hypertee_mem as mem;
 pub use hypertee_model as model;
+pub use hypertee_service as service;
 pub use hypertee_sim as sim;
 pub use hypertee_workloads as workloads;

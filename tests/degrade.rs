@@ -1,0 +1,139 @@
+//! Graceful-degradation policy interaction: when a request is eligible for
+//! both terminal degradation paths — shed at the gate by
+//! `DegradePolicy::shed_backlog_limit` and expired in flight by
+//! `DegradePolicy::deadline` — exactly one of them claims it, the choice is
+//! deterministic, and the resolution is invariant across shard widths.
+
+use hypertee_repro::chaos::campaign::ChaosConfig;
+use hypertee_repro::chaos::sharded::{run_sharded, ShardedChaosConfig};
+use hypertee_repro::fabric::message::{Primitive, Privilege};
+use hypertee_repro::hypertee::machine::{DegradePolicy, Machine, MachineError};
+use hypertee_repro::sim::clock::Cycles;
+
+/// Drives the machine until `call` completes and returns its result.
+fn drive(
+    m: &mut Machine,
+    call: hypertee_repro::hypertee::pipeline::PendingCall,
+) -> Result<hypertee_repro::fabric::message::Response, MachineError> {
+    loop {
+        m.pump();
+        if let Some(done) = m.take_completion(call) {
+            return done.result;
+        }
+    }
+}
+
+#[test]
+fn gate_shed_precedes_deadline_and_each_request_gets_one_status() {
+    let mut m = Machine::boot_default();
+    // Both degradation paths armed at once: a saturated gate and a deadline
+    // every in-flight call has already overrun.
+    m.degrade = DegradePolicy {
+        shed_backlog_limit: Some(2),
+        deadline: Some(Cycles(1)),
+    };
+    // Two submissions on the same hart pass the gate (backlog below the
+    // limit). The deadline clock is the *hart's*: it only advances when a
+    // response is delivered, so the first call will resolve normally and
+    // its delivery strands the second past the shared deadline.
+    let a = m
+        .submit_as(0, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+        .unwrap();
+    let b = m
+        .submit_as(0, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+        .unwrap();
+    // The third faces both conditions simultaneously. The gate resolves it:
+    // shed with `Backpressure`, nothing enqueued — the deadline watchdog
+    // never learns this request existed, so it cannot expire it too.
+    let err = m
+        .submit_as(0, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+        .unwrap_err();
+    assert!(matches!(err, MachineError::Backpressure), "got {err:?}");
+    assert_eq!(m.pipeline_stats().shed, 1);
+    assert_eq!(m.pipeline_stats().expired, 0, "shed must not double-count");
+
+    // The first call wins the race against the watchdog (the clock has not
+    // moved yet) and resolves with its ordinary primitive status.
+    assert!(matches!(
+        drive(&mut m, a).unwrap_err(),
+        MachineError::Primitive(_)
+    ));
+    // Its delivery advanced the hart clock a full round trip: the second
+    // call is now past deadline and the watchdog expires it terminally —
+    // exactly one status, even though its response may already be waiting.
+    assert!(matches!(
+        drive(&mut m, b).unwrap_err(),
+        MachineError::DeadlineExpired
+    ));
+    let stats = m.pipeline_stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.in_flight, 0, "no zombie calls survive resolution");
+    // A completion is consumed exactly once; there is no second verdict.
+    assert!(m.take_completion(a).is_none());
+    assert!(m.take_completion(b).is_none());
+}
+
+#[test]
+fn shed_gate_reopens_after_drain() {
+    let mut m = Machine::boot_default();
+    m.degrade = DegradePolicy {
+        shed_backlog_limit: Some(1),
+        deadline: None,
+    };
+    let a = m
+        .submit_as(0, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+        .unwrap();
+    assert!(matches!(
+        m.submit_as(1, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+            .unwrap_err(),
+        MachineError::Backpressure
+    ));
+    // Draining the backlog reopens the gate: shedding is a transient
+    // degradation, not a latched failure.
+    let _ = drive(&mut m, a);
+    assert!(m
+        .submit_as(1, Privilege::Os, Primitive::Emeas, vec![999], vec![])
+        .is_ok());
+}
+
+#[test]
+fn degrade_resolution_is_invariant_across_shard_widths() {
+    // A campaign tuned so both policies fire constantly: a tight deadline
+    // and a small shed window over bursty traffic. Every session must
+    // resolve to exactly one terminal state, and the entire resolution —
+    // counters and trace hash — must not depend on how many worker threads
+    // execute the shards.
+    let mut base = ChaosConfig::smoke(0xDE6_4ADE);
+    base.deadline_cycles = Some(600_000);
+    base.shed_backlog_limit = Some(3);
+    let reference = run_sharded(&ShardedChaosConfig {
+        base: base.clone(),
+        shards: 4,
+        threads: 1,
+    });
+    assert!(!reference.merged.stalled);
+    assert!(reference.merged.audit_ok);
+    assert_eq!(
+        reference.merged.sessions_done + reference.merged.sessions_failed,
+        reference.merged.sessions,
+        "every session resolves exactly once"
+    );
+    assert!(
+        reference.merged.shed > 0 && reference.merged.expired > 0,
+        "test is vacuous unless both degradation paths fire (shed {}, expired {})",
+        reference.merged.shed,
+        reference.merged.expired
+    );
+    for threads in [2usize, 4, 8] {
+        let wide = run_sharded(&ShardedChaosConfig {
+            base: base.clone(),
+            shards: 4,
+            threads,
+        });
+        assert_eq!(
+            wide.merged, reference.merged,
+            "shard width {threads} changed the degradation outcome"
+        );
+    }
+}

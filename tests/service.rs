@@ -1,0 +1,99 @@
+//! Workspace-level fail-closed proofs for the attestation-gated service
+//! facade: zero authenticated responses before readiness, supervised
+//! recovery through an EMS crash-restart, and the attestation-storm chaos
+//! campaign rejecting every injected attack with a bit-identical replay.
+
+use hypertee_repro::chaos::campaign::{run, ChaosConfig};
+use hypertee_repro::chaos::{render_serving_report, validate_serving};
+use hypertee_repro::hypertee::machine::Machine;
+use hypertee_repro::service::{
+    ClientOutcome, ServiceClient, ServiceConfig, ServiceError, ServiceFacade, ServiceOp,
+    ServiceState,
+};
+
+#[test]
+fn service_lifecycle_boot_attest_crash_reattest() {
+    let mut m = Machine::boot_default();
+    let mut f = ServiceFacade::new(ServiceConfig::production(0xFACADE)).unwrap();
+
+    // Fail closed from birth: liveness holds, readiness does not, and no
+    // RPC — not even a challenge — is served before the probes pass.
+    assert!(f.healthz());
+    assert!(!f.readyz());
+    assert_eq!(f.issue_challenge(7, 0).unwrap_err(), ServiceError::NotReady);
+    assert_eq!(f.stats.not_ready_rejects, 1);
+
+    // Startup probes: boot measurement chain + EMS self-attestation.
+    f.probe(&mut m, 0).unwrap();
+    assert_eq!(f.state(), ServiceState::Ready);
+
+    // Challenge-response handshake and an authenticated seal/unseal pair.
+    let mut client = ServiceClient::new(
+        7,
+        0xC11E,
+        m.ek_public(),
+        f.service_measurement().expect("probed"),
+    );
+    client.handshake(&mut f, &mut m, 1).unwrap();
+    let sealed = match client.call(&mut f, &mut m, &ServiceOp::Seal(b"precious".to_vec()), 2) {
+        ClientOutcome::Ok(reply) => reply.payload,
+        other => panic!("seal failed: {other:?}"),
+    };
+    match client.call(&mut f, &mut m, &ServiceOp::Unseal(sealed), 3) {
+        ClientOutcome::Ok(reply) => assert_eq!(reply.payload, b"precious"),
+        other => panic!("unseal failed: {other:?}"),
+    }
+
+    // EMS crash-restart: supervision detects the epoch bump, re-probes,
+    // and revokes every pre-crash session.
+    m.crash_restart_ems();
+    assert!(f.supervise(&mut m, 50).unwrap(), "epoch bump must re-probe");
+    assert!(f.readyz());
+    assert_eq!(f.stats.sessions_revoked, 1);
+    assert_eq!(f.live_sessions(), 0);
+
+    // The client's next call finds its session dead, re-attests once, and
+    // is served under the new epoch.
+    match client.call(&mut f, &mut m, &ServiceOp::Ping(b"hi".to_vec()), 51) {
+        ClientOutcome::Ok(reply) => assert_eq!(reply.payload, b"hi"),
+        other => panic!("post-crash call failed: {other:?}"),
+    }
+    assert_eq!(client.stats.reattestations, 1);
+    assert_eq!(client.stats.handshakes, 2);
+}
+
+#[test]
+fn serving_storm_campaign_rejects_every_attack_and_replays_bit_identically() {
+    let cfg = ChaosConfig::serving_smoke(0x5E11_CE00);
+    let out = run(&cfg);
+    assert!(!out.stalled, "campaign must drain");
+    assert!(out.audit_ok, "audit: {:?}", out.first_audit_error);
+    assert!(out.lockstep_ok, "lockstep: {:?}", out.first_divergence);
+
+    let storm = out.storm.as_ref().expect("serving preset arms a storm");
+    assert!(storm.handshakes_completed > 0, "storm must do real work");
+    assert!(storm.calls_ok > 0);
+    assert!(
+        storm.service_faults_injected > 0,
+        "fault plan must actually fire"
+    );
+    // The fail-closed proof: not one pre-ready request, stale quote,
+    // replayed frame, duplicated frame, or forged token was ever served.
+    assert!(
+        storm.pre_ready_attempts > 0,
+        "pre-ready probes must be sent"
+    );
+    assert_eq!(
+        storm.accepted_attacks(),
+        0,
+        "an attack was served: {storm:?}"
+    );
+
+    // The emitted report validates against the frozen schema.
+    let report = render_serving_report(&out);
+    validate_serving(&report).expect("serving report validates");
+
+    // Determinism: the identical seed reproduces the identical trace.
+    let replay = run(&cfg);
+    assert_eq!(replay.trace_hash, out.trace_hash, "seeded replay diverged");
+}
