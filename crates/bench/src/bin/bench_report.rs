@@ -29,6 +29,8 @@
 use std::hint::black_box;
 use std::process::ExitCode;
 
+use hypertee::exec::{InterpMode, RunOutcome};
+use hypertee::machine::Machine;
 use hypertee::manifest::EnclaveManifest;
 use hypertee::shard::{par_run, ShardSpec, ShardedMachine};
 use hypertee_bench::microbench::bench;
@@ -44,7 +46,7 @@ use hypertee_mem::system::{CoreMmu, MemorySystem};
 use hypertee_model::harness::{run_campaign, Campaign};
 use hypertee_model::ops::generate;
 use hypertee_sim::rng::derive_stream;
-use hypertee_workloads::{memstream, wolfssl};
+use hypertee_workloads::{memstream, programs, wolfssl};
 
 /// KeyID used for the encrypted benchmark regions.
 const BENCH_KEY: KeyId = KeyId(2);
@@ -312,6 +314,82 @@ fn wolfssl_pass(cfg: &Config, rows: &mut Vec<PerfBench>) {
     ));
 }
 
+/// Boots a fresh machine, runs `image` as an enclave program under `mode`,
+/// and returns `(exit_code, hart_clock_cycles)`.
+fn run_interp(image: &[u8], mode: InterpMode, max_steps: u64) -> (u64, u64) {
+    let mut m = Machine::boot_default();
+    m.interp = mode;
+    let manifest =
+        EnclaveManifest::parse("heap = 2M\nstack = 64K\nhost_shared = 16K").expect("manifest");
+    let e = m.create_enclave(0, &manifest, image).expect("bench create");
+    m.enter(0, e).expect("bench enter");
+    let code = match m.run_enclave_program(0, max_steps).expect("bench run") {
+        RunOutcome::Exited { code, .. } => code,
+        other => panic!("interp bench did not exit: {other:?}"),
+    };
+    (code, m.hart_clock(0).0)
+}
+
+fn interp_benches(cfg: &Config, rows: &mut Vec<PerfBench>) {
+    // Decoded-block interpreter vs the seed fetch-decode-execute oracle
+    // (`Cpu::step_ref`), over the two workload-pass shapes the report
+    // already tracks: a memstream-style pointer chase and a wolfSSL-style
+    // record-XOR pipeline, assembled as real enclave programs. Both modes
+    // run in the same process on the same host; before timing, exit codes
+    // and simulated hart clocks are asserted bit-identical — the fast path
+    // must change wall-clock only, never architecture or charges.
+    let max_steps = 10_000_000;
+    let (nodes, hops) = if cfg.smoke { (64, 256) } else { (256, 8192) };
+    let (records, passes) = if cfg.smoke { (1, 1) } else { (4, 16) };
+    let specs: [(&str, Vec<u8>, u64, u64); 2] = [
+        (
+            "interp_memstream_pass",
+            programs::chase(nodes, hops),
+            hops as u64 * 8,
+            programs::chase_reference(nodes, hops),
+        ),
+        (
+            "interp_wolfssl_pass",
+            programs::record_xor(records, passes),
+            records as u64 * 1024 * passes as u64,
+            programs::record_xor_reference(records, passes),
+        ),
+    ];
+    let n = iters(cfg, 8, 2);
+    for (name, image, bytes, expected) in specs {
+        let (fast_code, fast_clock) = run_interp(&image, InterpMode::Fast, max_steps);
+        let (ref_code, ref_clock) = run_interp(&image, InterpMode::Reference, max_steps);
+        assert_eq!(
+            fast_code, expected,
+            "{name}: fast path computed wrong result"
+        );
+        assert_eq!(
+            ref_code, expected,
+            "{name}: reference path computed wrong result"
+        );
+        assert_eq!(
+            fast_clock, ref_clock,
+            "{name}: cycle charges diverge between interpreter modes"
+        );
+        let opt = bench(name, n, bytes, || {
+            black_box(run_interp(black_box(&image), InterpMode::Fast, max_steps));
+        });
+        let base = bench(&format!("{name}_ref"), n, bytes, || {
+            black_box(run_interp(
+                black_box(&image),
+                InterpMode::Reference,
+                max_steps,
+            ));
+        });
+        rows.push(PerfBench::from_timings(
+            name,
+            opt.ns_per_iter,
+            bytes,
+            Some(base.ns_per_iter),
+        ));
+    }
+}
+
 /// Jobs per fan-out row. Fixed so row names stay schema-stable; only the
 /// worker-pool width (`--threads`) varies.
 const FANOUT: usize = 4;
@@ -491,6 +569,7 @@ fn run(cfg: &Config) -> Result<(), String> {
     ptw_bench(cfg, &mut rows);
     memstream_pass(cfg, &mut rows);
     wolfssl_pass(cfg, &mut rows);
+    interp_benches(cfg, &mut rows);
     threads_wallclock_benches(cfg, &mut rows);
     threads_simclock_benches(cfg, &mut rows);
 

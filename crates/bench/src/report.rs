@@ -472,11 +472,15 @@ pub fn validate(text: &str) -> Result<(), String> {
             .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("bench {i}: missing name"))?;
+        // Interpreter rows are defined as same-run comparisons against the
+        // `step_ref` oracle — a null baseline would mean the oracle never
+        // ran, so for them the reference columns are mandatory.
+        let interp = name.starts_with("interp_");
         for (key, required) in [
             ("ns_per_op", true),
             ("gb_per_sec", false),
-            ("baseline_ns_per_op", false),
-            ("speedup", false),
+            ("baseline_ns_per_op", interp),
+            ("speedup", interp),
         ] {
             check_finite(row, key, required).map_err(|e| format!("bench '{name}': {e}"))?;
         }
@@ -571,6 +575,45 @@ mod tests {
             .to_json()
             .replace("\"ns_per_op\": 10.0000", "\"ns_per_op\": 1e999");
         assert!(validate(&json).is_err());
+    }
+
+    #[test]
+    fn interp_rows_require_a_baseline() {
+        // With a measured reference, the row is fine.
+        let ok = PerfReport {
+            mode: "smoke".to_string(),
+            threads: None,
+            benches: vec![PerfBench::from_timings(
+                "interp_memstream_pass",
+                10.0,
+                4096,
+                Some(80.0),
+            )],
+        };
+        validate(&ok.to_json()).unwrap();
+        // A null baseline (legal for every other row) is rejected.
+        let bad = PerfReport {
+            mode: "smoke".to_string(),
+            threads: None,
+            benches: vec![PerfBench::from_timings(
+                "interp_memstream_pass",
+                10.0,
+                4096,
+                None,
+            )],
+        };
+        let err = validate(&bad.to_json()).unwrap_err();
+        assert!(err.contains("baseline_ns_per_op"), "{err}");
+        // Non-interp rows keep the old contract.
+        validate(
+            &PerfReport {
+                mode: "smoke".to_string(),
+                threads: None,
+                benches: vec![PerfBench::from_timings("memstream_pass", 10.0, 4096, None)],
+            }
+            .to_json(),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -23,6 +23,19 @@ use hypertee_emcall::{Exception, ExceptionRoute};
 use hypertee_ems::control::layout;
 use hypertee_mem::addr::{VirtAddr, PAGE_SIZE};
 use hypertee_mem::MemFault;
+use hypertee_sim::clock::Cycles;
+
+/// Which interpreter path drives enclave programs. Cycle charges are
+/// bit-identical between the two (the `tests/interp_diff.rs` contract), so
+/// switching modes changes wall-clock speed only — never simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// Decoded-block dispatch through the per-hart instruction cache.
+    #[default]
+    Fast,
+    /// The seed fetch-decode-execute oracle (`Cpu::step_ref`).
+    Reference,
+}
 
 /// Why a program run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +84,10 @@ impl Machine {
         cpu.regs = self.harts[hart_id].regs;
 
         let out = self.exec_loop(hart_id, &mut cpu, max_steps);
+        // Charge the run's instruction cycles onto the hart clock (the CPU
+        // is fresh per run, so `stats.cycles` is exactly this slice's
+        // total — identical in both interpreter modes).
+        self.charge_hart(hart_id, Cycles(cpu.stats.cycles));
         // Persist the architectural state for the next slice/resume.
         self.harts[hart_id].regs = cpu.regs;
         self.harts[hart_id].pc = cpu.pc.0;
@@ -85,10 +102,27 @@ impl Machine {
     ) -> MachineResult<RunOutcome> {
         let mut steps = 0u64;
         while steps < max_steps {
-            steps += 1;
-            let step = {
-                let hart = &mut self.harts[hart_id];
-                cpu.step(&mut hart.mmu, &mut self.sys)
+            let step = match self.interp {
+                InterpMode::Fast => {
+                    // Hand the whole remaining budget to the block
+                    // dispatcher; it returns how much it consumed (each
+                    // executed *or trapped* instruction counts one, exactly
+                    // like the per-step accounting of the Reference arm).
+                    let hart = &mut self.harts[hart_id];
+                    let (used, step) = cpu.run_block(
+                        &mut hart.mmu,
+                        &mut self.sys,
+                        &mut self.icaches[hart_id],
+                        max_steps - steps,
+                    );
+                    steps += used;
+                    step
+                }
+                InterpMode::Reference => {
+                    steps += 1;
+                    let hart = &mut self.harts[hart_id];
+                    cpu.step_ref(&mut hart.mmu, &mut self.sys)
+                }
             };
             match step {
                 Ok(StepEvent::Continue) => {}
@@ -138,16 +172,14 @@ impl Machine {
                         trap: Trap::Mem(fault),
                     });
                 }
-                Err(Trap::Illegal(word)) => {
+                Err(trap @ Trap::Illegal { .. }) => {
                     // Illegal instructions route to the CS OS (§III-B),
                     // which terminates the task.
                     let record = self
                         .emcall
                         .route_exception(&self.harts[hart_id], Exception::IllegalInstruction);
                     debug_assert_eq!(record.route, ExceptionRoute::CsOs);
-                    return Ok(RunOutcome::Fault {
-                        trap: Trap::Illegal(word),
-                    });
+                    return Ok(RunOutcome::Fault { trap });
                 }
                 Err(trap) => return Ok(RunOutcome::Fault { trap }),
             }
@@ -365,10 +397,95 @@ mod tests {
         assert!(matches!(
             outcome,
             RunOutcome::Fault {
-                trap: Trap::Illegal(0)
+                trap: Trap::Illegal { word: 0, .. }
             }
         ));
         assert_eq!(m.emcall.stats.to_cs, before + 1);
+    }
+
+    #[test]
+    fn fast_and_reference_modes_agree_on_outcome_and_charges() {
+        // A loop with memory traffic, multiply/divide, and demand-paged
+        // heap: both interpreter modes must exit identically and charge the
+        // hart clock the same simulated cycles.
+        let mut a = Asm::new();
+        a.addi(17, 0, 1); // ealloc
+        a.li(10, 4096);
+        a.ecall();
+        a.addi(5, 10, 0); // heap base
+        a.addi(6, 0, 0); // i
+        a.addi(7, 0, 50); // bound
+        a.addi(10, 0, 0); // acc
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.beq(6, 7, done);
+        a.slli(28, 6, 3);
+        a.add(28, 5, 28);
+        a.mul(29, 6, 6);
+        a.sd(29, 0, 28);
+        a.ld(29, 0, 28);
+        a.add(10, 10, 29);
+        a.addi(6, 6, 1);
+        a.jal(0, top);
+        a.bind(done);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let image = a.assemble();
+
+        let run = |mode: InterpMode| {
+            let mut m = Machine::boot_default();
+            m.interp = mode;
+            let e = m.create_enclave(0, &manifest(), &image).unwrap();
+            m.enter(0, e).unwrap();
+            let outcome = m.run_enclave_program(0, 100_000).unwrap();
+            (outcome, m.hart_clock(0), m.clock)
+        };
+        let (fast_out, fast_hart, fast_clock) = run(InterpMode::Fast);
+        let (ref_out, ref_hart, ref_clock) = run(InterpMode::Reference);
+        assert!(
+            matches!(fast_out, RunOutcome::Exited { .. }),
+            "{fast_out:?}"
+        );
+        assert_eq!(fast_out, ref_out);
+        assert_eq!(fast_hart, ref_hart, "hart charges must be bit-identical");
+        assert_eq!(fast_clock, ref_clock);
+    }
+
+    #[test]
+    fn preemption_slices_keep_mode_parity() {
+        // Preemption flushes the TLB (and bumps the flush epoch) every
+        // quantum — the decoded cache must survive the churn with charges
+        // still bit-identical to the oracle.
+        let mut a = Asm::new();
+        a.addi(6, 0, 0);
+        a.addi(7, 0, 200);
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.beq(6, 7, done);
+        a.addi(6, 6, 1);
+        a.jal(0, top);
+        a.bind(done);
+        a.addi(10, 6, 0);
+        a.addi(17, 0, 93);
+        a.ecall();
+        let image = a.assemble();
+
+        let run = |mode: InterpMode| {
+            let mut m = Machine::boot_default();
+            m.interp = mode;
+            let e = m.create_enclave(0, &manifest(), &image).unwrap();
+            m.enter(0, e).unwrap();
+            let (outcome, preemptions) = m.run_enclave_program_preemptive(0, 100_000, 64).unwrap();
+            (outcome, preemptions, m.hart_clock(0))
+        };
+        let (fast_out, fast_pre, fast_hart) = run(InterpMode::Fast);
+        let (ref_out, ref_pre, ref_hart) = run(InterpMode::Reference);
+        assert!(matches!(fast_out, RunOutcome::Exited { code: 200, .. }));
+        assert_eq!(fast_out, ref_out);
+        assert_eq!(fast_pre, ref_pre);
+        assert_eq!(fast_hart, ref_hart);
     }
 
     #[test]

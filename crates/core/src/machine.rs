@@ -177,9 +177,16 @@ pub struct Machine {
     /// Simulated-time clock: the max-merge over the per-hart clocks, so
     /// functional runs also report SoC (wall) time.
     pub clock: Cycles,
+    /// Which interpreter path [`Machine::run_enclave_program`] uses (the
+    /// decoded-block fast path by default; the seed oracle for
+    /// differential runs). Charges are bit-identical either way.
+    pub interp: crate::exec::InterpMode,
     /// Per-hart simulated clocks: each hart accrues its own request
     /// latencies, so concurrent submissions overlap instead of serializing.
     pub(crate) hart_clock: Vec<Cycles>,
+    /// Per-hart decoded-instruction caches (they outlive individual
+    /// program runs, like real icache state across time slices).
+    pub(crate) icaches: Vec<hypertee_cpu::dicache::DecodeCache>,
     /// Async request pipeline state (see [`crate::pipeline`]).
     pub(crate) pipeline: crate::pipeline::Pipeline,
     pub(crate) enclaves: BTreeMap<u64, EnclaveInfo>,
@@ -265,7 +272,13 @@ impl Machine {
             retry: RetryPolicy::default(),
             degrade: DegradePolicy::default(),
             clock: Cycles::ZERO,
+            interp: crate::exec::InterpMode::default(),
             hart_clock: vec![Cycles::ZERO; cs_cores],
+            icaches: (0..cs_cores)
+                .map(|_| {
+                    hypertee_cpu::dicache::DecodeCache::new(hypertee_cpu::dicache::DEFAULT_LINES)
+                })
+                .collect(),
             pipeline: crate::pipeline::Pipeline::new(ems_cores, seed),
             enclaves: BTreeMap::new(),
             next_host_va: 0x7000_0000,
@@ -420,13 +433,22 @@ impl Machine {
             let cur = VirtAddr(va.0 + off as u64);
             let room = (PAGE_SIZE - cur.offset()) as usize;
             let take = room.min(data.len() - off);
-            self.harts[hart_id]
+            let pa = self.harts[hart_id]
                 .mmu
-                .store(&mut self.sys, cur, &data[off..off + take])
+                .store_traced(&mut self.sys, cur, &data[off..off + take])
                 .map_err(MachineError::Mem)?;
+            // A host store may rewrite code any hart has decoded.
+            for icache in &mut self.icaches {
+                icache.invalidate_range(pa.0, take as u64);
+            }
             off += take;
         }
         Ok(())
+    }
+
+    /// Decoded-instruction-cache counters for `hart_id` (observability).
+    pub fn icache_stats(&self, hart_id: usize) -> hypertee_cpu::dicache::DicacheStats {
+        self.icaches[hart_id].stats
     }
 
     /// Host-mode virtual load from `hart_id` (splits at page boundaries).

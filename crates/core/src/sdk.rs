@@ -213,14 +213,16 @@ impl Machine {
             m.invoke(hart_id, Primitive::Edestroy, vec![handle.0], vec![])
         })?;
         self.enclaves.remove(&handle.0);
-        // The destroyed enclave's page-table frames return to the pool and
-        // may be reused for data: drop every hart's walk-cache pointers so
-        // none of them can later interpret reused frames as page tables.
-        // (TLB entries for the torn-down mappings are already gone — the
-        // last exit_enclave switched tables and flushed — so this adds no
-        // TLB flush and leaves TlbStats trajectories unchanged.)
+        // The destroyed enclave's frames return to the pool and may be
+        // reused for data or code: drop every hart's walk-cache pointers so
+        // none of them can later interpret reused frames as page tables,
+        // and bump the flush epoch so decoded-instruction caches drop any
+        // lines decoded from the recycled frames. (TLB entries for the
+        // torn-down mappings are already gone — the last exit_enclave
+        // switched tables and flushed — so this adds no TLB flush and
+        // leaves TlbStats trajectories unchanged.)
         for hart in &mut self.harts {
-            hart.mmu.walk_cache.flush_all();
+            hart.mmu.note_mapping_teardown();
         }
         Ok(())
     }
@@ -465,10 +467,14 @@ impl Machine {
                 pa: info.host_window_pa.0 + offset,
             }));
         }
-        self.sys
-            .phys
-            .write(PhysAddr(info.host_window_pa.0 + offset), data)
-            .map_err(MachineError::Mem)
+        let pa = PhysAddr(info.host_window_pa.0 + offset);
+        self.sys.phys.write(pa, data).map_err(MachineError::Mem)?;
+        // A raw physical write bypasses the MMU store hooks; drop any
+        // decoded lines it may have rewritten on every hart.
+        for icache in &mut self.icaches {
+            icache.invalidate_range(pa.0, data.len() as u64);
+        }
+        Ok(())
     }
 
     /// HostApp reads from the shared window (host side).

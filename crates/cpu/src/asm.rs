@@ -360,7 +360,8 @@ impl Asm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{decode, AluKind, Instr};
+    use crate::difftest::Rng;
+    use crate::isa::{decode, AluKind, BranchKind, Instr, LoadKind, StoreKind};
 
     #[test]
     fn emitted_words_decode_back() {
@@ -411,6 +412,293 @@ mod tests {
             panic!()
         };
         assert_eq!(offset, -8, "backward jump to top");
+    }
+
+    /// A boxed emitter closure, paired with the instruction it must
+    /// decode back to.
+    type Emit = Box<dyn Fn(&mut Asm)>;
+
+    /// Assembles a single-instruction closure and decodes the word back.
+    fn emit1(f: impl FnOnce(&mut Asm)) -> Instr {
+        let mut a = Asm::new();
+        f(&mut a);
+        let image = a.assemble();
+        let word = u32::from_le_bytes(image[0..4].try_into().unwrap());
+        decode(word).unwrap_or_else(|e| panic!("emitted word {word:#010x} illegal: {e:?}"))
+    }
+
+    /// The exhaustive round-trip property: every emitter, over boundary and
+    /// seeded-random operands, decodes back to exactly the instruction it
+    /// was asked to encode.
+    #[test]
+    fn every_emitter_round_trips_through_decode() {
+        let mut rng = Rng::new(0xa5e);
+        let mut regs: Vec<u8> = vec![0, 1, 15, 30, 31];
+        regs.extend((0..8).map(|_| (rng.next_u64() % 32) as u8));
+        let imms: Vec<i64> = vec![-2048, -1, 0, 1, 7, 2047];
+
+        for &rd in &regs {
+            for &rs1 in &regs {
+                // I-type ALU + loads + jalr over every boundary immediate.
+                for &imm in &imms {
+                    let cases: Vec<(Instr, Emit)> = vec![
+                        (
+                            Instr::OpImm {
+                                kind: AluKind::Add,
+                                rd,
+                                rs1,
+                                imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.addi(rd, rs1, imm)),
+                        ),
+                        (
+                            Instr::OpImm {
+                                kind: AluKind::And,
+                                rd,
+                                rs1,
+                                imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.andi(rd, rs1, imm)),
+                        ),
+                        (
+                            Instr::OpImm {
+                                kind: AluKind::Or,
+                                rd,
+                                rs1,
+                                imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.ori(rd, rs1, imm)),
+                        ),
+                        (
+                            Instr::OpImm {
+                                kind: AluKind::Xor,
+                                rd,
+                                rs1,
+                                imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.xori(rd, rs1, imm)),
+                        ),
+                        (
+                            Instr::Load {
+                                kind: LoadKind::Ld,
+                                rd,
+                                rs1,
+                                offset: imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.ld(rd, imm, rs1)),
+                        ),
+                        (
+                            Instr::Load {
+                                kind: LoadKind::Lw,
+                                rd,
+                                rs1,
+                                offset: imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.lw(rd, imm, rs1)),
+                        ),
+                        (
+                            Instr::Load {
+                                kind: LoadKind::Lbu,
+                                rd,
+                                rs1,
+                                offset: imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.lbu(rd, imm, rs1)),
+                        ),
+                        (
+                            Instr::Jalr {
+                                rd,
+                                rs1,
+                                offset: imm,
+                            },
+                            Box::new(move |a: &mut Asm| a.jalr(rd, rs1, imm)),
+                        ),
+                    ];
+                    for (expect, emit) in cases {
+                        assert_eq!(emit1(emit), expect);
+                    }
+                    // Stores: rs2 plays the data role.
+                    let rs2 = rd;
+                    assert_eq!(
+                        emit1(move |a| a.sd(rs2, imm, rs1)),
+                        Instr::Store {
+                            kind: StoreKind::Sd,
+                            rs2,
+                            rs1,
+                            offset: imm
+                        }
+                    );
+                    assert_eq!(
+                        emit1(move |a| a.sw(rs2, imm, rs1)),
+                        Instr::Store {
+                            kind: StoreKind::Sw,
+                            rs2,
+                            rs1,
+                            offset: imm
+                        }
+                    );
+                    assert_eq!(
+                        emit1(move |a| a.sb(rs2, imm, rs1)),
+                        Instr::Store {
+                            kind: StoreKind::Sb,
+                            rs2,
+                            rs1,
+                            offset: imm
+                        }
+                    );
+                }
+                // Shifts over the full 6-bit shamt range.
+                for shamt in 0..64u8 {
+                    assert_eq!(
+                        emit1(move |a| a.slli(rd, rs1, shamt)),
+                        Instr::OpImm {
+                            kind: AluKind::Sll,
+                            rd,
+                            rs1,
+                            imm: shamt as i64
+                        }
+                    );
+                    assert_eq!(
+                        emit1(move |a| a.srli(rd, rs1, shamt)),
+                        Instr::OpImm {
+                            kind: AluKind::Srl,
+                            rd,
+                            rs1,
+                            imm: shamt as i64
+                        }
+                    );
+                    assert_eq!(
+                        emit1(move |a| a.srai(rd, rs1, shamt)),
+                        Instr::OpImm {
+                            kind: AluKind::Sra,
+                            rd,
+                            rs1,
+                            imm: shamt as i64
+                        }
+                    );
+                }
+                // R-type over every register pair drawn.
+                for &rs2 in &regs {
+                    let rr: Vec<(AluKind, Emit)> = vec![
+                        (
+                            AluKind::Add,
+                            Box::new(move |a: &mut Asm| a.add(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::Sub,
+                            Box::new(move |a: &mut Asm| a.sub(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::And,
+                            Box::new(move |a: &mut Asm| a.and(rd, rs1, rs2)),
+                        ),
+                        (AluKind::Or, Box::new(move |a: &mut Asm| a.or(rd, rs1, rs2))),
+                        (
+                            AluKind::Xor,
+                            Box::new(move |a: &mut Asm| a.xor(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::Sltu,
+                            Box::new(move |a: &mut Asm| a.sltu(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::Mul,
+                            Box::new(move |a: &mut Asm| a.mul(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::Divu,
+                            Box::new(move |a: &mut Asm| a.divu(rd, rs1, rs2)),
+                        ),
+                        (
+                            AluKind::Remu,
+                            Box::new(move |a: &mut Asm| a.remu(rd, rs1, rs2)),
+                        ),
+                    ];
+                    for (kind, emit) in rr {
+                        assert_eq!(emit1(emit), Instr::Op { kind, rd, rs1, rs2 });
+                    }
+                }
+            }
+            // U-type: boundary upper immediates (low 12 bits zero).
+            for imm in [0i64, 0x1000, 0x7fff_f000, -4096, i32::MIN as i64] {
+                assert_eq!(emit1(move |a| a.lui(rd, imm)), Instr::Lui { rd, imm });
+                assert_eq!(emit1(move |a| a.auipc(rd, imm)), Instr::Auipc { rd, imm });
+            }
+        }
+        assert_eq!(emit1(|a| a.ecall()), Instr::Ecall);
+        assert_eq!(emit1(|a| a.ebreak()), Instr::Ebreak);
+    }
+
+    #[test]
+    fn branch_and_jump_offsets_round_trip_at_every_distance() {
+        // Forward and backward control flow over a spread of distances; the
+        // patched offset must decode back to exactly the label distance.
+        for gap in [1usize, 2, 3, 8, 100, 1000] {
+            let mut a = Asm::new();
+            let fwd = a.label();
+            a.beq(1, 2, fwd);
+            a.jal(5, fwd);
+            for _ in 0..gap {
+                a.addi(0, 0, 0);
+            }
+            a.bind(fwd);
+            let back = a.label();
+            a.bind(back);
+            a.bne(3, 4, back);
+            a.jal(0, back);
+            let image = a.assemble();
+            let words: Vec<u32> = image
+                .chunks(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let fwd_bytes = (gap as i64 + 2) * 4;
+            assert_eq!(
+                decode(words[0]).unwrap(),
+                Instr::Branch {
+                    kind: BranchKind::Eq,
+                    rs1: 1,
+                    rs2: 2,
+                    offset: fwd_bytes
+                }
+            );
+            assert_eq!(
+                decode(words[1]).unwrap(),
+                Instr::Jal {
+                    rd: 5,
+                    offset: fwd_bytes - 4
+                }
+            );
+            let back_idx = 2 + gap;
+            assert_eq!(
+                decode(words[back_idx]).unwrap(),
+                Instr::Branch {
+                    kind: BranchKind::Ne,
+                    rs1: 3,
+                    rs2: 4,
+                    offset: 0
+                }
+            );
+            assert_eq!(
+                decode(words[back_idx + 1]).unwrap(),
+                Instr::Jal { rd: 0, offset: -4 }
+            );
+        }
+    }
+
+    #[test]
+    fn li_expansion_always_decodes_legal() {
+        let mut rng = Rng::new(0x11);
+        let mut values: Vec<u64> = vec![0, 1, u64::MAX, i64::MIN as u64, 0xdead_beef];
+        values.extend((0..64).map(|_| rng.next_u64()));
+        for value in values {
+            let mut a = Asm::new();
+            a.li(7, value);
+            let image = a.assemble();
+            for chunk in image.chunks(4) {
+                let word = u32::from_le_bytes(chunk.try_into().unwrap());
+                decode(word).unwrap_or_else(|e| panic!("li({value:#x}) emitted {e:?}"));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,21 @@
-//! The RV64IM interpreter: architectural state + single-step execution
-//! through a [`CoreMmu`].
+//! The RV64IM interpreter: architectural state + execution through a
+//! [`CoreMmu`].
+//!
+//! Two execution paths share one architectural state:
+//!
+//! * [`Cpu::step_ref`] — the seed fetch-decode-execute loop, kept verbatim
+//!   as the differential oracle: every instruction fetch is a 4-byte MMU
+//!   load (a full MKTME line round trip), decoded fresh.
+//! * [`Cpu::run_block`] / [`Cpu::step`] — the fast path: decoded lines are
+//!   cached by physical address ([`crate::dicache::DecodeCache`]) and
+//!   straight-line blocks dispatch without touching memory, charging the
+//!   timing model in one batched add per block.
+//!
+//! The contract, enforced by `tests/interp_diff.rs`: registers, PC, memory,
+//! [`CpuStats`] (including `cycles`), and every trap are bit-identical
+//! between the two paths at every step.
 
+use crate::dicache::{DecodeCache, LINE_BYTES, LINE_SLOTS};
 use crate::isa::{decode, AluKind, BranchKind, Instr, LoadKind, StoreKind};
 use hypertee_mem::addr::{VirtAddr, PAGE_SIZE};
 use hypertee_mem::system::{CoreMmu, MemorySystem};
@@ -25,8 +40,29 @@ pub enum StepEvent {
 pub enum Trap {
     /// A memory fault during fetch or data access.
     Mem(MemFault),
-    /// An undecodable instruction.
-    Illegal(u32),
+    /// An undecodable instruction: the raw word and the physical address it
+    /// was fetched from (so diff-shrink traces point at the actual image
+    /// byte, not just the virtual PC).
+    Illegal {
+        /// The undecodable instruction word.
+        word: u32,
+        /// Physical address of the word.
+        pa: u64,
+    },
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::Mem(m) => write!(f, "memory trap: {m}"),
+            Trap::Illegal { word, pa } => {
+                write!(
+                    f,
+                    "illegal instruction {word:#010x} fetched from pa {pa:#x}"
+                )
+            }
+        }
+    }
 }
 
 /// Executed-instruction counters.
@@ -38,6 +74,31 @@ pub struct CpuStats {
     pub mem_ops: u64,
     /// Traps taken.
     pub traps: u64,
+    /// Timing-model cycles charged for retired instructions
+    /// ([`instr_cost`] per instruction; bit-identical between `step_ref`
+    /// and block dispatch by the differential contract).
+    pub cycles: u64,
+}
+
+/// The interpreter timing model: cycles charged per *retired* instruction
+/// (a trapped instruction charges nothing — it either retries or kills the
+/// task). Deliberately coarse BOOM-class latencies; what matters for the
+/// reproduction is that both interpreter paths charge identically, which
+/// holds by construction because block dispatch precomputes this per slot
+/// at decode time.
+pub fn instr_cost(instr: &Instr) -> u64 {
+    match instr {
+        Instr::Load { .. } | Instr::Store { .. } => 3,
+        Instr::Op { kind, .. } | Instr::Op32 { kind, .. } => match kind {
+            AluKind::Mul => 3,
+            AluKind::Div | AluKind::Divu | AluKind::Rem | AluKind::Remu => 20,
+            _ => 1,
+        },
+        Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => 2,
+        Instr::Ecall | Instr::Ebreak => 2,
+        Instr::Lui { .. } | Instr::Auipc { .. } | Instr::OpImm { .. } | Instr::OpImm32 { .. } => 1,
+        Instr::Fence => 1,
+    }
 }
 
 /// One hart's architectural state.
@@ -158,14 +219,20 @@ impl Cpu {
         r as i32 as i64 as u64
     }
 
-    /// Fetches, decodes, and executes one instruction through `mmu`.
+    /// Fetches, decodes, and executes one instruction through `mmu` — the
+    /// seed fetch-decode-execute path, kept verbatim as the differential
+    /// oracle for the decoded-block fast path ([`Cpu::run_block`]).
     ///
     /// # Errors
     ///
     /// Returns [`Trap`] with PC unchanged on memory faults (so the
     /// instruction retries after fault handling) and PC unchanged on
     /// illegal instructions.
-    pub fn step(&mut self, mmu: &mut CoreMmu, sys: &mut MemorySystem) -> Result<StepEvent, Trap> {
+    pub fn step_ref(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+    ) -> Result<StepEvent, Trap> {
         // Fetch.
         let mut word_bytes = [0u8; 4];
         if let Err(f) = mmu.load(sys, self.pc, &mut word_bytes) {
@@ -173,10 +240,19 @@ impl Cpu {
             return Err(Trap::Mem(f));
         }
         let word = u32::from_le_bytes(word_bytes);
-        let instr = decode(word).map_err(|e| {
-            self.stats.traps += 1;
-            Trap::Illegal(e.0)
-        })?;
+        let instr = match decode(word) {
+            Ok(i) => i,
+            Err(e) => {
+                self.stats.traps += 1;
+                // The fetch just succeeded, so this resolves from the TLB;
+                // fall back to the VA if translation state moved underneath.
+                let pa = mmu
+                    .translate_fetch(sys, self.pc)
+                    .map(|p| p.0)
+                    .unwrap_or(self.pc.0);
+                return Err(Trap::Illegal { word: e.0, pa });
+            }
+        };
         let next_pc = VirtAddr(self.pc.0 + 4);
         let mut event = StepEvent::Continue;
         match instr {
@@ -286,8 +362,279 @@ impl Cpu {
                 self.pc = next_pc;
             }
         }
+        self.stats.cycles += instr_cost(&instr);
         self.stats.retired += 1;
         Ok(event)
+    }
+
+    /// Executes one instruction through the decoded-line cache — the cached
+    /// counterpart of [`Cpu::step_ref`], with identical architectural
+    /// semantics (the `tests/interp_diff.rs` lockstep contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::step_ref`].
+    pub fn step(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        cache: &mut DecodeCache,
+    ) -> Result<StepEvent, Trap> {
+        self.run_block(mmu, sys, cache, 1).1
+    }
+
+    /// Runs up to `budget` instructions through the decoded-block dispatch
+    /// loop. Returns how many budget units were consumed (each executed
+    /// *or trapped* instruction consumes one, matching the per-`step_ref`
+    /// accounting of the seed exec loop) and the final event:
+    /// `Ok(StepEvent::Continue)` means the budget ran out mid-flight.
+    ///
+    /// Timing charges accumulate locally and land on
+    /// [`CpuStats::cycles`] in a single batched add when the block exits.
+    pub fn run_block(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        cache: &mut DecodeCache,
+        budget: u64,
+    ) -> (u64, Result<StepEvent, Trap>) {
+        cache.sync_epoch(mmu.flush_epoch);
+        let mut used = 0u64;
+        let mut cycles = 0u64;
+        let result = 'run: loop {
+            if used >= budget {
+                break Ok(StepEvent::Continue);
+            }
+            // Misaligned PCs bypass the cache entirely: the seed fetch
+            // semantics (including its page-bound panics) apply verbatim.
+            if !self.pc.0.is_multiple_of(4) {
+                used += 1;
+                match self.step_ref(mmu, sys) {
+                    Ok(StepEvent::Continue) => continue 'run,
+                    other => break other,
+                }
+            }
+            let line_pa = match mmu.translate_fetch(sys, self.pc) {
+                Ok(pa) => pa.0 & !(LINE_BYTES - 1),
+                Err(f) => {
+                    self.stats.traps += 1;
+                    used += 1;
+                    break Err(Trap::Mem(f));
+                }
+            };
+            let line = match cache.get(line_pa) {
+                Some(line) => line,
+                None => {
+                    let va_line = VirtAddr(self.pc.0 & !(LINE_BYTES - 1));
+                    let mut bytes = [0u8; LINE_BYTES as usize];
+                    match mmu.load(sys, va_line, &mut bytes) {
+                        Ok(()) => cache.fill(line_pa, &bytes),
+                        Err(_) => {
+                            // The line read failed (e.g. an integrity
+                            // violation): retry as the exact seed 4-byte
+                            // fetch so the reported fault is bit-identical
+                            // to the oracle's.
+                            used += 1;
+                            match self.step_ref(mmu, sys) {
+                                Ok(StepEvent::Continue) => continue 'run,
+                                other => break other,
+                            }
+                        }
+                    }
+                }
+            };
+            // Straight-line dispatch within the decoded line.
+            let mut slot = ((self.pc.0 & (LINE_BYTES - 1)) / 4) as usize;
+            loop {
+                if used >= budget {
+                    break 'run Ok(StepEvent::Continue);
+                }
+                used += 1;
+                let expected_next = self.pc.0 + 4;
+                match line.slots[slot] {
+                    Err(word) => {
+                        self.stats.traps += 1;
+                        break 'run Err(Trap::Illegal {
+                            word,
+                            pa: line_pa + slot as u64 * 4,
+                        });
+                    }
+                    Ok(instr) => match self.exec_decoded(mmu, sys, cache, instr, line_pa) {
+                        Ok((event, smc_hit)) => {
+                            cycles += line.cost[slot] as u64;
+                            if event != StepEvent::Continue {
+                                break 'run Ok(event);
+                            }
+                            if smc_hit {
+                                // A store just rewrote the line we are
+                                // executing from: refetch before the next
+                                // instruction, like the uncached oracle.
+                                break;
+                            }
+                        }
+                        Err(t) => break 'run Err(t),
+                    },
+                }
+                if self.pc.0 != expected_next || slot + 1 >= LINE_SLOTS {
+                    break; // control transfer or line end: re-enter
+                }
+                slot += 1;
+            }
+        };
+        self.stats.cycles += cycles;
+        (used, result)
+    }
+
+    /// Data store for the cached path: seed [`Cpu::store`] semantics plus
+    /// store-side cache invalidation. Returns the physical address so the
+    /// dispatch loop can detect stores into its own line.
+    fn store_inv(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        cache: &mut DecodeCache,
+        va: u64,
+        len: usize,
+        value: u64,
+    ) -> Result<u64, Trap> {
+        self.stats.mem_ops += 1;
+        if !va.is_multiple_of(len as u64) {
+            return Err(Trap::Mem(MemFault::BusError { pa: va }));
+        }
+        let bytes = value.to_le_bytes();
+        let pa = mmu
+            .store_traced(sys, VirtAddr(va), &bytes[..len])
+            .map_err(Trap::Mem)?;
+        cache.invalidate_range(pa.0, len as u64);
+        Ok(pa.0)
+    }
+
+    /// Executes one already-decoded instruction — the dispatch-loop twin of
+    /// the `step_ref` execute match, with the same architectural effects.
+    /// Returns the event and whether a store hit the currently executing
+    /// line (`line_pa`), which forces a refetch.
+    fn exec_decoded(
+        &mut self,
+        mmu: &mut CoreMmu,
+        sys: &mut MemorySystem,
+        cache: &mut DecodeCache,
+        instr: Instr,
+        line_pa: u64,
+    ) -> Result<(StepEvent, bool), Trap> {
+        let next_pc = VirtAddr(self.pc.0 + 4);
+        let mut event = StepEvent::Continue;
+        let mut smc_hit = false;
+        match instr {
+            Instr::Lui { rd, imm } => {
+                self.write_reg(rd, imm as u64);
+                self.pc = next_pc;
+            }
+            Instr::Auipc { rd, imm } => {
+                self.write_reg(rd, self.pc.0.wrapping_add(imm as u64));
+                self.pc = next_pc;
+            }
+            Instr::Jal { rd, offset } => {
+                self.write_reg(rd, next_pc.0);
+                self.pc = VirtAddr(self.pc.0.wrapping_add(offset as u64));
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.regs[rs1 as usize].wrapping_add(offset as u64) & !1;
+                self.write_reg(rd, next_pc.0);
+                self.pc = VirtAddr(target);
+            }
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let taken = match kind {
+                    BranchKind::Eq => a == b,
+                    BranchKind::Ne => a != b,
+                    BranchKind::Lt => (a as i64) < (b as i64),
+                    BranchKind::Ge => (a as i64) >= (b as i64),
+                    BranchKind::Ltu => a < b,
+                    BranchKind::Geu => a >= b,
+                };
+                self.pc = if taken {
+                    VirtAddr(self.pc.0.wrapping_add(offset as u64))
+                } else {
+                    next_pc
+                };
+            }
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
+                let value = match kind {
+                    LoadKind::Lb => self.load(mmu, sys, va, 1)? as i8 as i64 as u64,
+                    LoadKind::Lbu => self.load(mmu, sys, va, 1)?,
+                    LoadKind::Lh => self.load(mmu, sys, va, 2)? as i16 as i64 as u64,
+                    LoadKind::Lhu => self.load(mmu, sys, va, 2)?,
+                    LoadKind::Lw => self.load(mmu, sys, va, 4)? as i32 as i64 as u64,
+                    LoadKind::Lwu => self.load(mmu, sys, va, 4)?,
+                    LoadKind::Ld => self.load(mmu, sys, va, 8)?,
+                };
+                self.write_reg(rd, value);
+                self.pc = next_pc;
+            }
+            Instr::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let va = self.regs[rs1 as usize].wrapping_add(offset as u64);
+                let value = self.regs[rs2 as usize];
+                let len = match kind {
+                    StoreKind::Sb => 1,
+                    StoreKind::Sh => 2,
+                    StoreKind::Sw => 4,
+                    StoreKind::Sd => 8,
+                };
+                let pa = self.store_inv(mmu, sys, cache, va, len, value)?;
+                smc_hit = pa & !(LINE_BYTES - 1) == line_pa;
+                self.pc = next_pc;
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                let v = Self::alu(kind, self.regs[rs1 as usize], imm as u64);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::OpImm32 { kind, rd, rs1, imm } => {
+                let v = Self::alu32(kind, self.regs[rs1 as usize], imm as u64);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                let v = Self::alu(kind, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Op32 { kind, rd, rs1, rs2 } => {
+                let v = Self::alu32(kind, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.write_reg(rd, v);
+                self.pc = next_pc;
+            }
+            Instr::Ecall => {
+                self.pc = next_pc;
+                event = StepEvent::Ecall;
+            }
+            Instr::Ebreak => {
+                self.pc = next_pc;
+                event = StepEvent::Ebreak;
+            }
+            Instr::Fence => {
+                self.pc = next_pc;
+            }
+        }
+        self.stats.retired += 1;
+        Ok((event, smc_hit))
     }
 }
 
@@ -332,12 +679,34 @@ mod tests {
         (sys, mmu, Cpu::new(VirtAddr(CODE)))
     }
 
-    fn run(image: &[u8], max_steps: usize) -> Cpu {
+    fn run_ref(image: &[u8], max_steps: usize) -> Cpu {
         let (mut sys, mut mmu, mut cpu) = machine(image);
         for _ in 0..max_steps {
-            match cpu.step(&mut mmu, &mut sys).expect("no trap") {
+            match cpu.step_ref(&mut mmu, &mut sys).expect("no trap") {
                 StepEvent::Continue => {}
                 StepEvent::Ecall | StepEvent::Ebreak => return cpu,
+            }
+        }
+        panic!("program did not finish in {max_steps} steps");
+    }
+
+    /// Runs the image on both interpreter paths and asserts they agree on
+    /// registers, PC, and every `CpuStats` counter before returning the
+    /// cached-path CPU — so every functional test below doubles as a
+    /// differential check.
+    fn run(image: &[u8], max_steps: usize) -> Cpu {
+        let reference = run_ref(image, max_steps);
+        let (mut sys, mut mmu, mut cpu) = machine(image);
+        let mut cache = DecodeCache::new(64);
+        for _ in 0..max_steps {
+            match cpu.step(&mut mmu, &mut sys, &mut cache).expect("no trap") {
+                StepEvent::Continue => {}
+                StepEvent::Ecall | StepEvent::Ebreak => {
+                    assert_eq!(cpu.regs, reference.regs, "register file diverged");
+                    assert_eq!(cpu.pc, reference.pc, "pc diverged");
+                    assert_eq!(cpu.stats, reference.stats, "stats diverged");
+                    return cpu;
+                }
             }
         }
         panic!("program did not finish in {max_steps} steps");
@@ -490,9 +859,11 @@ mod tests {
         a.ld(6, 0, 5);
         a.ecall();
         let (mut sys, mut mmu, mut cpu) = machine(&a.assemble());
-        // Run until the trap.
+        let mut cache = DecodeCache::new(64);
+        // Run until the trap (through the cached path: data faults must
+        // surface identically to the oracle's).
         let trap = loop {
-            match cpu.step(&mut mmu, &mut sys) {
+            match cpu.step(&mut mmu, &mut sys, &mut cache) {
                 Ok(_) => {}
                 Err(t) => break t,
             }
@@ -522,7 +893,7 @@ mod tests {
             "PC must stay at the faulting instruction"
         );
         loop {
-            match cpu.step(&mut mmu, &mut sys).unwrap() {
+            match cpu.step(&mut mmu, &mut sys, &mut cache).unwrap() {
                 StepEvent::Continue => {}
                 StepEvent::Ecall => break,
                 other => panic!("{other:?}"),
@@ -537,8 +908,9 @@ mod tests {
         a.li(5, DATA + 1);
         a.ld(6, 0, 5);
         let (mut sys, mut mmu, mut cpu) = machine(&a.assemble());
+        let mut cache = DecodeCache::new(64);
         let trap = loop {
-            match cpu.step(&mut mmu, &mut sys) {
+            match cpu.step(&mut mmu, &mut sys, &mut cache) {
                 Ok(_) => {}
                 Err(t) => break t,
             }
@@ -547,13 +919,150 @@ mod tests {
     }
 
     #[test]
-    fn illegal_instruction_traps() {
+    fn illegal_instruction_traps_with_physical_address() {
         let image = 0u32.to_le_bytes();
         let (mut sys, mut mmu, mut cpu) = machine(&image);
-        assert!(matches!(
-            cpu.step(&mut mmu, &mut sys),
-            Err(Trap::Illegal(0))
-        ));
+        let code_pa = mmu.translate_fetch(&mut sys, cpu.pc).unwrap().0;
+        let trap = cpu.step_ref(&mut mmu, &mut sys).unwrap_err();
+        assert_eq!(
+            trap,
+            Trap::Illegal {
+                word: 0,
+                pa: code_pa
+            }
+        );
+        // The cached path reports the identical trap.
+        let (mut sys, mut mmu, mut cpu) = machine(&image);
+        let mut cache = DecodeCache::new(64);
+        let cached_trap = cpu.step(&mut mmu, &mut sys, &mut cache).unwrap_err();
+        assert_eq!(cached_trap, trap);
+        assert_eq!(cpu.stats.traps, 1);
+        assert_eq!(cpu.stats.cycles, 0, "trapped instruction charges nothing");
+    }
+
+    #[test]
+    fn run_block_batches_cycles_and_honours_budget() {
+        // Same straight-line program as `arithmetic_and_exit`: 2×1-cycle ALU
+        // plus one 2-cycle ecall.
+        let mut a = Asm::new();
+        a.addi(10, 0, 21);
+        a.slli(10, 10, 1);
+        a.ecall();
+        let image = a.assemble();
+
+        let (mut sys, mut mmu, mut cpu) = machine(&image);
+        let mut cache = DecodeCache::new(64);
+        let (used, event) = cpu.run_block(&mut mmu, &mut sys, &mut cache, 100);
+        assert_eq!(event, Ok(StepEvent::Ecall));
+        assert_eq!(used, 3);
+        assert_eq!(cpu.stats.retired, 3);
+        assert_eq!(cpu.stats.cycles, 1 + 1 + 2);
+
+        // A budget of 2 stops mid-block with the partial charge applied.
+        let (mut sys, mut mmu, mut cpu) = machine(&image);
+        let mut cache = DecodeCache::new(64);
+        let (used, event) = cpu.run_block(&mut mmu, &mut sys, &mut cache, 2);
+        assert_eq!(event, Ok(StepEvent::Continue));
+        assert_eq!(used, 2);
+        assert_eq!(cpu.stats.retired, 2);
+        assert_eq!(cpu.stats.cycles, 2);
+        assert_eq!(cpu.pc.0, CODE + 8);
+    }
+
+    #[test]
+    fn self_modifying_store_invalidates_cached_line() {
+        // The program overwrites its own loop body between two passes; the
+        // store goes through the writable code mapping, so the decode cache
+        // must drop the line and re-fetch the new bytes. a0 = 1 (old body,
+        // pass 1) + 100 (new body, pass 2) = 101.
+        let overwrite: u32 = (100u32 << 20) | (10 << 15) | (10 << 7) | 0x13; // addi x10,x10,100
+        let mut a = Asm::new();
+        a.li(5, CODE);
+        a.li(6, overwrite as u64);
+        a.addi(7, 0, 2); // pass counter
+        let top = a.label();
+        a.bind(top);
+        let body_off = a.here();
+        a.addi(10, 10, 1); // <- overwritten after pass 1
+        a.sw(6, body_off as i64, 5);
+        a.addi(7, 7, -1);
+        a.bne(7, 0, top);
+        a.ecall();
+        let image = a.assemble();
+
+        // `machine` maps code RX; remap it writable for this test.
+        let mut sys = MemorySystem::new(32 << 20, PhysAddr(0x4000));
+        let mut frames = FrameAllocator::new(Ppn(16), Ppn(4000));
+        let pt = PageTable::new(&mut frames, &mut sys.phys);
+        let code = frames.alloc().unwrap();
+        sys.phys.write(code.base(), &image).unwrap();
+        pt.map(
+            VirtAddr(CODE),
+            code,
+            Perms::RWX,
+            KeyId::HOST,
+            &mut frames,
+            &mut sys.phys,
+        )
+        .unwrap();
+        let mut mmu = CoreMmu::new(16);
+        mmu.switch_table(Some(pt), false);
+
+        let mut reference = Cpu::new(VirtAddr(CODE));
+        {
+            let mut sys_ref = MemorySystem::new(32 << 20, PhysAddr(0x4000));
+            sys_ref.phys.write(code.base(), &image).unwrap();
+            let mut frames_ref = FrameAllocator::new(Ppn(2000), Ppn(4000));
+            let pt_ref = PageTable::new(&mut frames_ref, &mut sys_ref.phys);
+            pt_ref
+                .map(
+                    VirtAddr(CODE),
+                    code,
+                    Perms::RWX,
+                    KeyId::HOST,
+                    &mut frames_ref,
+                    &mut sys_ref.phys,
+                )
+                .unwrap();
+            let mut mmu_ref = CoreMmu::new(16);
+            mmu_ref.switch_table(Some(pt_ref), false);
+            while let StepEvent::Continue = reference.step_ref(&mut mmu_ref, &mut sys_ref).unwrap()
+            {
+            }
+        }
+        assert_eq!(reference.regs[10], 101, "oracle must see the new bytes");
+
+        let mut cpu = Cpu::new(VirtAddr(CODE));
+        let mut cache = DecodeCache::new(64);
+        let (_, event) = cpu.run_block(&mut mmu, &mut sys, &mut cache, 10_000);
+        assert_eq!(event, Ok(StepEvent::Ecall));
+        assert_eq!(cpu.regs[10], 101, "cached path must execute the new bytes");
+        assert_eq!(cpu.regs, reference.regs);
+        assert_eq!(cpu.stats, reference.stats, "charges must match the oracle");
+        assert!(
+            cache.stats.invalidations > 0,
+            "the SMC store must invalidate"
+        );
+    }
+
+    #[test]
+    fn epoch_bump_flushes_decode_cache_between_blocks() {
+        let mut a = Asm::new();
+        a.addi(10, 10, 1);
+        a.ecall();
+        let image = a.assemble();
+        let (mut sys, mut mmu, mut cpu) = machine(&image);
+        let mut cache = DecodeCache::new(64);
+        cpu.step(&mut mmu, &mut sys, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        let flushes_before = cache.stats.flushes;
+        mmu.note_mapping_teardown();
+        cpu.step(&mut mmu, &mut sys, &mut cache).unwrap();
+        assert_eq!(
+            cache.stats.flushes,
+            flushes_before + 1,
+            "epoch bump must flush the cache"
+        );
     }
 
     #[test]

@@ -12,12 +12,20 @@
 //! * [`isa`] — instruction decoding (RV64I + M-extension multiply/divide).
 //! * [`asm`] — a tiny two-pass assembler with labels, for writing test and
 //!   example programs in Rust.
-//! * [`hart`] — the interpreter: architectural registers + `step`.
+//! * [`hart`] — the interpreter: architectural registers plus two execution
+//!   paths — the seed fetch-decode-execute oracle (`step_ref`) and the
+//!   decoded-block fast path (`step`/`run_block`).
+//! * [`dicache`] — the decoded-instruction cache behind the fast path,
+//!   keyed by physical line and invalidated on the walk-cache flush
+//!   discipline plus store-side hooks.
+//! * [`difftest`] — the lockstep differential rig + seeded program
+//!   generator + ddmin shrinker used by `tests/interp_diff.rs`.
 //!
 //! # Example
 //!
 //! ```
 //! use hypertee_cpu::asm::Asm;
+//! use hypertee_cpu::dicache::DecodeCache;
 //! use hypertee_cpu::hart::{Cpu, StepEvent};
 //! use hypertee_mem::addr::{KeyId, PhysAddr, Ppn, VirtAddr};
 //! use hypertee_mem::pagetable::{PageTable, Perms};
@@ -45,8 +53,9 @@
 //! mmu.switch_table(Some(pt), false);
 //!
 //! let mut cpu = Cpu::new(VirtAddr(0x1000));
+//! let mut icache = DecodeCache::new(64);
 //! loop {
-//!     match cpu.step(&mut mmu, &mut sys).unwrap() {
+//!     match cpu.step(&mut mmu, &mut sys, &mut icache).unwrap() {
 //!         StepEvent::Continue => {}
 //!         StepEvent::Ecall => break,
 //!         other => panic!("unexpected {other:?}"),
@@ -59,5 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod dicache;
+pub mod difftest;
 pub mod hart;
 pub mod isa;

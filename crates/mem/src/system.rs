@@ -64,6 +64,14 @@ pub struct CoreMmu {
     pub table: Option<PageTable>,
     /// IS_ENCLAVE register: whether the core currently runs an enclave.
     pub enclave_mode: bool,
+    /// Monotone counter bumped on every translation flush (address-space
+    /// switch, EALLOC/EFREE/shm attach-detach) and on mapping teardown
+    /// ([`CoreMmu::note_mapping_teardown`], the EDESTROY site). Consumers
+    /// that cache anything derived from this core's translations — e.g. the
+    /// decoded-instruction cache keyed by physical line — compare their
+    /// epoch against this and drop everything on mismatch, inheriting the
+    /// TLB/walk-cache flush discipline without new flush call sites.
+    pub flush_epoch: u64,
 }
 
 impl CoreMmu {
@@ -74,6 +82,7 @@ impl CoreMmu {
             walk_cache: WalkCache::new(WALK_CACHE_ENTRIES),
             table: None,
             enclave_mode: false,
+            flush_epoch: 0,
         }
     }
 
@@ -93,6 +102,18 @@ impl CoreMmu {
     pub fn flush_translations(&mut self) {
         self.tlb.flush_all();
         self.walk_cache.flush_all();
+        self.flush_epoch += 1;
+    }
+
+    /// Mapping teardown that deliberately leaves the TLB alone: EDESTROY
+    /// tears down an address space no hart has entered (the last exit
+    /// already switched tables and flushed), so only the walk-cache
+    /// pointers — which could interpret reused page-table frames as PTEs —
+    /// must go. The flush epoch still advances so epoch-synced derived
+    /// caches (decoded instructions) drop their lines too.
+    pub fn note_mapping_teardown(&mut self) {
+        self.walk_cache.flush_all();
+        self.flush_epoch += 1;
     }
 
     fn translate(
@@ -167,10 +188,50 @@ impl CoreMmu {
         va: VirtAddr,
         buf: &[u8],
     ) -> Result<(), MemFault> {
+        self.store_traced(sys, va, buf).map(|_| ())
+    }
+
+    /// [`CoreMmu::store`] that also reports the physical address written —
+    /// the hook store-side invalidation needs: a store into a line whose
+    /// decoded form is cached must drop that line, and the cache is keyed
+    /// physically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoreMmu::load`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses a page boundary.
+    pub fn store_traced(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+        buf: &[u8],
+    ) -> Result<PhysAddr, MemFault> {
         assert_page_bounded(va, buf.len());
         let entry = self.translate(sys, va, AccessKind::Write)?;
         let pa = PhysAddr(entry.ppn.base().0 + va.offset());
-        sys.engine.write(&mut sys.phys, pa, entry.key, buf)
+        sys.engine.write(&mut sys.phys, pa, entry.key, buf)?;
+        Ok(pa)
+    }
+
+    /// Translates `va` for an instruction fetch and returns the physical
+    /// address, without touching data. Fetches check [`AccessKind::Read`],
+    /// exactly like the 4-byte fetch load in the seed interpreter, so the
+    /// fault surface (page fault, bitmap violation, permission denial, and
+    /// the reported faulting VA) is identical.
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, as for [`CoreMmu::load`].
+    pub fn translate_fetch(
+        &mut self,
+        sys: &mut MemorySystem,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, MemFault> {
+        let entry = self.translate(sys, va, AccessKind::Read)?;
+        Ok(PhysAddr(entry.ppn.base().0 + va.offset()))
     }
 
     /// Loads a little-endian u64.
@@ -380,5 +441,56 @@ mod tests {
         let (mut sys, _alloc, mut mmu, _pt) = setup();
         let mut b = [0u8; 16];
         let _ = mmu.load(&mut sys, VirtAddr(0xff8), &mut b);
+    }
+
+    #[test]
+    fn store_traced_reports_physical_address() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let frame = alloc.alloc().unwrap();
+        pt.map(
+            VirtAddr(0x40_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
+        let pa = mmu
+            .store_traced(&mut sys, VirtAddr(0x40_120), b"traced")
+            .unwrap();
+        assert_eq!(pa, PhysAddr(frame.base().0 + 0x120));
+        // translate_fetch agrees with the data path on the same mapping.
+        let fetch_pa = mmu.translate_fetch(&mut sys, VirtAddr(0x40_120)).unwrap();
+        assert_eq!(fetch_pa, pa);
+    }
+
+    #[test]
+    fn flush_epoch_advances_on_every_teardown_path() {
+        let (mut sys, mut alloc, mut mmu, pt) = setup();
+        let e0 = mmu.flush_epoch;
+        mmu.flush_translations();
+        assert_eq!(mmu.flush_epoch, e0 + 1);
+        mmu.switch_table(Some(pt), false);
+        assert_eq!(mmu.flush_epoch, e0 + 2);
+        // Teardown flushes the walk cache (and bumps the epoch) but leaves
+        // TLB entries alone — the EDESTROY discipline.
+        let frame = alloc.alloc().unwrap();
+        pt.map(
+            VirtAddr(0x40_000),
+            frame,
+            Perms::RW,
+            KeyId::HOST,
+            &mut alloc,
+            &mut sys.phys,
+        )
+        .unwrap();
+        mmu.store_u64(&mut sys, VirtAddr(0x40_000), 7).unwrap();
+        let tlb_flushes = mmu.tlb.stats.flushes;
+        let wc_flushes = mmu.walk_cache.stats.flushes;
+        mmu.note_mapping_teardown();
+        assert_eq!(mmu.flush_epoch, e0 + 3);
+        assert_eq!(mmu.tlb.stats.flushes, tlb_flushes, "TLB untouched");
+        assert_eq!(mmu.walk_cache.stats.flushes, wc_flushes + 1);
     }
 }

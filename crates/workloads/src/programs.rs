@@ -144,6 +144,143 @@ pub fn sieve(n: u16) -> Vec<u8> {
     a.assemble()
 }
 
+/// Keystream seed shared by [`record_xor`] and [`record_xor_reference`].
+const RECORD_XOR_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The `memstream` bench shape: a pointer chase over a ring of `nodes`
+/// 64-byte nodes (one MKTME line each), mixing the hop offsets into a
+/// checksum. The hot loop is 7 instructions with a single data load, so
+/// the reference interpreter pays ~8 line round trips per hop while the
+/// decoded-block path pays 1 — the fetch-bound profile the decode cache
+/// targets. Exits with the checksum (base-address independent).
+pub fn chase(nodes: u16, hops: u32) -> Vec<u8> {
+    assert!(nodes > 0, "chase needs at least one node");
+    let mut a = Asm::new();
+    a.addi(17, 0, 1);
+    a.li(10, nodes as u64 * 64);
+    a.ecall();
+    a.addi(5, 10, 0); // x5 = base
+                      // Link node i -> node i+1, then close the ring (write-before-read:
+                      // every pointer is stored before the chase loads it).
+    a.li(6, (nodes as u64 - 1) * 64);
+    a.add(6, 5, 6); // x6 = last node
+    a.addi(7, 5, 0); // x7 = cursor
+    let link = a.label();
+    let link_done = a.label();
+    a.bind(link);
+    a.beq(7, 6, link_done);
+    a.addi(28, 7, 64);
+    a.sd(28, 0, 7);
+    a.addi(7, 28, 0);
+    a.jal(0, link);
+    a.bind(link_done);
+    a.sd(5, 0, 6);
+    // Chase: p = *p; chk ^= p - base; chk ^= chk << 13.
+    a.addi(6, 5, 0); // x6 = p
+    a.li(7, hops as u64);
+    a.addi(28, 0, 0); // x28 = chk
+    let hop = a.label();
+    let done = a.label();
+    a.bind(hop);
+    a.beq(7, 0, done);
+    a.ld(6, 0, 6);
+    a.sub(29, 6, 5);
+    a.xor(28, 28, 29);
+    a.slli(29, 28, 13);
+    a.xor(28, 28, 29);
+    a.addi(7, 7, -1);
+    a.jal(0, hop);
+    a.bind(done);
+    a.addi(10, 28, 0);
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+/// What [`chase`] exits with, computed natively.
+pub fn chase_reference(nodes: u16, hops: u32) -> u64 {
+    let nodes = nodes as u64;
+    let mut idx = 0u64;
+    let mut chk = 0u64;
+    for _ in 0..hops {
+        idx = (idx + 1) % nodes;
+        chk ^= idx * 64;
+        chk ^= chk << 13;
+    }
+    chk
+}
+
+/// The `wolfssl` bench shape: `passes` passes of in-place record
+/// encryption — `records` 1 KiB records XORed with an xorshift64
+/// keystream, 8 bytes at a time. Each word costs 12 instructions and two
+/// data line round trips, the mixed fetch/data profile of a TLS record
+/// pipeline. Exits with a running checksum of the ciphertext.
+pub fn record_xor(records: u16, passes: u16) -> Vec<u8> {
+    assert!(records > 0, "record_xor needs at least one record");
+    let bytes = records as u64 * 1024;
+    let mut a = Asm::new();
+    a.addi(17, 0, 1);
+    a.li(10, bytes);
+    a.ecall();
+    a.addi(5, 10, 0); // x5 = base
+    a.li(6, bytes);
+    a.add(6, 5, 6); // x6 = end
+                    // Zero the buffer first: fresh heap is undefined through MKTME.
+    a.addi(7, 5, 0);
+    let zero = a.label();
+    a.bind(zero);
+    a.sd(0, 0, 7);
+    a.addi(7, 7, 8);
+    a.bne(7, 6, zero);
+    a.li(30, RECORD_XOR_SEED); // x30 = keystream state
+    a.li(31, passes as u64); // x31 = remaining passes
+    a.addi(28, 0, 0); // x28 = chk
+    let pass = a.label();
+    let done = a.label();
+    a.bind(pass);
+    a.beq(31, 0, done);
+    a.addi(7, 5, 0); // x7 = p
+    let word = a.label();
+    a.bind(word);
+    a.slli(29, 30, 13);
+    a.xor(30, 30, 29);
+    a.srli(29, 30, 7);
+    a.xor(30, 30, 29);
+    a.slli(29, 30, 17);
+    a.xor(30, 30, 29);
+    a.ld(29, 0, 7);
+    a.xor(29, 29, 30);
+    a.sd(29, 0, 7);
+    a.xor(28, 28, 29);
+    a.addi(7, 7, 8);
+    a.bne(7, 6, word);
+    a.addi(31, 31, -1);
+    a.jal(0, pass);
+    a.bind(done);
+    a.addi(10, 28, 0);
+    a.addi(17, 0, 93);
+    a.ecall();
+    a.assemble()
+}
+
+/// What [`record_xor`] exits with, computed natively.
+pub fn record_xor_reference(records: u16, passes: u16) -> u64 {
+    let words = records as usize * 1024 / 8;
+    let mut mem = vec![0u64; words];
+    let mut s = RECORD_XOR_SEED;
+    let mut chk = 0u64;
+    for _ in 0..passes {
+        for w in mem.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *w ^= s;
+            chk ^= *w;
+        }
+    }
+    chk
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +322,27 @@ mod tests {
     #[test]
     fn stride_walk_completes() {
         assert_eq!(run(&stride_walk(8, 4), 1_000_000), 0);
+    }
+
+    #[test]
+    fn chase_matches_native_mirror() {
+        for (nodes, hops) in [(1u16, 10u32), (4, 100), (64, 1000)] {
+            assert_eq!(
+                run(&chase(nodes, hops), 2_000_000),
+                chase_reference(nodes, hops),
+                "nodes = {nodes}, hops = {hops}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_xor_matches_native_mirror() {
+        for (records, passes) in [(1u16, 1u16), (2, 3)] {
+            assert_eq!(
+                run(&record_xor(records, passes), 2_000_000),
+                record_xor_reference(records, passes),
+                "records = {records}, passes = {passes}"
+            );
+        }
     }
 }

@@ -1,0 +1,28 @@
+//! Short fixed-seed differential-interpreter smoke, used as the
+//! release-mode gate inside `scripts/verify.sh` (DESIGN.md §14).
+//!
+//! Runs a batch of generated RV64IM programs through the lockstep rig —
+//! decoded-block fast path vs the seed `step_ref` oracle — and exits
+//! non-zero with a shrunk hex repro on the first divergence.
+
+use hypertee_repro::hypertee_cpu::difftest::{run_campaign, Campaign};
+
+fn main() {
+    let cfg = Campaign {
+        seed: 0x1f7e_5eed,
+        programs: 6,
+        prog_len: 96,
+        max_steps: 1500,
+    };
+    println!(
+        "interp-diff smoke: {} programs x {} words, seed {:#x}",
+        cfg.programs, cfg.prog_len, cfg.seed
+    );
+    match run_campaign(&cfg) {
+        Ok(()) => println!("interp-diff smoke: fast path lockstep with step_ref oracle"),
+        Err(report) => {
+            eprintln!("interp-diff smoke FAILED:\n{report}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -35,6 +35,9 @@ cargo run --release --offline -p hypertee-bench --bin fig6_slo -- --live --smoke
 echo "==> lockstep model-check smoke (release, fixed seed)"
 cargo run --release --offline --example model_smoke
 
+echo "==> interp-diff smoke (decoded-block fast path vs step_ref oracle, fixed seed)"
+cargo run --release --offline --example interp_smoke
+
 echo "==> bench_report smoke (release, reduced iterations, schema-validated)"
 cargo run --release --offline -p hypertee-bench --bin bench_report -- --smoke \
     --out target/BENCH_perf_smoke.json > /dev/null

@@ -10,12 +10,17 @@
 //! tamper fault paths, and check the walk-cache flush discipline at the
 //! EFREE/EDESTROY teardown sites.
 
+use hypertee_repro::ems::control::layout;
+use hypertee_repro::hypertee::exec::{InterpMode, RunOutcome};
 use hypertee_repro::hypertee::machine::Machine;
 use hypertee_repro::hypertee::manifest::EnclaveManifest;
+use hypertee_repro::hypertee::shard::{ShardSpec, ShardedMachine};
+use hypertee_repro::hypertee_cpu::asm::Asm;
 use hypertee_repro::mem::addr::{KeyId, PhysAddr, VirtAddr};
 use hypertee_repro::mem::mktme::MktmeEngine;
 use hypertee_repro::mem::phys::PhysMemory;
 use hypertee_repro::mem::MemFault;
+use hypertee_repro::workloads::programs;
 
 /// A deterministic xorshift so the operation mix is reproducible.
 struct Rng(u64);
@@ -181,6 +186,110 @@ fn efree_flushes_walk_cache() {
     assert!(m.harts[0].mmu.walk_cache.stats.flushes > flushes_before);
     m.exit(0).unwrap();
     m.destroy(0, e).unwrap();
+}
+
+/// Self-modifying code through the full machine data plane: a spin loop
+/// runs long enough for the decoded-block cache to go hot, then the host
+/// rewrites the loop's back-edge *through MKTME* (`vm_store` into the RWX
+/// code page), and the resumed run must execute the new bytes — falling
+/// through to the exit sequence instead of spinning. The whole interleaving
+/// repeats under `InterpMode::Reference`, and exit code, hart clock, and
+/// machine clock must be bit-identical: the cache may only change
+/// wall-clock, never architecture or charges.
+#[test]
+fn host_store_over_cached_block_reexecutes_new_bytes_with_identical_charges() {
+    // 0x00: addi x10, x10, 1
+    // 0x04: jal  x0, -4        <- rewritten to nop mid-run
+    // 0x08: addi x17, x0, 93
+    // 0x0c: ecall              (exit with x10)
+    let mut a = Asm::new();
+    let top = a.label();
+    a.bind(top);
+    a.addi(10, 10, 1);
+    a.jal(0, top);
+    a.addi(17, 0, 93);
+    a.ecall();
+    let image = a.assemble();
+
+    let run = |mode: InterpMode| {
+        let manifest = EnclaveManifest::parse("heap = 2M\nstack = 64K\nhost_shared = 16K").unwrap();
+        let mut m = Machine::boot_default();
+        m.interp = mode;
+        let e = m.create_enclave(0, &manifest, &image).unwrap();
+        m.enter(0, e).unwrap();
+        // Slice 1: five loop iterations; the block is now hot in the cache.
+        let first = m.run_enclave_program(0, 10).unwrap();
+        assert_eq!(first, RunOutcome::StepLimit, "{mode:?}: loop must spin");
+        // Rewrite the back-edge to `addi x0, x0, 0` through the data plane.
+        m.vm_store(
+            0,
+            VirtAddr(layout::CODE_BASE.0 + 4),
+            &0x0000_0013u32.to_le_bytes(),
+        )
+        .unwrap();
+        // Slice 2: one more increment, then fall through and exit. A stale
+        // decoded line would keep spinning into the step limit instead.
+        let code = match m.run_enclave_program(0, 1_000).unwrap() {
+            RunOutcome::Exited { code, .. } => code,
+            other => panic!("{mode:?}: patched program must exit, got {other:?}"),
+        };
+        let inval = m.icache_stats(0).invalidations;
+        (code, m.hart_clock(0).0, m.clock.0, inval)
+    };
+
+    let (fast_code, fast_hart, fast_clock, fast_inval) = run(InterpMode::Fast);
+    let (ref_code, ref_hart, ref_clock, _) = run(InterpMode::Reference);
+    assert_eq!(fast_code, 6, "five spins + one post-patch increment");
+    assert_eq!(fast_code, ref_code, "exit codes diverged");
+    assert_eq!(fast_hart, ref_hart, "hart-clock charges diverged");
+    assert_eq!(fast_clock, ref_clock, "machine clocks diverged");
+    assert!(
+        fast_inval > 0,
+        "the code store must have invalidated cached lines"
+    );
+}
+
+/// The decoded-block interpreter must be invisible in the sharded merged
+/// reports: per-shard simulated clocks, the merged clock, and the merged
+/// stats from a 4-shard enclave-program workload are identical at every
+/// (thread width, interpreter mode) combination — the same invariance
+/// `tests/sharding.rs` pins for thread width alone.
+#[test]
+fn interpreter_mode_is_invisible_in_sharded_merged_reports() {
+    let manifest =
+        EnclaveManifest::parse("heap = 4M\nstack = 64K\nhost_shared = 64K").expect("manifest");
+    let run = |threads: usize, mode: InterpMode| {
+        let mut m = ShardedMachine::boot(ShardSpec::new(4, threads, 0x1f7e_0006)).expect("boot");
+        m.par_map(|d| {
+            d.machine.interp = mode;
+            let image = programs::fib(30);
+            let e = d
+                .machine
+                .create_enclave(0, &manifest, &image)
+                .expect("create");
+            d.machine.enter(0, e).expect("enter");
+            match d.machine.run_enclave_program(0, 1_000_000).expect("run") {
+                RunOutcome::Exited { code, .. } => assert_eq!(code, 832_040),
+                other => panic!("fib must exit, got {other:?}"),
+            }
+            d.machine.exit(0).expect("exit");
+        });
+        let clocks: Vec<u64> = m.domains().iter().map(|d| d.machine.clock.0).collect();
+        let merged = m.merged_clock();
+        (clocks, merged, m.merged_stats())
+    };
+    let reference = run(1, InterpMode::Reference);
+    for (threads, mode) in [
+        (1, InterpMode::Fast),
+        (4, InterpMode::Fast),
+        (4, InterpMode::Reference),
+    ] {
+        assert_eq!(
+            run(threads, mode),
+            reference,
+            "merged report must be identical at threads={threads}, mode={mode:?}"
+        );
+    }
 }
 
 /// EDESTROY must drop walk-cache pointers on *every* hart, not just the

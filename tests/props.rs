@@ -282,6 +282,7 @@ fn assembled_alu_programs_decode() {
 fn li_loads_any_constant() {
     property("li_loads_any_constant", |rng| {
         // Execute the li expansion on a bare interpreter and check x5.
+        use hypertee_repro::hypertee_cpu::dicache::DecodeCache;
         use hypertee_repro::hypertee_cpu::hart::{Cpu, StepEvent};
         use hypertee_repro::mem::system::{CoreMmu, MemorySystem};
         let value = rng.next_u64();
@@ -306,8 +307,9 @@ fn li_loads_any_constant() {
         let mut mmu = CoreMmu::new(8);
         mmu.switch_table(Some(pt), false);
         let mut cpu = Cpu::new(VirtAddr(0x10_000));
+        let mut icache = DecodeCache::new(16);
         loop {
-            match cpu.step(&mut mmu, &mut sys).unwrap() {
+            match cpu.step(&mut mmu, &mut sys, &mut icache).unwrap() {
                 StepEvent::Continue => {}
                 StepEvent::Ecall => break,
                 other => panic!("{other:?}"),
