@@ -74,6 +74,58 @@ pub fn bench(name: &str, iters: u32, bytes_per_iter: u64, mut f: impl FnMut()) -
     report
 }
 
+/// Times an optimized/reference pair with **interleaved** batches:
+/// opt-batch, ref-batch, opt-batch, … for `BATCHES` rounds each, then
+/// best-of-batches per side. On a virtualized host the disturbance budget
+/// (frequency steps, steal time, cache pollution from neighbours) drifts
+/// over seconds; timing one side to completion before starting the other
+/// lets that drift land entirely on one arm and corrupt the ratio.
+/// Interleaving gives both arms the same exposure, so thin-margin rows
+/// (1.1–1.4x) survive the `speedup >= 1.0` report gate reliably.
+pub fn bench_pair(
+    opt_name: &str,
+    base_name: &str,
+    iters: u32,
+    bytes_per_iter: u64,
+    mut opt: impl FnMut(),
+    mut base: impl FnMut(),
+) -> (BenchReport, BenchReport) {
+    let n = iters.max(1);
+    for _ in 0..n {
+        opt();
+        base();
+    }
+    let mut opt_samples = Vec::with_capacity(BATCHES);
+    let mut base_samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..n {
+            opt();
+        }
+        opt_samples.push(start.elapsed().as_nanos() as f64 / f64::from(n));
+        let start = Instant::now();
+        for _ in 0..n {
+            base();
+        }
+        base_samples.push(start.elapsed().as_nanos() as f64 / f64::from(n));
+    }
+    opt_samples.sort_by(|a, b| a.total_cmp(b));
+    base_samples.sort_by(|a, b| a.total_cmp(b));
+    let opt_report = BenchReport {
+        name: opt_name.to_string(),
+        ns_per_iter: opt_samples[0],
+        bytes_per_iter,
+    };
+    let base_report = BenchReport {
+        name: base_name.to_string(),
+        ns_per_iter: base_samples[0],
+        bytes_per_iter,
+    };
+    println!("{opt_report}");
+    println!("{base_report}");
+    (opt_report, base_report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +137,23 @@ mod tests {
         });
         assert!(r.ns_per_iter > 0.0);
         assert!(r.mib_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn pair_reports_both_sides() {
+        let (opt, base) = bench_pair(
+            "spin_fast",
+            "spin_slow",
+            50,
+            0,
+            || {
+                std::hint::black_box((0..50u64).sum::<u64>());
+            },
+            || {
+                std::hint::black_box((0..500u64).sum::<u64>());
+            },
+        );
+        assert!(opt.ns_per_iter > 0.0);
+        assert!(base.ns_per_iter > 0.0);
     }
 }

@@ -426,6 +426,12 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Rows whose "speedup" is a thin-margin parallel-scaling ratio (worker
+/// pool vs sequential at x4 fan-out) rather than an algorithmic claim; they
+/// sit near 1.1x and jitter below 1.0 on loaded CI hosts, so the regression
+/// gate tracks but does not fail them.
+const SPEEDUP_GATE_EXEMPT: [&str; 2] = ["threads_lockstep_x4", "threads_wolfssl_x4"];
+
 fn check_finite(row: &Json, key: &str, required: bool) -> Result<(), String> {
     match row.get(key) {
         Some(Json::Num(v)) if v.is_finite() => Ok(()),
@@ -472,17 +478,26 @@ pub fn validate(text: &str) -> Result<(), String> {
             .get("name")
             .and_then(Json::as_str)
             .ok_or(format!("bench {i}: missing name"))?;
-        // Interpreter rows are defined as same-run comparisons against the
-        // `step_ref` oracle — a null baseline would mean the oracle never
-        // ran, so for them the reference columns are mandatory.
-        let interp = name.starts_with("interp_");
+        // Every tracked row must carry its reference measurement: a null
+        // baseline means the `*_ref` oracle never ran, which is exactly how
+        // a silent regression hides (the ptw 0.79x slip shipped unnoticed
+        // because nothing compared the columns).
         for (key, required) in [
             ("ns_per_op", true),
             ("gb_per_sec", false),
-            ("baseline_ns_per_op", interp),
-            ("speedup", interp),
+            ("baseline_ns_per_op", true),
+            ("speedup", true),
         ] {
             check_finite(row, key, required).map_err(|e| format!("bench '{name}': {e}"))?;
+        }
+        let speedup = row
+            .get("speedup")
+            .and_then(Json::as_num)
+            .ok_or(format!("bench '{name}': missing speedup"))?;
+        if speedup < 1.0 && !SPEEDUP_GATE_EXEMPT.contains(&name) {
+            return Err(format!(
+                "bench '{name}': speedup {speedup:.4} < 1.0 — optimized path regressed below its reference"
+            ));
         }
     }
     Ok(())
@@ -498,7 +513,7 @@ mod tests {
             threads: None,
             benches: vec![
                 PerfBench::from_timings("aes", 10.0, 4096, Some(40.0)),
-                PerfBench::from_timings("walk", 25.0, 0, None),
+                PerfBench::from_timings("walk", 25.0, 0, Some(75.0)),
             ],
         }
     }
@@ -578,7 +593,7 @@ mod tests {
     }
 
     #[test]
-    fn interp_rows_require_a_baseline() {
+    fn every_row_requires_a_baseline() {
         // With a measured reference, the row is fine.
         let ok = PerfReport {
             mode: "smoke".to_string(),
@@ -591,29 +606,49 @@ mod tests {
             )],
         };
         validate(&ok.to_json()).unwrap();
-        // A null baseline (legal for every other row) is rejected.
-        let bad = PerfReport {
+        // A null baseline is rejected on any row — interp and workload
+        // alike (the old contract let workload rows ship without one).
+        for name in ["interp_memstream_pass", "memstream_pass", "wolfssl_pass"] {
+            let bad = PerfReport {
+                mode: "smoke".to_string(),
+                threads: None,
+                benches: vec![PerfBench::from_timings(name, 10.0, 4096, None)],
+            };
+            let err = validate(&bad.to_json()).unwrap_err();
+            assert!(err.contains("baseline_ns_per_op"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn sub_unity_speedup_fails_the_gate() {
+        let regressed = PerfReport {
             mode: "smoke".to_string(),
             threads: None,
             benches: vec![PerfBench::from_timings(
-                "interp_memstream_pass",
-                10.0,
-                4096,
-                None,
+                "ptw_translate_walk",
+                100.0,
+                0,
+                Some(80.0),
             )],
         };
-        let err = validate(&bad.to_json()).unwrap_err();
-        assert!(err.contains("baseline_ns_per_op"), "{err}");
-        // Non-interp rows keep the old contract.
-        validate(
-            &PerfReport {
+        let err = validate(&regressed.to_json()).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // The thin-margin scaling rows are tracked but not gated.
+        for name in SPEEDUP_GATE_EXEMPT {
+            let jittery = PerfReport {
                 mode: "smoke".to_string(),
-                threads: None,
-                benches: vec![PerfBench::from_timings("memstream_pass", 10.0, 4096, None)],
-            }
-            .to_json(),
-        )
-        .unwrap();
+                threads: Some(4),
+                benches: vec![PerfBench::from_timings(name, 100.0, 0, Some(95.0))],
+            };
+            validate(&jittery.to_json()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        // Exactly 1.0 passes.
+        let flat = PerfReport {
+            mode: "smoke".to_string(),
+            threads: None,
+            benches: vec![PerfBench::from_timings("x", 10.0, 0, Some(10.0))],
+        };
+        validate(&flat.to_json()).unwrap();
     }
 
     #[test]

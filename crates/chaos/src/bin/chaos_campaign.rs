@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! chaos_campaign [--smoke] [--seed N] [--out PATH]   # run + emit
+//! chaos_campaign --ref-pump [...]                    # scan-scheduler oracle
 //! chaos_campaign --shards 4 --threads 4 [...]        # sharded campaign
 //! chaos_campaign --check PATH                        # validate a report
 //! ```
@@ -33,6 +34,7 @@ struct Cli {
     check: Option<String>,
     shards: usize,
     threads: usize,
+    ref_pump: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -43,11 +45,13 @@ fn parse_args() -> Result<Cli, String> {
         check: None,
         shards: 1,
         threads: 1,
+        ref_pump: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => cli.smoke = true,
+            "--ref-pump" => cli.ref_pump = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 cli.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
@@ -108,11 +112,12 @@ fn main() -> ExitCode {
         };
     }
 
-    let cfg = if cli.smoke {
+    let mut cfg = if cli.smoke {
         ChaosConfig::smoke(cli.seed)
     } else {
         ChaosConfig::fleet(cli.seed)
     };
+    cfg.ref_pump = cli.ref_pump;
     eprintln!(
         "chaos_campaign: mode={} seed={:#x} sessions={} shards={} threads={} \
          (faults, {} crashes, {} migrations)",

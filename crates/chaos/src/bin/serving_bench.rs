@@ -11,6 +11,7 @@
 //!
 //! ```text
 //! serving_bench [--smoke] [--seed N] [--out PATH]   # run + emit
+//! serving_bench --ref-pump [...]                    # scan-scheduler oracle
 //! serving_bench --check PATH                        # validate a report
 //! ```
 
@@ -22,6 +23,7 @@ use hypertee_chaos::serving_report::{render_serving_report, validate_serving};
 
 struct Cli {
     smoke: bool,
+    ref_pump: bool,
     seed: u64,
     out: String,
     check: Option<String>,
@@ -30,6 +32,7 @@ struct Cli {
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         smoke: false,
+        ref_pump: false,
         seed: 0x5E11_F00D,
         out: String::new(),
         check: None,
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Cli, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => cli.smoke = true,
+            "--ref-pump" => cli.ref_pump = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 cli.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
@@ -82,11 +86,12 @@ fn main() -> ExitCode {
         };
     }
 
-    let cfg = if cli.smoke {
+    let mut cfg = if cli.smoke {
         ChaosConfig::serving_smoke(cli.seed)
     } else {
         ChaosConfig::serving_fleet(cli.seed)
     };
+    cfg.ref_pump = cli.ref_pump;
     let storm_cfg = cfg.storm.clone().expect("serving presets carry a storm");
     eprintln!(
         "serving_bench: mode={} seed={:#x} clients={} target {} handshakes \

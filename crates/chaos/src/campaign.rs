@@ -86,6 +86,11 @@ pub struct ChaosConfig {
     /// Attestation storm riding on top of the session traffic (`None` =
     /// no service facade in the campaign).
     pub storm: Option<StormConfig>,
+    /// Drive every scheduling round through the retained O(n) scan
+    /// scheduler (`Machine::pump_ref`) instead of the event-driven core.
+    /// The trace is bit-identical either way — this is the campaign-scale
+    /// differential oracle behind the verify.sh replay gate.
+    pub ref_pump: bool,
 }
 
 impl ChaosConfig {
@@ -144,6 +149,7 @@ impl ChaosConfig {
             lockstep_commands: 96,
             max_ticks: 600_000,
             storm: None,
+            ref_pump: false,
         }
     }
 
@@ -164,6 +170,7 @@ impl ChaosConfig {
             lockstep_commands: 48,
             max_ticks: 200_000,
             storm: None,
+            ref_pump: false,
         }
     }
 
@@ -888,6 +895,7 @@ pub fn run(cfg: &ChaosConfig) -> ChaosOutcome {
         audit_ok: true,
         first_audit_error: None,
     };
+    d.m.set_scan_scheduler(cfg.ref_pump);
     d.m.degrade = DegradePolicy {
         shed_backlog_limit: cfg.shed_backlog_limit,
         deadline: cfg.deadline_cycles.map(Cycles),
@@ -1250,6 +1258,7 @@ mod tests {
             lockstep_commands: 0,
             max_ticks: 60_000,
             storm: None,
+            ref_pump: false,
         }
     }
 

@@ -304,6 +304,7 @@ mod tests {
             lockstep_commands: 0,
             max_ticks: 60_000,
             storm: None,
+            ref_pump: false,
         })
     }
 

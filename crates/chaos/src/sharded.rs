@@ -103,6 +103,7 @@ pub fn shard_config(base: &ChaosConfig, shards: usize, shard: usize) -> ChaosCon
         // The attestation storm is a single-facade workload: it does not
         // shard. Storm campaigns run unsharded (`serving_bench`).
         storm: None,
+        ref_pump: base.ref_pump,
     }
 }
 

@@ -40,6 +40,7 @@ pub mod manifest;
 pub mod pipeline;
 pub mod sdk;
 pub mod shard;
+pub mod timerwheel;
 
 pub use machine::Machine;
 pub use manifest::EnclaveManifest;

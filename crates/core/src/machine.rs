@@ -189,6 +189,10 @@ pub struct Machine {
     pub(crate) icaches: Vec<hypertee_cpu::dicache::DecodeCache>,
     /// Async request pipeline state (see [`crate::pipeline`]).
     pub(crate) pipeline: crate::pipeline::Pipeline,
+    /// When set, [`Machine::pump`] routes through the retained O(n) scan
+    /// scheduler ([`Machine::pump_ref`]) instead of the event-driven core —
+    /// the differential-oracle mode of the chaos/serving campaigns.
+    pub(crate) scan_scheduler: bool,
     pub(crate) enclaves: BTreeMap<u64, EnclaveInfo>,
     pub(crate) next_host_va: u64,
 }
@@ -280,9 +284,20 @@ impl Machine {
                 })
                 .collect(),
             pipeline: crate::pipeline::Pipeline::new(ems_cores, seed),
+            scan_scheduler: false,
             enclaves: BTreeMap::new(),
             next_host_va: 0x7000_0000,
         })
+    }
+
+    /// Selects the scheduler [`Machine::pump`] routes through: the
+    /// event-driven core (default) or the retained O(n) scan oracle
+    /// ([`Machine::pump_ref`]). The two are bit-identical in every
+    /// observable effect — this switch exists so whole campaigns (including
+    /// every `invoke`-internal round) can run on the oracle for
+    /// differential replay gates.
+    pub fn set_scan_scheduler(&mut self, scan: bool) {
+        self.scan_scheduler = scan;
     }
 
     /// Pumps the EMS service loop once (normally called inside

@@ -41,138 +41,183 @@ const PI: [usize; 24] = [
     10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
 ];
 
-/// The 24 Keccak rounds over 25 named lane locals.
+/// One Keccak round from 25 named input lanes to 25 named output lanes.
 ///
-/// Theta's column parities, the rho/pi lane moves, and chi are expressed
-/// with fixed lane names so the compiler works on SSA values (no array,
-/// no bounds checks, free cross-round scheduling). Shared by [`keccakf`]
-/// and the single-block sponge used by the line-MAC fast path; pinned
-/// against the loop-based [`keccakf_ref`] by the crate's differential
-/// tests. Lane `aXY` is flat index `X + 5*Y` of the reference state.
-macro_rules! keccak_round {
+/// Theta's column parities are folded straight into the rho rotations
+/// (`b = (in ^ d).rotate_left(r)`), so a round never writes its inputs —
+/// every value is a fresh SSA name the compiler can schedule freely across
+/// rounds; the caller's mutable lanes are only re-assigned once per
+/// unrolled chain (a register-to-register move LLVM elides). Lane `aXY` is
+/// flat index `X + 5*Y` of the reference state; pinned against the
+/// loop-based [`keccakf_ref`] by the crate's differential tests.
+macro_rules! keccak_round_io {
     ($rc:expr,
-     $a0:ident $a1:ident $a2:ident $a3:ident $a4:ident
-     $a5:ident $a6:ident $a7:ident $a8:ident $a9:ident
-     $a10:ident $a11:ident $a12:ident $a13:ident $a14:ident
-     $a15:ident $a16:ident $a17:ident $a18:ident $a19:ident
-     $a20:ident $a21:ident $a22:ident $a23:ident $a24:ident) => {{
+     $i0:ident $i1:ident $i2:ident $i3:ident $i4:ident
+     $i5:ident $i6:ident $i7:ident $i8:ident $i9:ident
+     $i10:ident $i11:ident $i12:ident $i13:ident $i14:ident
+     $i15:ident $i16:ident $i17:ident $i18:ident $i19:ident
+     $i20:ident $i21:ident $i22:ident $i23:ident $i24:ident =>
+     $o0:ident $o1:ident $o2:ident $o3:ident $o4:ident
+     $o5:ident $o6:ident $o7:ident $o8:ident $o9:ident
+     $o10:ident $o11:ident $o12:ident $o13:ident $o14:ident
+     $o15:ident $o16:ident $o17:ident $o18:ident $o19:ident
+     $o20:ident $o21:ident $o22:ident $o23:ident $o24:ident) => {
         let rc: u64 = $rc;
         // Theta.
-        let c0 = $a0 ^ $a5 ^ $a10 ^ $a15 ^ $a20;
-        let c1 = $a1 ^ $a6 ^ $a11 ^ $a16 ^ $a21;
-        let c2 = $a2 ^ $a7 ^ $a12 ^ $a17 ^ $a22;
-        let c3 = $a3 ^ $a8 ^ $a13 ^ $a18 ^ $a23;
-        let c4 = $a4 ^ $a9 ^ $a14 ^ $a19 ^ $a24;
+        let c0 = $i0 ^ $i5 ^ $i10 ^ $i15 ^ $i20;
+        let c1 = $i1 ^ $i6 ^ $i11 ^ $i16 ^ $i21;
+        let c2 = $i2 ^ $i7 ^ $i12 ^ $i17 ^ $i22;
+        let c3 = $i3 ^ $i8 ^ $i13 ^ $i18 ^ $i23;
+        let c4 = $i4 ^ $i9 ^ $i14 ^ $i19 ^ $i24;
         let d0 = c4 ^ c1.rotate_left(1);
         let d1 = c0 ^ c2.rotate_left(1);
         let d2 = c1 ^ c3.rotate_left(1);
         let d3 = c2 ^ c4.rotate_left(1);
         let d4 = c3 ^ c0.rotate_left(1);
-        $a0 ^= d0;
-        $a5 ^= d0;
-        $a10 ^= d0;
-        $a15 ^= d0;
-        $a20 ^= d0;
-        $a1 ^= d1;
-        $a6 ^= d1;
-        $a11 ^= d1;
-        $a16 ^= d1;
-        $a21 ^= d1;
-        $a2 ^= d2;
-        $a7 ^= d2;
-        $a12 ^= d2;
-        $a17 ^= d2;
-        $a22 ^= d2;
-        $a3 ^= d3;
-        $a8 ^= d3;
-        $a13 ^= d3;
-        $a18 ^= d3;
-        $a23 ^= d3;
-        $a4 ^= d4;
-        $a9 ^= d4;
-        $a14 ^= d4;
-        $a19 ^= d4;
-        $a24 ^= d4;
-        // Rho + Pi, reading the pre-move state into fresh lanes.
-        let b0 = $a0;
-        let b10 = $a1.rotate_left(1);
-        let b7 = $a10.rotate_left(3);
-        let b11 = $a7.rotate_left(6);
-        let b17 = $a11.rotate_left(10);
-        let b18 = $a17.rotate_left(15);
-        let b3 = $a18.rotate_left(21);
-        let b5 = $a3.rotate_left(28);
-        let b16 = $a5.rotate_left(36);
-        let b8 = $a16.rotate_left(45);
-        let b21 = $a8.rotate_left(55);
-        let b24 = $a21.rotate_left(2);
-        let b4 = $a24.rotate_left(14);
-        let b15 = $a4.rotate_left(27);
-        let b23 = $a15.rotate_left(41);
-        let b19 = $a23.rotate_left(56);
-        let b13 = $a19.rotate_left(8);
-        let b12 = $a13.rotate_left(25);
-        let b2 = $a12.rotate_left(43);
-        let b20 = $a2.rotate_left(62);
-        let b14 = $a20.rotate_left(18);
-        let b22 = $a14.rotate_left(39);
-        let b9 = $a22.rotate_left(61);
-        let b6 = $a9.rotate_left(20);
-        let b1 = $a6.rotate_left(44);
+        // Rho + Pi, theta fused into the rotated reads (d index = lane % 5).
+        let b0 = $i0 ^ d0;
+        let b10 = ($i1 ^ d1).rotate_left(1);
+        let b7 = ($i10 ^ d0).rotate_left(3);
+        let b11 = ($i7 ^ d2).rotate_left(6);
+        let b17 = ($i11 ^ d1).rotate_left(10);
+        let b18 = ($i17 ^ d2).rotate_left(15);
+        let b3 = ($i18 ^ d3).rotate_left(21);
+        let b5 = ($i3 ^ d3).rotate_left(28);
+        let b16 = ($i5 ^ d0).rotate_left(36);
+        let b8 = ($i16 ^ d1).rotate_left(45);
+        let b21 = ($i8 ^ d3).rotate_left(55);
+        let b24 = ($i21 ^ d1).rotate_left(2);
+        let b4 = ($i24 ^ d4).rotate_left(14);
+        let b15 = ($i4 ^ d4).rotate_left(27);
+        let b23 = ($i15 ^ d0).rotate_left(41);
+        let b19 = ($i23 ^ d3).rotate_left(56);
+        let b13 = ($i19 ^ d4).rotate_left(8);
+        let b12 = ($i13 ^ d3).rotate_left(25);
+        let b2 = ($i12 ^ d2).rotate_left(43);
+        let b20 = ($i2 ^ d2).rotate_left(62);
+        let b14 = ($i20 ^ d0).rotate_left(18);
+        let b22 = ($i14 ^ d4).rotate_left(39);
+        let b9 = ($i22 ^ d2).rotate_left(61);
+        let b6 = ($i9 ^ d4).rotate_left(20);
+        let b1 = ($i6 ^ d1).rotate_left(44);
         // Chi + Iota.
-        $a0 = b0 ^ ((!b1) & b2) ^ rc;
-        $a1 = b1 ^ ((!b2) & b3);
-        $a2 = b2 ^ ((!b3) & b4);
-        $a3 = b3 ^ ((!b4) & b0);
-        $a4 = b4 ^ ((!b0) & b1);
-        $a5 = b5 ^ ((!b6) & b7);
-        $a6 = b6 ^ ((!b7) & b8);
-        $a7 = b7 ^ ((!b8) & b9);
-        $a8 = b8 ^ ((!b9) & b5);
-        $a9 = b9 ^ ((!b5) & b6);
-        $a10 = b10 ^ ((!b11) & b12);
-        $a11 = b11 ^ ((!b12) & b13);
-        $a12 = b12 ^ ((!b13) & b14);
-        $a13 = b13 ^ ((!b14) & b10);
-        $a14 = b14 ^ ((!b10) & b11);
-        $a15 = b15 ^ ((!b16) & b17);
-        $a16 = b16 ^ ((!b17) & b18);
-        $a17 = b17 ^ ((!b18) & b19);
-        $a18 = b18 ^ ((!b19) & b15);
-        $a19 = b19 ^ ((!b15) & b16);
-        $a20 = b20 ^ ((!b21) & b22);
-        $a21 = b21 ^ ((!b22) & b23);
-        $a22 = b22 ^ ((!b23) & b24);
-        $a23 = b23 ^ ((!b24) & b20);
-        $a24 = b24 ^ ((!b20) & b21);
-    }};
+        let $o0 = b0 ^ ((!b1) & b2) ^ rc;
+        let $o1 = b1 ^ ((!b2) & b3);
+        let $o2 = b2 ^ ((!b3) & b4);
+        let $o3 = b3 ^ ((!b4) & b0);
+        let $o4 = b4 ^ ((!b0) & b1);
+        let $o5 = b5 ^ ((!b6) & b7);
+        let $o6 = b6 ^ ((!b7) & b8);
+        let $o7 = b7 ^ ((!b8) & b9);
+        let $o8 = b8 ^ ((!b9) & b5);
+        let $o9 = b9 ^ ((!b5) & b6);
+        let $o10 = b10 ^ ((!b11) & b12);
+        let $o11 = b11 ^ ((!b12) & b13);
+        let $o12 = b12 ^ ((!b13) & b14);
+        let $o13 = b13 ^ ((!b14) & b10);
+        let $o14 = b14 ^ ((!b10) & b11);
+        let $o15 = b15 ^ ((!b16) & b17);
+        let $o16 = b16 ^ ((!b17) & b18);
+        let $o17 = b17 ^ ((!b18) & b19);
+        let $o18 = b18 ^ ((!b19) & b15);
+        let $o19 = b19 ^ ((!b15) & b16);
+        let $o20 = b20 ^ ((!b21) & b22);
+        let $o21 = b21 ^ ((!b22) & b23);
+        let $o22 = b22 ^ ((!b23) & b24);
+        let $o23 = b23 ^ ((!b24) & b20);
+        let $o24 = b24 ^ ((!b20) & b21);
+    };
 }
 
-/// All 24 rounds, unrolled two at a time: one loop iteration carries two
-/// round bodies, halving the branch/counter overhead while keeping the hot
-/// code small enough for the uop cache. Fully unrolling the ~1800-op body
-/// was measurably *slower* here (decode pressure beats the saved loop
-/// overhead); the pairwise middle ground wins on non-AVX-512 hosts, where
-/// this scalar path carries every line MAC. RC.len() is 24, so
-/// `chunks_exact(2)` covers every round constant.
+/// All 24 rounds, unrolled four at a time: one loop iteration chains four
+/// [`keccak_round_io!`] bodies through fresh lane sets (`a → t → u → v → a`),
+/// so only the fourth round writes memory-backed names and the chain stays
+/// pure SSA. The earlier pairwise unroll still round-tripped all 25 lanes
+/// through their mutable locals every round; dropping those write-backs is
+/// worth more than the extra decode pressure, while the quad body stays
+/// well under the fully-unrolled ~1800-op blowup that regressed on non-AVX
+/// hosts. `RC.len()` is 24, so `chunks_exact(4)` covers every round
+/// constant.
 macro_rules! keccak_rounds {
-    ($($a:ident)+) => {
-        for pair in RC.chunks_exact(2) {
-            keccak_round!(pair[0], $($a)+);
-            keccak_round!(pair[1], $($a)+);
+    ($a0:ident $a1:ident $a2:ident $a3:ident $a4:ident
+     $a5:ident $a6:ident $a7:ident $a8:ident $a9:ident
+     $a10:ident $a11:ident $a12:ident $a13:ident $a14:ident
+     $a15:ident $a16:ident $a17:ident $a18:ident $a19:ident
+     $a20:ident $a21:ident $a22:ident $a23:ident $a24:ident) => {
+        for quad in RC.chunks_exact(4) {
+            keccak_round_io!(quad[0],
+                $a0 $a1 $a2 $a3 $a4 $a5 $a6 $a7 $a8 $a9 $a10 $a11 $a12 $a13 $a14 $a15 $a16 $a17 $a18 $a19 $a20 $a21 $a22 $a23 $a24 =>
+                t0 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 t11 t12 t13 t14 t15 t16 t17 t18 t19 t20 t21 t22 t23 t24);
+            keccak_round_io!(quad[1],
+                t0 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 t11 t12 t13 t14 t15 t16 t17 t18 t19 t20 t21 t22 t23 t24 =>
+                u0 u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12 u13 u14 u15 u16 u17 u18 u19 u20 u21 u22 u23 u24);
+            keccak_round_io!(quad[2],
+                u0 u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12 u13 u14 u15 u16 u17 u18 u19 u20 u21 u22 u23 u24 =>
+                v0 v1 v2 v3 v4 v5 v6 v7 v8 v9 v10 v11 v12 v13 v14 v15 v16 v17 v18 v19 v20 v21 v22 v23 v24);
+            keccak_round_io!(quad[3],
+                v0 v1 v2 v3 v4 v5 v6 v7 v8 v9 v10 v11 v12 v13 v14 v15 v16 v17 v18 v19 v20 v21 v22 v23 v24 =>
+                w0 w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12 w13 w14 w15 w16 w17 w18 w19 w20 w21 w22 w23 w24);
+            $a0 = w0;
+            $a1 = w1;
+            $a2 = w2;
+            $a3 = w3;
+            $a4 = w4;
+            $a5 = w5;
+            $a6 = w6;
+            $a7 = w7;
+            $a8 = w8;
+            $a9 = w9;
+            $a10 = w10;
+            $a11 = w11;
+            $a12 = w12;
+            $a13 = w13;
+            $a14 = w14;
+            $a15 = w15;
+            $a16 = w16;
+            $a17 = w17;
+            $a18 = w18;
+            $a19 = w19;
+            $a20 = w20;
+            $a21 = w21;
+            $a22 = w22;
+            $a23 = w23;
+            $a24 = w24;
         }
     };
 }
 
+/// [`keccakf_portable`] recompiled with BMI1/BMI2 available: chi's
+/// `(!b) & c` terms become single `andn` instructions (25 per round) and
+/// the rho rotations can use flag-free `rorx`/shift forms. Safety contract:
+/// callers must have verified both features via CPUID.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi1,bmi2")]
+#[allow(unsafe_code)]
+unsafe fn keccakf_bmi(state: &mut [u64; 25]) {
+    keccakf_portable(state);
+}
+
 /// Applies the Keccak-f\[1600\] permutation to the 25-lane state.
 ///
-/// Dispatches once per call on a cached CPUID probe: AVX-512F hosts take the
-/// vectorized backend (`keccak_avx512`), everything else the scalar
-/// lane-local path. Both are pinned against [`keccakf_ref`] by the crate's
-/// differential tests.
+/// Dispatches once per call on a cached CPUID probe: BMI-capable x86-64
+/// hosts take the `andn`-scheduled scalar kernel, everything else the plain
+/// scalar lane-local path. Both are pinned against [`keccakf_ref`] by the
+/// crate's differential tests.
 pub fn keccakf(state: &mut [u64; 25]) {
     #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("bmi2") && std::arch::is_x86_feature_detected!("bmi1") {
+        #[allow(unsafe_code)]
+        unsafe {
+            return keccakf_bmi(state);
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx512f") {
+        // Reachable only on AVX-512 hardware without BMI (none exists; kept
+        // for completeness). Single-state AVX-512 measured *slower* than
+        // the BMI scalar kernel here — the vector backend earns its keep in
+        // the 8-way batched line MAC (`mac28_lines8`), not in one-shot
+        // permutations.
         // SAFETY: the required CPU feature was verified just above.
         #[allow(unsafe_code)]
         unsafe {
@@ -183,7 +228,8 @@ pub fn keccakf(state: &mut [u64; 25]) {
     keccakf_portable(state);
 }
 
-/// The scalar permutation (see [`keccak_round!`] for the formulation).
+/// The scalar permutation (see [`keccak_round_io!`] for the formulation).
+#[inline(always)]
 fn keccakf_portable(state: &mut [u64; 25]) {
     let [mut a0, mut a1, mut a2, mut a3, mut a4, mut a5, mut a6, mut a7, mut a8, mut a9, mut a10, mut a11, mut a12, mut a13, mut a14, mut a15, mut a16, mut a17, mut a18, mut a19, mut a20, mut a21, mut a22, mut a23, mut a24] =
         *state;
@@ -202,6 +248,14 @@ fn keccakf_portable(state: &mut [u64; 25]) {
 /// MAC, with no state array materialized at all.
 pub(crate) fn keccakf_single_block(lanes: &[u64; RATE / 8]) -> u64 {
     #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("bmi2") && std::arch::is_x86_feature_detected!("bmi1") {
+        // SAFETY: both required CPU features were verified just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            return keccakf_single_block_bmi(lanes);
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx512f") {
         // SAFETY: the required CPU feature was verified just above.
         #[allow(unsafe_code)]
@@ -212,7 +266,18 @@ pub(crate) fn keccakf_single_block(lanes: &[u64; RATE / 8]) -> u64 {
     keccakf_single_block_portable(lanes)
 }
 
-/// Scalar single-block sponge shared with non-AVX-512 hosts.
+/// [`keccakf_single_block_portable`] under BMI1/BMI2 codegen (see
+/// [`keccakf_bmi`]). Safety contract: callers must have verified both
+/// features via CPUID.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi1,bmi2")]
+#[allow(unsafe_code)]
+unsafe fn keccakf_single_block_bmi(lanes: &[u64; RATE / 8]) -> u64 {
+    keccakf_single_block_portable(lanes)
+}
+
+/// Scalar single-block sponge shared by all dispatch tiers.
+#[inline(always)]
 fn keccakf_single_block_portable(lanes: &[u64; RATE / 8]) -> u64 {
     let [mut a0, mut a1, mut a2, mut a3, mut a4, mut a5, mut a6, mut a7, mut a8, mut a9, mut a10, mut a11, mut a12, mut a13, mut a14, mut a15, mut a16] =
         *lanes;

@@ -157,9 +157,12 @@ impl Mailbox {
         self.responses.insert(response.req_id, response);
     }
 
-    /// Releases delayed responses whose hold-down expired (one tick per
-    /// poll call — the mailbox's only notion of time).
-    fn tick_delayed(&mut self) {
+    /// Advances the mailbox's notion of time by one scheduler round,
+    /// releasing delayed responses whose hold-down expired. Returns the
+    /// request identifications that just became pollable so an event-driven
+    /// scheduler can wake exactly those callers (release order is the
+    /// injection order, which is deterministic under a seeded plan).
+    pub fn advance_round(&mut self) -> Vec<u64> {
         let mut ready = Vec::new();
         self.delayed.retain_mut(|(polls, resp)| {
             if *polls <= 1 {
@@ -173,9 +176,20 @@ impl Mailbox {
                 true
             }
         });
+        let mut released = Vec::with_capacity(ready.len());
         for resp in ready {
+            released.push(resp.req_id);
             self.responses.insert(resp.req_id, resp);
         }
+        released
+    }
+
+    /// Whether a response for `req_id` is sitting in the delivery slot
+    /// (delayed packets don't count until [`Mailbox::advance_round`]
+    /// releases them). Lets a poller skip guaranteed-empty polls without
+    /// consuming or even inspecting the packet.
+    pub fn has_response(&self, req_id: u64) -> bool {
+        self.responses.contains_key(&req_id)
     }
 
     /// Polls for the response bound to `ticket`. Returns the ticket back on
@@ -184,7 +198,6 @@ impl Mailbox {
     /// integrity check is discarded and reported as a miss: the caller's
     /// retry path treats it exactly like a lost packet.
     pub fn poll(&mut self, ticket: RequestTicket) -> Result<Response, RequestTicket> {
-        self.tick_delayed();
         match self.responses.remove(&ticket.req_id) {
             Some(r) if r.intact() => {
                 // Quarantined duplicates of a collected response can never
@@ -344,7 +357,11 @@ mod tests {
         let req = mb.fetch_request().unwrap();
         mb.push_response(Response::ok(req.req_id, vec![7]));
         assert_eq!(mb.pending_responses(), 1, "response must be held, not lost");
-        let mut polls = 0;
+        assert!(
+            !mb.has_response(req.req_id),
+            "delayed packet is not pollable"
+        );
+        let mut rounds = 0;
         loop {
             match mb.poll(ticket) {
                 Ok(resp) => {
@@ -353,12 +370,17 @@ mod tests {
                 }
                 Err(t) => {
                     ticket = t;
-                    polls += 1;
-                    assert!(polls <= 4, "delay must expire within delay_polls_max + 1");
+                    rounds += 1;
+                    assert!(rounds <= 4, "delay must expire within delay_polls_max + 1");
+                    let released = mb.advance_round();
+                    if !released.is_empty() {
+                        assert_eq!(released, vec![req.req_id]);
+                        assert!(mb.has_response(req.req_id));
+                    }
                 }
             }
         }
-        assert!(polls >= 1, "a delayed response cannot arrive instantly");
+        assert!(rounds >= 1, "a delayed response cannot arrive instantly");
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct CoreMmu {
     pub table: Option<PageTable>,
     /// IS_ENCLAVE register: whether the core currently runs an enclave.
     pub enclave_mode: bool,
+    /// Bench instrumentation: route loads and stores through the MKTME
+    /// engine's byte-for-byte reference data plane
+    /// ([`crate::mktme::MktmeEngine::read_ref`]/`write_ref`) instead of the
+    /// optimized kernels. Bit-identical data either way; `bench_report`
+    /// flips this to price the optimized data path against its spec
+    /// baseline.
+    pub data_path_ref: bool,
     /// Monotone counter bumped on every translation flush (address-space
     /// switch, EALLOC/EFREE/shm attach-detach) and on mapping teardown
     /// ([`CoreMmu::note_mapping_teardown`], the EDESTROY site). Consumers
@@ -82,6 +89,7 @@ impl CoreMmu {
             walk_cache: WalkCache::new(WALK_CACHE_ENTRIES),
             table: None,
             enclave_mode: false,
+            data_path_ref: false,
             flush_epoch: 0,
         }
     }
@@ -170,6 +178,9 @@ impl CoreMmu {
         assert_page_bounded(va, buf.len());
         let entry = self.translate(sys, va, AccessKind::Read)?;
         let pa = PhysAddr(entry.ppn.base().0 + va.offset());
+        if self.data_path_ref {
+            return sys.engine.read_ref(&mut sys.phys, pa, entry.key, buf);
+        }
         sys.engine.read(&mut sys.phys, pa, entry.key, buf)
     }
 
@@ -212,7 +223,11 @@ impl CoreMmu {
         assert_page_bounded(va, buf.len());
         let entry = self.translate(sys, va, AccessKind::Write)?;
         let pa = PhysAddr(entry.ppn.base().0 + va.offset());
-        sys.engine.write(&mut sys.phys, pa, entry.key, buf)?;
+        if self.data_path_ref {
+            sys.engine.write_ref(&mut sys.phys, pa, entry.key, buf)?;
+        } else {
+            sys.engine.write(&mut sys.phys, pa, entry.key, buf)?;
+        }
         Ok(pa)
     }
 

@@ -48,6 +48,11 @@ pub struct WalkCache {
     next_victim: usize,
     /// Counters.
     pub stats: WalkCacheStats,
+    /// Bench instrumentation: when set, every lookup misses and nothing is
+    /// inserted, restoring the pre-walk-cache trajectory (all three levels
+    /// read on every walk) so `bench_report` can measure the cache's real
+    /// wall-clock contribution instead of comparing two warm paths.
+    pub bypass: bool,
 }
 
 impl WalkCache {
@@ -63,12 +68,17 @@ impl WalkCache {
             capacity,
             next_victim: 0,
             stats: WalkCacheStats::default(),
+            bypass: false,
         }
     }
 
     /// Looks up the leaf-table frame for `(root, vpn >> 9)`, counting the
     /// hit or miss.
     pub fn lookup(&mut self, root: Ppn, region: u64) -> Option<Ppn> {
+        if self.bypass {
+            self.stats.misses += 1;
+            return None;
+        }
         match self
             .entries
             .iter()
@@ -88,6 +98,9 @@ impl WalkCache {
     /// Records the leaf-table frame discovered by a full walk, evicting
     /// FIFO when full.
     pub fn insert(&mut self, root: Ppn, region: u64, leaf_table: Ppn) {
+        if self.bypass {
+            return;
+        }
         let entry = WalkCacheEntry {
             root,
             region,

@@ -45,6 +45,18 @@ pub struct SessionResult {
 /// verification), key derivation, and `records` encrypted record exchanges
 /// of `record_len` bytes each.
 pub fn run_session(seed: u64, records: usize, record_len: usize) -> SessionResult {
+    session(seed, records, record_len, false)
+}
+
+/// [`run_session`] with the record cipher on [`Aes128::ctr_apply_ref`] (the
+/// byte-for-byte spec baseline) instead of the optimized CTR kernels. Same
+/// seed ⇒ bit-identical [`SessionResult`]; kept as the reference arm of the
+/// `wolfssl_pass` benchmark row.
+pub fn run_session_ref(seed: u64, records: usize, record_len: usize) -> SessionResult {
+    session(seed, records, record_len, true)
+}
+
+fn session(seed: u64, records: usize, record_len: usize, ctr_ref: bool) -> SessionResult {
     let mut rng = ChaChaRng::from_u64(seed);
     // Server identity.
     let server_identity = Keypair::generate(&mut rng);
@@ -62,6 +74,13 @@ pub fn run_session(seed: u64, records: usize, record_len: usize) -> SessionResul
     assert_eq!(client_key, server_key, "handshake must agree");
     let record_key: [u8; 16] = client_key[..16].try_into().expect("16");
     let cipher = Aes128::new(&record_key);
+    let ctr = |iv: &[u8; 16], data: &mut [u8]| {
+        if ctr_ref {
+            cipher.ctr_apply_ref(iv, data);
+        } else {
+            cipher.ctr_apply(iv, data);
+        }
+    };
     // Record exchange with per-record MAC.
     let mut transcript = Vec::new();
     for r in 0..records {
@@ -69,11 +88,11 @@ pub fn run_session(seed: u64, records: usize, record_len: usize) -> SessionResul
         rng.fill_bytes(&mut payload);
         let plain_digest = sha256(&payload);
         // Client encrypts…
-        cipher.ctr_apply(&ctr_iv(r as u64, 0), &mut payload);
+        ctr(&ctr_iv(r as u64, 0), &mut payload);
         let mac = hmac_sha256(&client_key, &payload);
         // …server verifies and decrypts.
         let mac_ok = hmac_sha256(&server_key, &payload) == mac;
-        cipher.ctr_apply(&ctr_iv(r as u64, 0), &mut payload);
+        ctr(&ctr_iv(r as u64, 0), &mut payload);
         assert!(mac_ok, "record MAC");
         assert_eq!(sha256(&payload), plain_digest, "record roundtrip");
         transcript.extend_from_slice(&plain_digest);
@@ -115,6 +134,11 @@ mod tests {
         let r = run_session(1, 4, 512);
         assert!(r.cert_ok);
         assert_eq!(r.records, 4);
+    }
+
+    #[test]
+    fn ref_session_is_bit_identical() {
+        assert_eq!(run_session(11, 3, 640), run_session_ref(11, 3, 640));
     }
 
     #[test]

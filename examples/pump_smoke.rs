@@ -1,0 +1,113 @@
+//! Pump-equivalence smoke, used as the release-mode gate inside
+//! `scripts/verify.sh` (DESIGN.md §15).
+//!
+//! Replays dense seeded open-loop storms — clean and under a heavy armed
+//! fault plan — through both pump flavours (the event-driven ready-queue
+//! scheduler and the retained O(n) scan oracle) and exits non-zero on the
+//! first trace divergence: completion order, statuses, latencies, retry
+//! counts, hart clocks, or pipeline counters.
+
+use hypertee_repro::fabric::message::Primitive;
+use hypertee_repro::faults::{FaultConfig, FaultPlan};
+use hypertee_repro::hypertee::machine::Machine;
+use hypertee_repro::hypertee::manifest::EnclaveManifest;
+use hypertee_repro::sim::clock::Cycles;
+
+const HARTS: usize = 4;
+const ROUNDS: u64 = 64;
+
+/// Runs one seeded storm and renders every observable into a trace string.
+fn storm(seed: u64, scan: bool, faults: Option<&FaultPlan>) -> String {
+    let mut m = Machine::boot_default();
+    let manifest =
+        EnclaveManifest::parse("heap = 8M\nstack = 32K\nhost_shared = 16K").expect("manifest");
+    let eids: Vec<u64> = (0..HARTS)
+        .map(|h| {
+            let image = format!("smoke tenant {h}");
+            let e = m
+                .create_enclave(h, &manifest, image.as_bytes())
+                .expect("create");
+            m.enter(h, e).expect("enter");
+            e.0
+        })
+        .collect();
+    if let Some(plan) = faults {
+        m.arm_faults(plan);
+    }
+    m.degrade.shed_backlog_limit = Some(48);
+    m.degrade.deadline = Some(Cycles(4_000_000));
+    m.set_scan_scheduler(scan);
+
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut trace = String::new();
+    let drain = |m: &mut Machine, trace: &mut String| {
+        for done in m.drain_completions() {
+            trace.push_str(&format!(
+                "{} h{} {:?} {} {}\n",
+                done.call.id, done.hart_id, done.result, done.latency.0, done.attempts
+            ));
+        }
+    };
+    for _ in 0..ROUNDS {
+        for (h, eid) in eids.iter().enumerate() {
+            if next() % 3 != 0 {
+                let pages = 1 + next() % 4;
+                let _ = m.submit(h, Primitive::Ealloc, vec![*eid, pages * 4096], vec![]);
+            }
+        }
+        m.pump();
+        drain(&mut m, &mut trace);
+    }
+    for _ in 0..20_000 {
+        if m.pipeline_stats().in_flight == 0 {
+            break;
+        }
+        m.pump();
+        drain(&mut m, &mut trace);
+    }
+    let stats = m.pipeline_stats();
+    assert_eq!(stats.in_flight, 0, "storm failed to drain: {stats:?}");
+    for h in 0..HARTS {
+        trace.push_str(&format!("clock h{} {}\n", h, m.hart_clock(h).0));
+    }
+    trace.push_str(&format!("{stats:?}\n"));
+    trace
+}
+
+fn main() {
+    let seeds = [0x51u64, 0xDEC0_DE5E, 0x5EED_CAFE, 0xFFFF_0000_0000_0001];
+    let mut storms = 0usize;
+    for &seed in &seeds {
+        for faulty in [false, true] {
+            let plan = faulty.then(|| FaultPlan::new(seed, FaultConfig::heavy()));
+            let event = storm(seed, false, plan.as_ref());
+            let scan = storm(seed, true, plan.as_ref());
+            if event != scan {
+                let at = event
+                    .lines()
+                    .zip(scan.lines())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                eprintln!(
+                    "pump smoke FAILED: seed {seed:#x} faulty={faulty} diverged at line {at}:\n  \
+                     event: {:?}\n  scan:  {:?}",
+                    event.lines().nth(at).unwrap_or("<eof>"),
+                    scan.lines().nth(at).unwrap_or("<eof>"),
+                );
+                std::process::exit(1);
+            }
+            storms += 1;
+        }
+    }
+    println!(
+        "pump smoke: {storms} storms ({} seeds x clean+heavy-faults), event pump \
+         lockstep with scan oracle",
+        seeds.len()
+    );
+}

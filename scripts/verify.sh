@@ -44,11 +44,24 @@ cargo run --release --offline -p hypertee-bench --bin bench_report -- --smoke \
 cargo run --release --offline -p hypertee-bench --bin bench_report -- \
     --check target/BENCH_perf_smoke.json
 
+echo "==> pump equivalence smoke (event scheduler vs scan oracle, fixed seeds)"
+cargo run --release --offline --example pump_smoke
+
 echo "==> chaos campaign smoke (release, seeded, schema-validated)"
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke \
     --out target/BENCH_chaos_smoke.json > /dev/null
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
     --check target/BENCH_chaos_smoke.json
+
+echo "==> scan-oracle campaign replay (--ref-pump, byte-compared against the event pump)"
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke --ref-pump \
+    --out target/BENCH_chaos_smoke_refpump.json > /dev/null
+cmp target/BENCH_chaos_smoke.json target/BENCH_chaos_smoke_refpump.json
+
+echo "==> committed chaos replay (full fleet campaign, trace hash vs BENCH_chaos.json)"
+cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- \
+    --out target/BENCH_chaos_replay.json > /dev/null
+cmp <(grep '"trace_hash"' target/BENCH_chaos_replay.json) <(grep '"trace_hash"' BENCH_chaos.json)
 
 echo "==> service facade smoke (boot, fail closed, attest, crash, re-attest)"
 cargo run --release --offline --example service_quickstart > /dev/null
@@ -60,6 +73,11 @@ cargo run --release --offline -p hypertee-chaos --bin serving_bench -- \
     --check target/BENCH_serving_smoke.json
 cargo run --release --offline -p hypertee-chaos --bin serving_bench -- \
     --check BENCH_serving.json
+
+echo "==> scan-oracle serving replay (--ref-pump, byte-compared against the event pump)"
+cargo run --release --offline -p hypertee-chaos --bin serving_bench -- --smoke --ref-pump \
+    --out target/BENCH_serving_smoke_refpump.json > /dev/null
+cmp target/BENCH_serving_smoke.json target/BENCH_serving_smoke_refpump.json
 
 echo "==> parallel determinism smoke (sharded chaos, 1 vs 4 threads, byte-compared)"
 cargo run --release --offline -p hypertee-chaos --bin chaos_campaign -- --smoke --shards 4 \

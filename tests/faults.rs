@@ -89,8 +89,10 @@ fn mailbox_ticket_binding_survives_drops_and_duplicates() {
                         break;
                     }
                     Err(t) => {
-                        // Lost somewhere on the fabric: resubmit under the
-                        // same identification and service again.
+                        // Lost somewhere on the fabric: advance the fabric
+                        // clock (releasing any delayed packet), resubmit
+                        // under the same identification, service again.
+                        hub.mailbox.advance_round();
                         hub.mailbox.resubmit(&t, probe_request(marker));
                         echo_service(&mut hub, &cap);
                         ticket = t;
